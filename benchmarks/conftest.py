@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_*`` module regenerates one of the paper's tables or figures.  The
+``paper-scale`` timing figures (2-5) are produced by the analytic cost model,
+so they run at the paper's true sizes; the accuracy figures (6-8) execute real
+floating point and therefore default to proportionally scaled-down grids
+(documented in DESIGN.md / EXPERIMENTS.md).  Set the environment variable
+``REPRO_BENCH_SCALE=scaled`` to run the accuracy figures at the larger scaled
+grid (d up to 2^17).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import SweepConfig
+
+
+def accuracy_scale() -> str:
+    """Grid preset used by the numeric (accuracy) benchmarks."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> SweepConfig:
+    """Paper-size grid, analytic cost model, single repetition."""
+    return SweepConfig(scale="paper", repetitions=1)
+
+
+@pytest.fixture(scope="session")
+def accuracy_config() -> SweepConfig:
+    """Numeric grid for the residual figures."""
+    return SweepConfig(scale=accuracy_scale(), numeric=True, repetitions=1)

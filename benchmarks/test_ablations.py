@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the implementation choices called out in the paper.
+
+Three design decisions from Sections 5-6.1 are isolated here:
+
+* GEMM versus SYRK for the Gram matrix ("SyRK's performance is much worse in
+  practice than GeMM").
+* The multisketch transpose trick (reinterpreting the row-major CountSketch
+  output instead of transposing it).
+* The shared-memory staging of the FWHT (how many global passes the radix-4
+  transform needs as a function of shared memory).
+"""
+
+from repro.core.fwht import fwht_global_passes
+from repro.core.multisketch import count_gauss
+from repro.gpu.executor import GPUExecutor
+from repro.harness.report import format_table
+
+D, N = 1 << 22, 256
+
+
+def _analytic_executor() -> GPUExecutor:
+    return GPUExecutor(numeric=False, track_memory=False)
+
+
+def test_ablation_gram_gemm_vs_syrk(benchmark):
+    def run():
+        ex = _analytic_executor()
+        a = ex.empty((D, N))
+        mark = ex.mark()
+        ex.blas.gram(a, use_syrk=False)
+        gemm_time = ex.elapsed_since(mark)
+        mark = ex.mark()
+        ex.blas.gram(a, use_syrk=True)
+        syrk_time = ex.elapsed_since(mark)
+        return gemm_time, syrk_time
+
+    gemm_time, syrk_time = benchmark(run)
+    print()
+    print(format_table([
+        {"variant": "Gram via GEMM", "ms": gemm_time * 1e3},
+        {"variant": "Gram via SYRK", "ms": syrk_time * 1e3},
+    ], title=f"Ablation: Gram matrix GEMM vs SYRK (d=2^22, n={N})"))
+    # The paper computes the Gram matrix with GEMM because SYRK is slower in practice.
+    assert syrk_time > 0.9 * gemm_time
+
+
+def test_ablation_transpose_trick(benchmark):
+    def run():
+        ex1 = _analytic_executor()
+        count_gauss(D, N, executor=ex1, seed=1, transpose_trick=True).apply(ex1.empty((D, N)))
+        ex2 = _analytic_executor()
+        count_gauss(D, N, executor=ex2, seed=1, transpose_trick=False).apply(ex2.empty((D, N)))
+        return ex1.elapsed, ex2.elapsed
+
+    with_trick, without_trick = benchmark(run)
+    print()
+    print(format_table([
+        {"variant": "reinterpret + small transpose (paper)", "ms": with_trick * 1e3},
+        {"variant": "transpose full intermediate", "ms": without_trick * 1e3},
+    ], title="Ablation: Section 6.1 multisketch layout trick"))
+    assert with_trick < without_trick
+
+
+def test_ablation_fwht_shared_memory_staging(benchmark):
+    def run():
+        return {
+            smem: fwht_global_passes(1 << 22, shared_memory_elems=smem, radix=4)
+            for smem in (256, 1024, 6144, 16384, 65536)
+        }
+
+    passes = benchmark(run)
+    print()
+    print(format_table(
+        [{"shared_memory_doubles": k, "global_passes": v} for k, v in passes.items()],
+        title="Ablation: FWHT global passes vs shared-memory size (d = 2^22)",
+    ))
+    values = list(passes.values())
+    assert values == sorted(values, reverse=True)  # more shared memory, fewer passes
+    assert values[-1] < values[0]

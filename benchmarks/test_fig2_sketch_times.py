@@ -1,0 +1,33 @@
+"""Figure 2: sketch generation + application time on the paper's size grid.
+
+Sweeps d in {2^21, 2^22, 2^23} and n in {32, 64, 128, 256} over Gram, Gauss,
+Count (Alg 2), Count (SPMM), Multi, and SRHT, printing the same series the
+figure plots (milliseconds, split into gen/apply), and asserts the headline
+shape: the Algorithm-2 CountSketch and the multisketch beat the Gram matrix
+for wide matrices and the SpMM baseline everywhere.
+"""
+
+from repro.harness.experiments import figure2
+from repro.harness.report import render_figure_rows
+
+
+def test_fig2_sketch_times(benchmark, paper_config):
+    rows = benchmark(figure2, paper_config)
+    print()
+    print(render_figure_rows(rows, "total_seconds", scale=1e3, unit="ms",
+                             title="Figure 2: total sketch time"))
+    print(render_figure_rows(rows, "gen_seconds", scale=1e3, unit="ms",
+                             title="Figure 2: sketch generation time"))
+    print(render_figure_rows(rows, "apply_seconds", scale=1e3, unit="ms",
+                             title="Figure 2: sketch apply time"))
+
+    t = {(r["d"], r["n"], r["method"]): r["total_seconds"] for r in rows if not r["oom"]}
+    for d in (1 << 21, 1 << 22):
+        # CountSketch/multisketch beat the Gram matrix for wide matrices ...
+        assert t[(d, 256, "Count (Alg 2)")] < t[(d, 256, "Gram")]
+        assert t[(d, 256, "Multi")] < t[(d, 256, "Gram")]
+        # ... the Gaussian does not ...
+        assert t[(d, 256, "Gauss")] > t[(d, 256, "Gram")]
+        # ... and the dedicated kernel always beats cuSPARSE SpMM.
+        for n in (32, 64, 128, 256):
+            assert t[(d, n, "Count (Alg 2)")] < t[(d, n, "Count (SPMM)")]

@@ -1,0 +1,26 @@
+"""Figure 3: percent of peak memory throughput achieved by each sketch."""
+
+from repro.harness.experiments import figure2, figure3
+from repro.harness.report import render_figure_rows
+
+
+def test_fig3_memory_throughput(benchmark, paper_config):
+    fig2_rows = figure2(paper_config)
+    rows = benchmark(figure3, paper_config, rows=fig2_rows)
+    print()
+    print(render_figure_rows(rows, "percent_peak_bandwidth", unit="% of peak",
+                             title="Figure 3: percent of peak memory throughput"))
+
+    pct = {(r["d"], r["n"], r["method"]): r["percent_peak_bandwidth"] for r in rows if not r["oom"]}
+    for (d, n, method), value in pct.items():
+        assert 0.0 <= value <= 100.0
+        if method == "Count (Alg 2)":
+            assert 40.0 <= value <= 65.0   # paper: 50-60% of peak
+        if method == "Count (SPMM)":
+            assert value <= 30.0           # paper: ~20% of peak
+        if method == "SRHT":
+            assert 50.0 <= value <= 80.0   # paper: 60-70% of peak
+    # the dedicated kernel always achieves better bandwidth than the SpMM baseline
+    for (d, n, method) in list(pct):
+        if method == "Count (Alg 2)":
+            assert pct[(d, n, method)] > pct[(d, n, "Count (SPMM)")]

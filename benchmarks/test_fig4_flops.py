@@ -1,0 +1,24 @@
+"""Figure 4: percent of peak FLOP/s achieved by each sketch."""
+
+from repro.harness.experiments import figure2, figure4
+from repro.harness.report import render_figure_rows
+
+
+def test_fig4_flops(benchmark, paper_config):
+    fig2_rows = figure2(paper_config)
+    rows = benchmark(figure4, paper_config, rows=fig2_rows)
+    print()
+    print(render_figure_rows(rows, "percent_peak_flops", unit="% of peak",
+                             title="Figure 4: percent of peak FLOP/s"))
+
+    pct = {(r["d"], r["n"], r["method"]): r["percent_peak_flops"] for r in rows if not r["oom"]}
+    for (d, n, method), value in pct.items():
+        assert 0.0 <= value <= 100.0
+        # Sparse/memory-bound sketches achieve a tiny FLOP fraction (the paper's
+        # point: they are memory-bound, so FLOP/s is the wrong lens for them).
+        if method in ("Count (Alg 2)", "Count (SPMM)", "Multi", "SRHT"):
+            assert value < 20.0
+    # The GEMM-based computations hit a large FLOP fraction at wide n.
+    for d in (1 << 21, 1 << 22):
+        assert pct[(d, 256, "Gram")] > 30.0
+        assert pct[(d, 256, "Gauss")] > pct[(d, 256, "Count (Alg 2)")]

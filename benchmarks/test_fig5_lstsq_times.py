@@ -1,0 +1,38 @@
+"""Figure 5: runtime breakdown of the least-squares solvers.
+
+Sweeps the paper's grid over Normal Eq, sketch-and-solve (Gauss / Count /
+Multi / SRHT), and rand_cholQR, printing per-phase breakdowns (the figure's
+stacked bars) and asserting the headline result: the multisketched
+sketch-and-solve solver beats the normal equations for wide matrices, with
+the best case at d = 2^22, n = 256 ("up to 77% faster" in the paper).
+"""
+
+from repro.harness.experiments import figure5, headline_speedup
+from repro.harness.report import render_breakdown_rows, render_figure_rows
+
+
+def test_fig5_lstsq_times(benchmark, paper_config):
+    rows = benchmark(figure5, paper_config)
+    print()
+    print(render_figure_rows(rows, "total_seconds", scale=1e3, unit="ms",
+                             title="Figure 5: least-squares solve time"))
+    print(render_breakdown_rows([r for r in rows if r["d"] == (1 << 22)],
+                                title="Figure 5 breakdown (d = 2^22)"))
+
+    t = {(r["d"], r["n"], r["method"]): r["total_seconds"] for r in rows if not r["oom"]}
+    for d in (1 << 21, 1 << 22):
+        # multisketch sketch-and-solve beats the normal equations for wide problems
+        assert t[(d, 256, "Multi")] < t[(d, 256, "Normal Eq")]
+        # the CountSketch-only solver pays for its huge GEQRF
+        assert t[(d, 256, "Count")] > t[(d, 256, "Multi")]
+        # rand_cholQR: slower than sketch-and-solve, still faster than the Gaussian
+        assert t[(d, 128, "Multi")] < t[(d, 128, "rand_cholQR")] < t[(d, 128, "Gauss")]
+    # normal equations still win for narrow problems (the crossover)
+    assert t[(1 << 21, 32, "Normal Eq")] < t[(1 << 21, 32, "Multi")]
+
+    best = headline_speedup(rows)
+    print(f"\nHeadline: multisketch is {100 * best['speedup']:.0f}% faster than the normal "
+          f"equations at d={best['d']}, n={best['n']} "
+          f"(paper: up to 77% faster at d=2^22, n=256)")
+    assert best["d"] == 1 << 22 and best["n"] == 256
+    assert best["speedup"] > 0.4

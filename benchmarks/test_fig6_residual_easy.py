@@ -1,0 +1,31 @@
+"""Figure 6: relative least-squares residuals on the "easy" (low-noise) problem.
+
+b = A e + eta with eta ~ N(0, 0.01), kappa(A) = 100.  All solvers should land
+within an O(1) factor of the true residual; the sketched solvers inflate it
+only slightly.  Runs numerically on a scaled-down grid (see conftest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import figure6
+from repro.harness.report import render_figure_rows
+
+
+def test_fig6_residual_easy(benchmark, accuracy_config):
+    rows = benchmark.pedantic(figure6, args=(accuracy_config,), rounds=1, iterations=1)
+    print()
+    print(render_figure_rows(rows, "relative_residual",
+                             title="Figure 6: relative residual, easy problem"))
+
+    res = {(r["d"], r["n"], r["method"]): r["relative_residual"] for r in rows}
+    sizes = {(r["d"], r["n"]) for r in rows}
+    for (d, n) in sizes:
+        truth = res[(d, n, "QR")]
+        assert np.isfinite(truth) and truth > 0
+        # exact solvers agree with QR
+        assert res[(d, n, "Normal Eq")] == pytest.approx(truth, rel=1e-6)
+        assert res[(d, n, "rand_cholQR")] == pytest.approx(truth, rel=1e-6)
+        # sketched solvers: within the O(1) distortion factor, never below the optimum
+        for method in ("Gauss", "Count", "Multi", "SRHT"):
+            assert truth * (1 - 1e-9) <= res[(d, n, method)] <= 2.0 * truth

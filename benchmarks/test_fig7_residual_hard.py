@@ -1,0 +1,36 @@
+"""Figure 7: relative least-squares residuals on the "hard" (high-noise) problem.
+
+b = A e + eta with eta ~ N(3, 2): the residual is large, so the O(1)
+distortion of sketch-and-solve is visible but bounded.  Runs numerically on a
+scaled-down grid (see conftest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import figure6, figure7
+from repro.harness.report import render_figure_rows
+
+
+def test_fig7_residual_hard(benchmark, accuracy_config):
+    rows = benchmark.pedantic(figure7, args=(accuracy_config,), rounds=1, iterations=1)
+    print()
+    print(render_figure_rows(rows, "relative_residual",
+                             title="Figure 7: relative residual, hard problem"))
+
+    res = {(r["d"], r["n"], r["method"]): r["relative_residual"] for r in rows}
+    sizes = {(r["d"], r["n"]) for r in rows}
+    for (d, n) in sizes:
+        truth = res[(d, n, "QR")]
+        assert np.isfinite(truth)
+        assert res[(d, n, "Normal Eq")] == pytest.approx(truth, rel=1e-6)
+        for method in ("Gauss", "Count", "Multi", "SRHT"):
+            assert truth * (1 - 1e-9) <= res[(d, n, method)] <= 2.0 * truth
+
+
+def test_hard_problem_residuals_exceed_easy(accuracy_config):
+    """The hard problem's residuals sit well above the easy problem's (Figure 6 vs 7)."""
+    easy = {(r["d"], r["n"], r["method"]): r["relative_residual"] for r in figure6(accuracy_config)}
+    hard = {(r["d"], r["n"], r["method"]): r["relative_residual"] for r in figure7(accuracy_config)}
+    for key, value in hard.items():
+        assert value > easy[key]

@@ -1,0 +1,76 @@
+"""Wall-clock microbenchmarks of the numeric kernels (pytest-benchmark).
+
+These measure the *actual* CPU execution time of the NumPy/SciPy kernels this
+reproduction runs (not the simulated H100 time), so regressions in the
+numeric implementations are visible.  The relative ordering mirrors the
+paper's complexity table: the CountSketch touches each entry once, the
+Gaussian sketch does O(d n k) work, and the FWHT-based SRHT sits in between.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import CountSketch, StreamingCountSketch
+from repro.core.fwht import fwht_matrix
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.gpu.executor import GPUExecutor
+
+D, N = 1 << 15, 64
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return np.random.default_rng(0).standard_normal((D, N))
+
+
+@pytest.fixture()
+def executor():
+    return GPUExecutor(numeric=True, seed=0, track_memory=False)
+
+
+def test_wallclock_countsketch_apply(benchmark, matrix, executor):
+    sketch = CountSketch(D, 2 * N * N, executor=executor, seed=1)
+    sketch.generate()
+    result = benchmark(sketch.sketch_host, matrix)
+    assert result.shape == (2 * N * N, N)
+
+
+def test_wallclock_streaming_countsketch_apply(benchmark, matrix, executor):
+    sketch = StreamingCountSketch(D, 2 * N * N, executor=executor, seed=1)
+    result = benchmark(sketch.sketch_host, matrix)
+    assert result.shape == (2 * N * N, N)
+
+
+def test_wallclock_gaussian_apply(benchmark, matrix, executor):
+    sketch = GaussianSketch(D, 2 * N, executor=executor, seed=2)
+    sketch.generate()
+    result = benchmark(sketch.sketch_host, matrix)
+    assert result.shape == (2 * N, N)
+
+
+def test_wallclock_srht_apply(benchmark, matrix, executor):
+    sketch = SRHT(D, 2 * N, executor=executor, seed=3)
+    sketch.generate()
+    result = benchmark(sketch.sketch_host, matrix)
+    assert result.shape == (2 * N, N)
+
+
+def test_wallclock_multisketch_apply(benchmark, matrix, executor):
+    sketch = count_gauss(D, N, executor=executor, seed=4)
+    sketch.generate()
+    result = benchmark(sketch.sketch_host, matrix)
+    assert result.shape == (2 * N, N)
+
+
+def test_wallclock_fwht(benchmark, matrix):
+    padded = np.zeros((1 << 15, N))
+    padded[: matrix.shape[0]] = matrix
+    result = benchmark(fwht_matrix, padded)
+    assert result.shape == padded.shape
+
+
+def test_wallclock_gram_matrix(benchmark, matrix):
+    result = benchmark(lambda: matrix.T @ matrix)
+    assert result.shape == (N, N)

@@ -1,0 +1,64 @@
+"""Section 7: distributed block-row sketching cost comparison.
+
+The paper's Section 7 is analytical; this benchmark makes it executable.  It
+(1) sweeps process counts through the closed-form communication model and
+(2) runs the simulated distributed sketches on a modest numeric problem, and
+checks the section's conclusions: the CountSketch communicates the most, the
+multisketch matches the Gaussian's communication volume with far cheaper
+per-process compute, and the block SRHT is dominated by the multisketch.
+"""
+
+import numpy as np
+
+from repro.distributed import (
+    BlockRowMatrix,
+    SimComm,
+    distributed_countsketch,
+    distributed_gaussian_sketch,
+    distributed_multisketch,
+)
+from repro.harness.experiments import section7_distributed
+from repro.harness.report import format_table
+
+
+def test_sec7_communication_table(benchmark):
+    rows = benchmark(section7_distributed, 1 << 22, 128, (2, 4, 8, 16, 32, 64))
+    print()
+    print(format_table(rows, columns=["p", "method", "embedding_dim", "message_bytes",
+                                      "broadcast_bytes", "comm_seconds"],
+                       title="Section 7: communication volume per sketch"))
+    by = {(r["p"], r["method"]): r for r in rows}
+    for p in (2, 8, 64):
+        assert by[(p, "countsketch")]["message_bytes"] > by[(p, "block_srht")]["message_bytes"]
+        assert by[(p, "block_srht")]["message_bytes"] > by[(p, "gaussian")]["message_bytes"]
+        assert by[(p, "multisketch")]["message_bytes"] == by[(p, "gaussian")]["message_bytes"]
+
+
+def test_sec7_simulated_distributed_sketches():
+    d, n, p = 1 << 16, 32, 8
+    a = np.random.default_rng(0).standard_normal((d, n))
+    dist = BlockRowMatrix.from_global(a, p)
+    k1, k2 = 2 * n * n, 2 * n
+
+    gauss = distributed_gaussian_sketch(dist, k2, SimComm(p), seed=1)
+    count = distributed_countsketch(dist, k1, SimComm(p), seed=1)
+    multi = distributed_multisketch(dist, k1, k2, SimComm(p), seed=1)
+
+    print()
+    print(format_table(
+        [
+            {"method": r.method, "k": r.k, "max_rank_compute_ms": r.max_rank_compute * 1e3,
+             "comm_ms": r.comm_seconds * 1e3, "total_ms": r.total_seconds * 1e3}
+            for r in (gauss, count, multi)
+        ],
+        title=f"Section 7: simulated distributed sketches (d=2^16, n={n}, p={p})",
+    ))
+
+    # Per-rank compute: the Gaussian is the most expensive by far.
+    assert multi.max_rank_compute < gauss.max_rank_compute
+    # Communication: the CountSketch reduces a k1 x n message, the others k2 x n.
+    assert count.comm_bytes > multi.comm_bytes
+    assert multi.comm_bytes == gauss.comm_bytes
+    # End to end, the multisketch wins -- the section's conclusion.
+    assert multi.total_seconds < gauss.total_seconds
+    assert multi.total_seconds < count.total_seconds

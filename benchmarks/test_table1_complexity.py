@@ -1,0 +1,23 @@
+"""Table 1: embedding dimension, arithmetic, read/writes, max distortion.
+
+Regenerates the paper's complexity table at a representative problem size and
+checks the orderings the table encodes.
+"""
+
+from repro.harness.experiments import table1
+from repro.harness.report import format_table
+
+
+def test_table1_complexity(benchmark):
+    rows = benchmark(table1, 1 << 22, 128, 0.5)
+    print()
+    print(format_table(rows, title="Table 1 (evaluated at d=2^22, n=128, eps=0.5)"))
+
+    by_method = {r["method"].split("(")[0]: r for r in rows}
+    # CountSketch: cheapest to apply, largest embedding dimension.
+    assert by_method["CountSketch"].get("arithmetic") < by_method["SRHT"]["arithmetic"]
+    assert by_method["SRHT"]["arithmetic"] < by_method["Gaussian"]["arithmetic"]
+    assert by_method["CountSketch"]["embedding_dim"] > by_method["Gaussian"]["embedding_dim"]
+    # Multisketch: final dimension like the Gaussian, work like the CountSketch (plus n^4).
+    assert by_method["MultiSketch"]["embedding_dim"] == by_method["Gaussian"]["embedding_dim"]
+    assert by_method["MultiSketch"]["arithmetic"] < by_method["Gaussian"]["arithmetic"]

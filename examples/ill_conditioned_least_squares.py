@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Stability study: solving increasingly ill-conditioned least-squares problems.
+
+Reproduces the story of the paper's Figure 8 on a laptop-sized problem:
+``b = A e`` (an exact solution exists) while ``kappa(A)`` is swept from 1 to
+1e16.  The normal equations square the condition number and fall over around
+``kappa ~ u^{-1/2} ~ 1e8``; the multisketched sketch-and-solve solver and the
+rand_cholQR solver (Algorithm 5) keep tracking the Householder-QR reference.
+
+Run:  python examples/ill_conditioned_least_squares.py
+"""
+
+import numpy as np
+
+from repro import GPUExecutor, count_gauss, normal_equations, qr_solve, rand_cholqr_lstsq, sketch_and_solve
+from repro.linalg.conditioning import matrix_with_condition
+
+D, N = 1 << 14, 16
+CONDITION_NUMBERS = [1e0, 1e2, 1e4, 1e6, 1e8, 1e10, 1e12, 1e14, 1e16]
+
+
+def solve_all(cond: float, seed: int = 0) -> dict:
+    """Solve one problem with every method; return relative residuals."""
+    a = matrix_with_condition(D, N, cond, seed=seed)
+    b = a @ np.ones(N)
+    executor = GPUExecutor(seed=seed, track_memory=False)
+
+    results = {}
+    ne = normal_equations(a, b, executor=executor)
+    results["Normal Eq"] = "FAILED" if ne.failed else ne.relative_residual
+    ss = sketch_and_solve(a, b, count_gauss(D, N, executor=executor, seed=1), executor=executor)
+    results["Multisketch S&S"] = ss.relative_residual
+    rc = rand_cholqr_lstsq(a, b, count_gauss(D, N, executor=executor, seed=2), executor=executor)
+    results["rand_cholQR"] = "FAILED" if rc.failed else rc.relative_residual
+    qr = qr_solve(a, b, executor=executor)
+    results["Householder QR"] = qr.relative_residual
+    return results
+
+
+def main() -> None:
+    methods = ["Normal Eq", "Multisketch S&S", "rand_cholQR", "Householder QR"]
+    print(f"Relative residual ||b - Ax|| / ||b|| for b = A·ones, A is {D} x {N}")
+    header = "cond(A)".ljust(10) + "".join(m.ljust(20) for m in methods)
+    print(header)
+    print("-" * len(header))
+    for cond in CONDITION_NUMBERS:
+        results = solve_all(cond)
+        cells = []
+        for m in methods:
+            v = results[m]
+            cells.append((v if isinstance(v, str) else f"{v:.3e}").ljust(20))
+        print(f"{cond:<10.0e}" + "".join(cells))
+
+    print()
+    print("Reading the table (paper Figure 8):")
+    print("  * the normal equations degrade like kappa^2 and fail beyond ~1e8;")
+    print("  * sketch-and-solve and rand_cholQR stay at machine-precision-level")
+    print("    residuals up to kappa ~ 1e14-1e16, matching the QR reference;")
+    print("  * sketch-and-solve achieves this while being the fastest of the")
+    print("    stable methods (see examples/paper_figures.py for the timings).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper from the command line.
+
+Usage:
+    python examples/paper_figures.py               # everything, default scales
+    python examples/paper_figures.py fig2 fig5     # just the named artefacts
+    python examples/paper_figures.py --scale scaled fig6
+
+Timing figures (2-5) are evaluated with the analytic H100 cost model at the
+paper's true sizes (d up to 2^23); accuracy figures (6-8) execute real
+floating point on a scaled-down grid ('quick' by default, 'scaled' for the
+larger 2^15-2^17 grid the EXPERIMENTS.md tables use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline_speedup,
+    section7_distributed,
+    table1,
+)
+from repro.harness.report import format_table, render_breakdown_rows, render_figure_rows
+from repro.harness.runner import SweepConfig
+
+ARTEFACTS = ("table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "sec7")
+
+
+def run(artefact: str, scale: str) -> str:
+    """Produce the text rendering for one paper artefact."""
+    paper_cfg = SweepConfig(scale="paper", repetitions=1)
+    accuracy_cfg = SweepConfig(scale=scale, numeric=True, repetitions=1)
+
+    if artefact == "table1":
+        return format_table(table1(), title="Table 1: sketch complexities (d=2^22, n=128, eps=0.5)")
+    if artefact == "fig2":
+        rows = figure2(paper_cfg)
+        return "\n\n".join(
+            [
+                render_figure_rows(rows, "total_seconds", scale=1e3, unit="ms",
+                                   title="Figure 2: total sketch time"),
+                render_figure_rows(rows, "gen_seconds", scale=1e3, unit="ms",
+                                   title="Figure 2: sketch generation time"),
+            ]
+        )
+    if artefact == "fig3":
+        rows = figure3(paper_cfg)
+        return render_figure_rows(rows, "percent_peak_bandwidth", unit="%",
+                                  title="Figure 3: percent of peak memory throughput")
+    if artefact == "fig4":
+        rows = figure4(paper_cfg)
+        return render_figure_rows(rows, "percent_peak_flops", unit="%",
+                                  title="Figure 4: percent of peak FLOP/s")
+    if artefact == "fig5":
+        rows = figure5(paper_cfg)
+        best = headline_speedup(rows)
+        text = render_figure_rows(rows, "total_seconds", scale=1e3, unit="ms",
+                                  title="Figure 5: least-squares solve time")
+        text += "\n\n" + render_breakdown_rows(
+            [r for r in rows if r["d"] == (1 << 22)], title="Figure 5 breakdown (d=2^22)"
+        )
+        text += (
+            f"\n\nHeadline: multisketch sketch-and-solve is {100 * best['speedup']:.0f}% faster than "
+            f"the normal equations at d={best['d']}, n={best['n']} (paper: up to 77%)."
+        )
+        return text
+    if artefact == "fig6":
+        return render_figure_rows(figure6(accuracy_cfg), "relative_residual",
+                                  title=f"Figure 6: relative residual, easy problem ({scale} grid)")
+    if artefact == "fig7":
+        return render_figure_rows(figure7(accuracy_cfg), "relative_residual",
+                                  title=f"Figure 7: relative residual, hard problem ({scale} grid)")
+    if artefact == "fig8":
+        d = (1 << 17) if scale == "scaled" else (1 << 13)
+        rows = figure8(d=d, n=16)
+        return render_figure_rows(rows, "relative_residual",
+                                  title=f"Figure 8: residual vs cond(A) (d={d}, n=16)")
+    if artefact == "sec7":
+        rows = section7_distributed()
+        return format_table(rows, columns=["p", "method", "embedding_dim", "message_bytes",
+                                           "broadcast_bytes", "comm_seconds"],
+                            title="Section 7: distributed communication costs (d=2^22, n=128)")
+    raise ValueError(f"unknown artefact '{artefact}'")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("artefacts", nargs="*", default=list(ARTEFACTS),
+                        help=f"which artefacts to regenerate (default: all of {', '.join(ARTEFACTS)})")
+    parser.add_argument("--scale", choices=("quick", "scaled"), default="quick",
+                        help="numeric grid used for the accuracy figures (6-8)")
+    args = parser.parse_args(argv)
+
+    for artefact in args.artefacts:
+        if artefact not in ARTEFACTS:
+            parser.error(f"unknown artefact '{artefact}' (choose from {ARTEFACTS})")
+        print()
+        print(run(artefact, args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

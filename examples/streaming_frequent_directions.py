@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Streaming CountSketch: sketching a matrix that never fits in memory at once.
+
+The paper's future-work section (Section 8) proposes building the CountSketch
+on the fly from a hash so it suits streaming applications -- this example
+shows that workflow.  Rows of a tall matrix arrive in batches (think: sensor
+readings, log records, minibatches); the StreamingCountSketch folds each batch
+into a fixed-size ``k x n`` summary without ever storing the full matrix or
+any random state beyond a seed.  At the end the summary is used to
+approximately solve a regression problem against the stream.
+
+Run:  python examples/streaming_frequent_directions.py
+"""
+
+import numpy as np
+
+from repro import GPUExecutor, StreamingCountSketch
+from repro.gpu.arrays import DeviceArray
+
+D, N = 1 << 17, 32          # 131,072 streamed rows, 32 features
+BATCH = 4096                 # rows per arriving batch
+K = 2 * N * N                # CountSketch embedding dimension (paper's 2 n^2)
+
+
+def generate_batch(rng: np.random.Generator, start: int, size: int, x_true: np.ndarray):
+    """Simulate one arriving batch: features and noisy targets."""
+    rows = rng.standard_normal((size, N))
+    targets = rows @ x_true + 0.05 * rng.standard_normal(size)
+    return rows, targets
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x_true = np.linspace(-1.0, 1.0, N)
+
+    executor = GPUExecutor(seed=0, track_memory=False)
+
+    # One streaming sketch for the features and one for the targets; both are
+    # driven by the same hash seed so they stay aligned row-for-row.
+    feature_sketch = StreamingCountSketch(D, K, executor=executor, seed=42)
+    target_sketch = StreamingCountSketch(D, K, executor=executor, seed=42)
+    feature_sketch.generate()
+    target_sketch.generate()
+    feature_sketch.begin(N)
+    target_sketch.begin(1)
+
+    rows_seen = 0
+    for start in range(0, D, BATCH):
+        size = min(BATCH, D - start)
+        rows, targets = generate_batch(rng, start, size, x_true)
+        indices = np.arange(start, start + size)
+        feature_sketch.update(indices, rows)
+        target_sketch.update(indices, targets.reshape(-1, 1))
+        rows_seen += size
+        if start // BATCH % 8 == 0:
+            print(f"  streamed {rows_seen:7d} / {D} rows "
+                  f"(summary is {K} x {N}, {K * N * 8 / 1e6:.1f} MB, independent of the stream length)")
+
+    sketched_a: DeviceArray = feature_sketch.result()
+    sketched_b: DeviceArray = target_sketch.result()
+
+    # Solve the sketched regression problem: min || S b - S A x ||.
+    y = sketched_a.to_host()
+    z = sketched_b.to_host()[:, 0]
+    x_hat, *_ = np.linalg.lstsq(y, z, rcond=None)
+
+    err = np.linalg.norm(x_hat - x_true) / np.linalg.norm(x_true)
+    print()
+    print(f"Recovered regression coefficients from the sketch alone:")
+    print(f"  relative coefficient error   : {err:.3e}")
+    print(f"  simulated sketching time     : {executor.elapsed * 1e3:.2f} ms (H100 cost model)")
+    print(f"  stored random state          : just the 64-bit seed (hash-based row map/signs)")
+    print()
+    print("The full matrix was never materialised: each batch was folded into the")
+    print("k x n CountSketch summary as it arrived, which is exactly the streaming")
+    print("use case the paper's Section 8 points at.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` / `python setup.py develop` in offline
+environments that lack the wheel builder.
+"""
+from setuptools import setup
+
+setup()

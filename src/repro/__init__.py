@@ -1,0 +1,80 @@
+"""repro: high-performance CountSketch, multisketching, and randomized least squares.
+
+A from-scratch Python reproduction of
+
+    Higgins, Boman, Yamazaki,
+    "A High Performance GPU CountSketch Implementation and Its Application to
+    Multisketching and Least Squares Problems", SC 2025 (arXiv:2508.14209).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the sketch operators (CountSketch / Gaussian / SRHT /
+  multisketch, plus the hash-based streaming CountSketch).
+* :mod:`repro.gpu` -- the simulated-GPU substrate (roofline cost model,
+  memory tracker, cuBLAS/cuSPARSE/cuSOLVER/cuRAND stand-ins).
+* :mod:`repro.linalg` -- sketch-and-solve, normal equations, QR and
+  rand_cholQR least-squares solvers.
+* :mod:`repro.theory` -- embedding dimensions, distortion bounds, Table 1.
+* :mod:`repro.distributed` -- block-row distributed sketching (Section 7).
+* :mod:`repro.workloads` -- the paper's problem generators.
+* :mod:`repro.harness` -- one entry point per paper table/figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import count_gauss, sketch_and_solve
+
+    A = np.random.default_rng(0).standard_normal((65536, 64))
+    b = A @ np.ones(64)
+
+    sketch = count_gauss(d=A.shape[0], n=A.shape[1], seed=1)
+    result = sketch_and_solve(A, b, sketch)
+    print(result.relative_residual, result.total_seconds)
+"""
+
+from repro.core import (
+    CountSketch,
+    GaussianSketch,
+    MultiSketch,
+    SRHT,
+    BlockSRHT,
+    SketchOperator,
+    StreamingCountSketch,
+    count_gauss,
+    default_embedding_dim,
+)
+from repro.gpu import DeviceSpec, GPUExecutor, H100_SXM5, A100_SXM4, get_device
+from repro.linalg import (
+    LeastSquaresResult,
+    normal_equations,
+    qr_solve,
+    rand_cholqr,
+    rand_cholqr_lstsq,
+    sketch_and_solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountSketch",
+    "GaussianSketch",
+    "MultiSketch",
+    "SRHT",
+    "BlockSRHT",
+    "SketchOperator",
+    "StreamingCountSketch",
+    "count_gauss",
+    "default_embedding_dim",
+    "DeviceSpec",
+    "GPUExecutor",
+    "H100_SXM5",
+    "A100_SXM4",
+    "get_device",
+    "LeastSquaresResult",
+    "normal_equations",
+    "qr_solve",
+    "rand_cholqr",
+    "rand_cholqr_lstsq",
+    "sketch_and_solve",
+    "__version__",
+]

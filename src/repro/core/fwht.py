@@ -1,0 +1,184 @@
+"""Fast Walsh-Hadamard Transform implementations.
+
+Section 5 of the paper builds the SRHT on a radix-4 FWHT (Algorithm 3)
+adapted from NVIDIA's CUDA samples, applied column-by-column to a
+column-major matrix, switching to shared memory once the butterfly working
+set is small enough.
+
+Three numerically equivalent implementations are provided:
+
+``fwht_radix4_inplace``
+    A literal transcription of Algorithm 3 (explicit butterfly loop), used as
+    the reference in the test-suite.
+``fwht``
+    A vectorised radix-2 transform using reshapes; ``O(d log d)`` with NumPy
+    doing the inner loops, fast enough for the numeric experiments.
+``fwht_matrix``
+    The matrix transform: applies the FWHT to every column of ``A``.
+
+All of them compute the *unnormalised* transform ``H_d @ a`` where ``H_2 =
+[[1, 1], [1, -1]]``; the SRHT applies its ``1/sqrt(k)`` scaling separately,
+as in Definition 5.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def is_power_of_two(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two greater than or equal to ``n``."""
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def fwht_radix4_inplace(a: np.ndarray) -> np.ndarray:
+    """Radix-4 FWHT of a vector, transcribing the paper's Algorithm 3.
+
+    The input length must be a power of 4 for the pure radix-4 butterfly; for
+    lengths that are a power of two but not of four, a single radix-2 stage
+    is applied first (this is what the CUDA sample does as well).  The
+    transform is performed in place and the array is also returned.
+    """
+    a = np.asarray(a)
+    d = a.shape[0]
+    if not is_power_of_two(d):
+        raise ValueError(f"FWHT requires a power-of-two length, got {d}")
+
+    # Peel one radix-2 stage if log2(d) is odd so the remainder is a power of 4.
+    if int(math.log2(d)) % 2 == 1:
+        half = d // 2
+        x = a[:half].copy()
+        y = a[half:].copy()
+        a[:half] = x + y
+        a[half:] = x - y
+        return _radix4_blocks(a, half)
+    return _radix4_blocks(a, d)
+
+
+def _radix4_blocks(a: np.ndarray, block: int) -> np.ndarray:
+    """Apply the radix-4 butterfly (Algorithm 3) independently to each block."""
+    d = a.shape[0]
+    for start in range(0, d, block):
+        _fwht_radix4_single(a[start:start + block])
+    return a
+
+
+def _fwht_radix4_single(a: np.ndarray) -> None:
+    """Algorithm 3 on a single vector whose length is a power of 4."""
+    d = a.shape[0]
+    if d == 1:
+        return
+    stride = d // 4
+    while stride >= 1:
+        s = stride * 4
+        for b in range(0, d - s + 1, s):
+            for k in range(stride):
+                i0 = b + k
+                i1 = i0 + stride
+                i2 = i0 + 2 * stride
+                i3 = i0 + 3 * stride
+                x, y, z, t = a[i0], a[i1], a[i2], a[i3]
+                xz_p, yt_p = x + z, y + t
+                xz_m, yt_m = x - z, y - t
+                a[i0] = xz_p + yt_p
+                a[i1] = xz_p - yt_p
+                a[i2] = xz_m + yt_m
+                a[i3] = xz_m - yt_m
+        stride //= 4
+
+
+def fwht(a: np.ndarray) -> np.ndarray:
+    """Vectorised radix-2 FWHT of a vector (returns a new array)."""
+    a = np.asarray(a, dtype=np.result_type(a, np.float64))
+    d = a.shape[0]
+    if not is_power_of_two(d):
+        raise ValueError(f"FWHT requires a power-of-two length, got {d}")
+    out = a.copy()
+    h = 1
+    while h < d:
+        out = out.reshape(-1, 2, h)
+        top = out[:, 0, :] + out[:, 1, :]
+        bot = out[:, 0, :] - out[:, 1, :]
+        out = np.concatenate((top[:, None, :], bot[:, None, :]), axis=1)
+        h *= 2
+    return out.reshape(d)
+
+
+def fwht_matrix(a: np.ndarray) -> np.ndarray:
+    """Apply the FWHT to every column of a ``d x n`` matrix (new array).
+
+    This is the operation the paper's SRHT performs on the coefficient
+    matrix; the vectorised reshape trick processes all columns at once, which
+    plays the role of the GPU's column-parallelism.
+    """
+    a = np.asarray(a, dtype=np.result_type(a, np.float64))
+    if a.ndim == 1:
+        return fwht(a)
+    d, n = a.shape
+    if not is_power_of_two(d):
+        raise ValueError(f"FWHT requires a power-of-two row count, got {d}")
+    out = a.copy()
+    h = 1
+    while h < d:
+        out = out.reshape(-1, 2, h, n)
+        top = out[:, 0, :, :] + out[:, 1, :, :]
+        bot = out[:, 0, :, :] - out[:, 1, :, :]
+        out = np.concatenate((top[:, None, :, :], bot[:, None, :, :]), axis=1)
+        h *= 2
+    return out.reshape(d, n)
+
+
+def hadamard_matrix(d: int, dtype=np.float64) -> np.ndarray:
+    """Explicit (unnormalised) Hadamard matrix ``H_d`` (Definition 5.1).
+
+    Only sensible for small ``d``; used by tests to validate the FWHT.
+    """
+    if not is_power_of_two(d):
+        raise ValueError("Hadamard matrices exist for power-of-two sizes only")
+    h = np.array([[1.0]], dtype=dtype)
+    while h.shape[0] < d:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+def fwht_num_stages(d: int, radix: int = 4) -> int:
+    """Number of butterfly stages a radix-``radix`` FWHT needs for length ``d``."""
+    if not is_power_of_two(d):
+        raise ValueError("FWHT requires a power-of-two length")
+    log2d = int(math.log2(d)) if d > 1 else 0
+    log2r = int(math.log2(radix))
+    return math.ceil(log2d / log2r)
+
+
+def fwht_global_passes(d: int, shared_memory_elems: int, radix: int = 4) -> int:
+    """Number of full global-memory passes the staged FWHT performs.
+
+    Early stages (large strides) each read and write the whole vector from
+    global memory; once the butterfly working set (``radix * stride``
+    elements) fits into shared memory, all remaining stages are fused into a
+    single final pass.  This mirrors the shared-memory strategy of Section 5
+    and determines the memory traffic the cost model charges.
+    """
+    if shared_memory_elems <= 0:
+        raise ValueError("shared_memory_elems must be positive")
+    stages = fwht_num_stages(d, radix)
+    if stages == 0:
+        return 0
+    global_passes = 0
+    stride = d // radix
+    while stride >= 1:
+        if radix * stride <= shared_memory_elems:
+            # Everything from this stage onwards runs out of shared memory.
+            return global_passes + 1
+        global_passes += 1
+        stride //= radix
+    return max(global_passes, 1)

@@ -1,0 +1,96 @@
+"""Gaussian sketch applied with a dense GEMM.
+
+The Gaussian sketch ``S in R^{k x d}`` has i.i.d. ``N(0, 1/k)`` entries
+(Section 1 of the paper) and is the gold standard in terms of embedding
+dimension (``k = O(n / eps^2)``), but it is the most expensive to apply:
+``O(d n^2)`` arithmetic through a GEMM, plus the non-negligible cost of
+generating ``k*d`` Gaussians and the memory to store them.  At the paper's
+largest sizes the explicit Gaussian does not even fit on the 80 GB device
+(the blank bars of Figures 2 and 5); the same
+:class:`~repro.gpu.memory.DeviceOutOfMemoryError` is raised here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SketchOperator
+from repro.gpu.arrays import DeviceArray
+
+
+class GaussianSketch(SketchOperator):
+    """Dense Gaussian sketch ``S`` with entries ``N(0, 1/k)``.
+
+    Parameters
+    ----------
+    d, k:
+        Input and embedding dimension; the paper uses ``k = 2 n``.
+    executor, seed, dtype:
+        See :class:`~repro.core.base.SketchOperator`.
+    """
+
+    family = "gaussian"
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        *,
+        executor=None,
+        seed: Optional[int] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(d, k, executor=executor, seed=seed, dtype=dtype)
+        self._matrix: Optional[DeviceArray] = None
+
+    # ------------------------------------------------------------------
+    def _generate_impl(self) -> None:
+        # k*d i.i.d. Gaussians, scaled by 1/sqrt(k) so that E||Sx||^2 = ||x||^2.
+        # This is the allocation that can exhaust device memory at the
+        # paper's largest (d, n) combinations.
+        self._matrix = self._ex.rand.standard_normal(
+            (self._k, self._d),
+            dtype=self._dtype,
+            scale=1.0 / np.sqrt(self._k),
+            order="C",
+            label="gaussian_sketch_matrix",
+            generator=self.generator,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> DeviceArray:
+        """The explicit ``k x d`` Gaussian matrix (device handle)."""
+        self.generate()
+        return self._matrix
+
+    def explicit_matrix(self) -> np.ndarray:
+        """Host copy of the dense sketch matrix (numeric mode only)."""
+        self.generate()
+        return self._matrix.to_host()
+
+    # ------------------------------------------------------------------
+    def _apply_impl(self, a: DeviceArray) -> DeviceArray:
+        """Apply the sketch with a single GEMM: ``Y = S @ A``."""
+        return self._ex.blas.gemm(
+            self._matrix,
+            a,
+            phase=self._ex.clock.current_phase() or "Matrix sketch",
+            label="gaussian_sketch_out",
+        )
+
+    def _apply_vector_impl(self, b: DeviceArray) -> DeviceArray:
+        """Apply the sketch to a vector with a GEMV."""
+        return self._ex.blas.gemv(
+            self._matrix,
+            b,
+            phase=self._ex.clock.current_phase() or "Vector sketch",
+            label="gaussian_sketch_vec_out",
+        )
+
+    # ------------------------------------------------------------------
+    def memory_required(self) -> float:
+        """Device bytes the explicit sketch matrix will occupy once generated."""
+        return float(self._k) * self._d * self._dtype.itemsize

@@ -1,0 +1,243 @@
+"""Subsampled Randomized Hadamard Transform (SRHT).
+
+Definition 5.1 of the paper: ``S = (1/sqrt(k)) P H_d D`` where ``D`` flips
+signs, ``H_d`` is the (unnormalised) Hadamard transform applied with the
+radix-4 FWHT of Algorithm 3, and ``P`` samples ``k`` rows uniformly without
+replacement.
+
+Performance model (Section 5): the FWHT dominates.  Each early butterfly
+stage reads and writes the whole ``d x n`` matrix from global memory; once
+the butterfly working set fits in shared memory the remaining stages are
+fused into one final pass.  Everything runs in column-major order because the
+FWHT's access pattern coalesces better that way, even though the sign flip
+and row sampling would prefer row-major -- converting the matrix would cost
+more than it saves, exactly as the paper argues.
+
+The :class:`BlockSRHT` variant (Section 7, [Balabanov et al. 2023]) applies
+an independent SRHT to each block of rows, which is the form that makes sense
+on distributed machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SketchOperator
+from repro.core.fwht import fwht_global_passes, fwht_matrix, fwht_num_stages, next_power_of_two
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.kernels import KernelClass, KernelRequest
+
+
+class SRHT(SketchOperator):
+    """Subsampled randomized Hadamard transform ``S in R^{k x d}``.
+
+    Parameters
+    ----------
+    d, k:
+        Input and embedding dimension.  The paper uses ``k = 2 n``; theory
+        asks for ``k = O(n log n)`` but ``O(n)`` suffices in practice
+        (Section 1).  ``d`` is internally padded to the next power of two,
+        matching the paper's assumption that ``log2 d`` is an integer.
+    executor, seed, dtype:
+        See :class:`~repro.core.base.SketchOperator`.
+    """
+
+    family = "srht"
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        *,
+        executor=None,
+        seed: Optional[int] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(d, k, executor=executor, seed=seed, dtype=dtype)
+        self._d_pad = next_power_of_two(d)
+        self._signs: Optional[DeviceArray] = None
+        self._sample: Optional[DeviceArray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def padded_dim(self) -> int:
+        """Power-of-two dimension the FWHT actually runs on."""
+        return self._d_pad
+
+    def _generate_impl(self) -> None:
+        ex = self._ex
+        self._signs = ex.rand.rademacher(
+            self._d, as_bool=False, label="srht_signs", generator=self.generator
+        )
+        self._sample = ex.rand.sample_without_replacement(
+            self._d_pad, self._k, label="srht_sample", generator=self.generator
+        )
+
+    # ------------------------------------------------------------------
+    def _charge_sign_flip(self, n: int) -> None:
+        itemsize = self._dtype.itemsize
+        self._ex.launch(
+            KernelRequest(
+                name="srht_sign_flip",
+                kclass=KernelClass.STREAM,
+                bytes_read=float(self._d) * n * itemsize + float(self._d),
+                bytes_written=float(self._d_pad) * n * itemsize,
+                flops=float(self._d) * n,
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
+    def _charge_fwht(self, n: int) -> None:
+        """Charge the staged radix-4 FWHT on an ``d_pad x n`` matrix."""
+        dev = self._ex.device
+        itemsize = self._dtype.itemsize
+        smem_elems = dev.shared_memory_per_block // itemsize
+        passes = fwht_global_passes(self._d_pad, smem_elems, radix=4)
+        stages = fwht_num_stages(self._d_pad, radix=4)
+        bytes_per_pass = 2.0 * self._d_pad * n * itemsize
+        # log2(d) add/sub per element overall, independent of the radix.
+        flops = float(self._d_pad) * n * max(np.log2(self._d_pad), 1.0)
+        self._ex.launch(
+            KernelRequest(
+                name="fwht_radix4",
+                kclass=KernelClass.FWHT,
+                bytes_read=passes * bytes_per_pass / 2.0,
+                bytes_written=passes * bytes_per_pass / 2.0,
+                flops=flops,
+                launches=max(stages, 1),
+                syncs=max(stages, 1),
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
+    def _charge_sample(self, n: int) -> None:
+        itemsize = self._dtype.itemsize
+        self._ex.launch(
+            KernelRequest(
+                name="srht_row_sample",
+                kclass=KernelClass.STREAM,
+                bytes_read=float(self._k) * n * itemsize + float(self._k) * 8,
+                bytes_written=float(self._k) * n * itemsize,
+                flops=float(self._k) * n,
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_impl(self, a: DeviceArray) -> DeviceArray:
+        ex = self._ex
+        n = a.shape[1]
+        out = ex.empty((self._k, n), dtype=self._dtype, order="F", label="srht_out")
+
+        if ex.numeric and a.is_numeric:
+            work = np.zeros((self._d_pad, n), dtype=self._dtype)
+            signs = self._signs.data.astype(self._dtype)
+            work[: self._d, :] = a.data * signs[:, None]
+            transformed = fwht_matrix(work)
+            sample = self._sample.data
+            out.data[...] = transformed[sample, :] / np.sqrt(self._k)
+
+        phase = ex.clock.current_phase() or "Matrix sketch"
+        with ex.phase(phase):
+            self._charge_sign_flip(n)
+            self._charge_fwht(n)
+            self._charge_sample(n)
+        return out
+
+    def _apply_vector_impl(self, b: DeviceArray) -> DeviceArray:
+        ex = self._ex
+        out = ex.empty((self._k,), dtype=self._dtype, label="srht_vec_out")
+        if ex.numeric and b.is_numeric:
+            work = np.zeros(self._d_pad, dtype=self._dtype)
+            work[: self._d] = b.data * self._signs.data.astype(self._dtype)
+            transformed = fwht_matrix(work.reshape(-1, 1)).ravel()
+            out.data[...] = transformed[self._sample.data] / np.sqrt(self._k)
+
+        phase = ex.clock.current_phase() or "Vector sketch"
+        with ex.phase(phase):
+            self._charge_sign_flip(1)
+            self._charge_fwht(1)
+            self._charge_sample(1)
+        return out
+
+
+class BlockSRHT(SketchOperator):
+    """Block SRHT for distributed settings (Section 7).
+
+    The input rows are partitioned into ``n_blocks`` contiguous blocks and an
+    *independent* SRHT with the same output dimension ``k`` is applied to
+    each block; the block results are summed.  Each per-block SRHT preserves
+    the expected norm of its own block and the cross terms vanish in
+    expectation (the sign-flip matrices are independent and zero mean), so
+    the sum preserves ``E||Sx||^2 = ||x||^2`` without additional scaling.
+    This keeps every FWHT local to its block -- which is what makes the
+    transform practical on a distributed machine -- while remaining an
+    oblivious subspace embedding with ``k = O(n log n)``
+    [Balabanov et al. 2023].
+    """
+
+    family = "block-srht"
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        *,
+        n_blocks: int = 4,
+        executor=None,
+        seed: Optional[int] = None,
+        dtype=np.float64,
+    ) -> None:
+        super().__init__(d, k, executor=executor, seed=seed, dtype=dtype)
+        if n_blocks <= 0:
+            raise ValueError("n_blocks must be positive")
+        if d // n_blocks < k:
+            raise ValueError(
+                f"each of the {n_blocks} blocks must have at least k={k} rows; "
+                f"d={d} is too small"
+            )
+        self.n_blocks = int(n_blocks)
+        self._blocks: list[SRHT] = []
+        self._block_slices: list[slice] = []
+
+    def _generate_impl(self) -> None:
+        bounds = np.linspace(0, self._d, self.n_blocks + 1, dtype=int)
+        self._blocks = []
+        self._block_slices = []
+        for i in range(self.n_blocks):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            self._block_slices.append(slice(lo, hi))
+            seed = None if self._seed is None else self._seed * 1000 + i
+            block = SRHT(hi - lo, self._k, executor=self._ex, seed=seed, dtype=self._dtype)
+            block.generate()
+            self._blocks.append(block)
+
+    def _apply_impl(self, a: DeviceArray) -> DeviceArray:
+        ex = self._ex
+        n = a.shape[1]
+        out = ex.zeros((self._k, n), dtype=self._dtype, order="F", label="block_srht_out")
+        scale = 1.0
+        for block, sl in zip(self._blocks, self._block_slices):
+            sub = ex.empty((sl.stop - sl.start, n), dtype=self._dtype, order=a.order, label="block_rows")
+            if ex.numeric and a.is_numeric:
+                sub.data[...] = a.data[sl, :]
+            y = block._apply_impl(sub)
+            if ex.numeric and out.is_numeric and y.is_numeric:
+                out.data += scale * y.data
+            ex.launch(
+                KernelRequest(
+                    name="block_srht_accumulate",
+                    kclass=KernelClass.STREAM,
+                    bytes_read=2.0 * y.nbytes,
+                    bytes_written=float(out.nbytes),
+                    flops=2.0 * y.size,
+                    dtype_size=self._dtype.itemsize,
+                    phase=ex.clock.current_phase() or "Matrix sketch",
+                )
+            )
+        return out

@@ -1,0 +1,52 @@
+"""Distributed block-row sketching (Section 7 of the paper).
+
+The paper's distributed analysis assumes ``A`` is partitioned across ``p``
+processes in block-row format; each process sketches its own block with a
+locally generated sketch and the partial results are summed with a single
+reduction.  This package provides:
+
+* :class:`~repro.distributed.comm.SimComm` -- an in-process communicator with
+  an alpha-beta (latency + bandwidth) cost model for reduce / allreduce /
+  broadcast.
+* :class:`~repro.distributed.block_row.BlockRowMatrix` -- the block-row
+  distributed matrix.
+* :mod:`repro.distributed.dist_sketch` -- distributed Gaussian, CountSketch,
+  multisketch, and block-SRHT application, each returning the numerical
+  result together with per-process compute time and communication volume.
+* :mod:`repro.distributed.cost_model` -- the closed-form communication-cost
+  comparison the paper walks through (CountSketch communicates more than the
+  Gaussian because its embedding dimension is larger; the multisketch matches
+  the Gaussian's communication volume with far less per-process work).
+
+The communicator is simulated in-process (no MPI dependency), but the data
+layout and reduction pattern are exactly what an mpi4py implementation would
+use; ``dist_sketch`` documents the correspondence.
+"""
+
+from repro.distributed.comm import SimComm, CommCostModel, CommRecord
+from repro.distributed.block_row import BlockRowMatrix
+from repro.distributed.dist_sketch import (
+    DistributedSketchResult,
+    distributed_gaussian_sketch,
+    distributed_countsketch,
+    distributed_multisketch,
+    distributed_block_srht,
+)
+from repro.distributed.cost_model import (
+    sketch_communication_volume,
+    communication_table,
+)
+
+__all__ = [
+    "SimComm",
+    "CommCostModel",
+    "CommRecord",
+    "BlockRowMatrix",
+    "DistributedSketchResult",
+    "distributed_gaussian_sketch",
+    "distributed_countsketch",
+    "distributed_multisketch",
+    "distributed_block_srht",
+    "sketch_communication_volume",
+    "communication_table",
+]

@@ -1,0 +1,104 @@
+"""Block-row distributed matrices.
+
+Section 7 assumes ``A in R^{d x n}`` is distributed across ``p`` processes in
+block-row format: process ``i`` owns the contiguous row block ``A^(i)``.
+:class:`BlockRowMatrix` captures that layout; it stores the blocks in one
+process (this is a simulation) but only ever exposes per-rank views, so the
+sketching code in :mod:`repro.distributed.dist_sketch` is forced to follow
+the same communication pattern a real MPI implementation would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class BlockRowMatrix:
+    """A dense matrix partitioned row-wise across ``p`` ranks.
+
+    Parameters
+    ----------
+    blocks:
+        One 2-D array per rank (all with the same number of columns), or
+        ``None`` entries in analytic mode (then ``block_shapes`` is required).
+    block_shapes:
+        Shapes of the per-rank blocks when running analytically.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[Optional[np.ndarray]],
+        block_shapes: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> None:
+        if not blocks:
+            raise ValueError("at least one block is required")
+        self._blocks: List[Optional[np.ndarray]] = [
+            None if b is None else np.asarray(b) for b in blocks
+        ]
+        if block_shapes is None:
+            if any(b is None for b in self._blocks):
+                raise ValueError("block_shapes is required when blocks are analytic (None)")
+            block_shapes = [b.shape for b in self._blocks]
+        self._shapes = [tuple(int(x) for x in s) for s in block_shapes]
+        ncols = {s[1] for s in self._shapes}
+        if len(ncols) != 1:
+            raise ValueError("all blocks must have the same number of columns")
+        for b, s in zip(self._blocks, self._shapes):
+            if b is not None and b.shape != s:
+                raise ValueError(f"block shape {b.shape} does not match declared {s}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, a: np.ndarray, n_blocks: int) -> "BlockRowMatrix":
+        """Partition a host matrix into ``n_blocks`` near-equal row blocks."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        if n_blocks <= 0 or n_blocks > a.shape[0]:
+            raise ValueError("invalid number of blocks")
+        splits = np.array_split(np.arange(a.shape[0]), n_blocks)
+        return cls([a[idx, :] for idx in splits])
+
+    @classmethod
+    def analytic(cls, d: int, n: int, n_blocks: int) -> "BlockRowMatrix":
+        """Shape-only block-row matrix for analytic cost sweeps."""
+        bounds = np.linspace(0, d, n_blocks + 1, dtype=int)
+        shapes = [(int(bounds[i + 1] - bounds[i]), n) for i in range(n_blocks)]
+        return cls([None] * n_blocks, block_shapes=shapes)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Number of ranks / row blocks."""
+        return len(self._shapes)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Global shape ``(d, n)``."""
+        d = sum(s[0] for s in self._shapes)
+        return d, self._shapes[0][1]
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether every block carries data."""
+        return all(b is not None for b in self._blocks)
+
+    def block(self, rank: int) -> Optional[np.ndarray]:
+        """The row block owned by ``rank`` (or None in analytic mode)."""
+        return self._blocks[rank]
+
+    def block_shape(self, rank: int) -> Tuple[int, int]:
+        """Shape of the row block owned by ``rank``."""
+        return self._shapes[rank]
+
+    def block_rows(self, rank: int) -> int:
+        """Number of rows owned by ``rank``."""
+        return self._shapes[rank][0]
+
+    def gather(self) -> np.ndarray:
+        """Reassemble the global matrix (numeric mode only; testing helper)."""
+        if not self.is_numeric:
+            raise RuntimeError("cannot gather an analytic BlockRowMatrix")
+        return np.vstack([b for b in self._blocks])

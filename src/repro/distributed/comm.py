@@ -1,0 +1,166 @@
+"""Simulated communicator with an alpha-beta communication cost model.
+
+The paper's Section 7 is an analysis, not a measurement: it argues about
+which sketch wins in a distributed setting purely from per-process compute
+cost and communication volume.  To make that analysis executable we provide
+a communicator that performs the collective operations *in process* (every
+"rank" is just an index into a list of NumPy arrays) while charging a
+standard alpha-beta model:
+
+    ``T(collective) = alpha * ceil(log2 p) + beta * message_bytes * factor``
+
+where ``alpha`` is the per-message latency, ``beta`` the inverse link
+bandwidth, and ``factor`` depends on the collective (tree reduction moves the
+full message ``log2 p`` times in the naive model, or ``2 (p-1)/p`` times for
+ring/rabenseifner allreduce).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One collective operation charged to the communication cost model."""
+
+    name: str
+    bytes_moved: float
+    seconds: float
+
+
+class CommCostModel:
+    """Alpha-beta model for collective communication.
+
+    Parameters
+    ----------
+    latency:
+        Per-message latency ``alpha`` in seconds (default 10 microseconds,
+        typical for an HPC interconnect).
+    bandwidth:
+        Link bandwidth in bytes/second (default 25 GB/s, i.e. a 200 Gb/s NIC).
+    algorithm:
+        ``"ring"`` (bandwidth-optimal, factor ``2 (p-1)/p``) or ``"tree"``
+        (factor ``log2 p``) for reductions.
+    """
+
+    def __init__(
+        self,
+        latency: float = 10.0e-6,
+        bandwidth: float = 25.0e9,
+        algorithm: str = "ring",
+    ) -> None:
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        if algorithm not in ("ring", "tree"):
+            raise ValueError("algorithm must be 'ring' or 'tree'")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.algorithm = algorithm
+
+    def _steps(self, p: int) -> float:
+        return max(math.ceil(math.log2(max(p, 2))), 1)
+
+    def reduce_time(self, message_bytes: float, p: int) -> float:
+        """Time to reduce a ``message_bytes`` buffer across ``p`` processes."""
+        if p <= 1:
+            return 0.0
+        steps = self._steps(p)
+        if self.algorithm == "ring":
+            volume = message_bytes * (p - 1) / p
+            return steps * self.latency + volume / self.bandwidth
+        return steps * (self.latency + message_bytes / self.bandwidth)
+
+    def allreduce_time(self, message_bytes: float, p: int) -> float:
+        """Time for an allreduce (reduce-scatter + allgather in the ring model)."""
+        if p <= 1:
+            return 0.0
+        steps = self._steps(p)
+        if self.algorithm == "ring":
+            volume = 2.0 * message_bytes * (p - 1) / p
+            return 2 * steps * self.latency + volume / self.bandwidth
+        return 2 * steps * (self.latency + message_bytes / self.bandwidth)
+
+    def broadcast_time(self, message_bytes: float, p: int) -> float:
+        """Time to broadcast a buffer from one rank to all others."""
+        if p <= 1:
+            return 0.0
+        steps = self._steps(p)
+        return steps * self.latency + message_bytes / self.bandwidth
+
+
+class SimComm:
+    """In-process simulated communicator over ``p`` ranks.
+
+    Collectives operate on Python lists with one entry per rank (``None`` is
+    accepted in analytic mode) and record their simulated cost.
+    """
+
+    def __init__(self, size: int, cost_model: Optional[CommCostModel] = None) -> None:
+        if size <= 0:
+            raise ValueError("communicator size must be positive")
+        self.size = int(size)
+        self.cost_model = cost_model if cost_model is not None else CommCostModel()
+        self.records: List[CommRecord] = []
+
+    # ------------------------------------------------------------------
+    def _record(self, name: str, nbytes: float, seconds: float) -> None:
+        self.records.append(CommRecord(name=name, bytes_moved=nbytes, seconds=seconds))
+
+    def total_time(self) -> float:
+        """Total simulated communication time so far."""
+        return float(sum(r.seconds for r in self.records))
+
+    def total_bytes(self) -> float:
+        """Total bytes moved by collectives so far."""
+        return float(sum(r.bytes_moved for r in self.records))
+
+    def by_collective(self) -> Dict[str, float]:
+        """Seconds per collective name."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        return out
+
+    # ------------------------------------------------------------------
+    def reduce_sum(self, contributions: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+        """Sum one array per rank down to the root (rank 0's copy is returned)."""
+        if len(contributions) != self.size:
+            raise ValueError(f"expected {self.size} contributions, got {len(contributions)}")
+        numeric = [c for c in contributions if c is not None]
+        result = None
+        nbytes = 0.0
+        if numeric:
+            result = np.zeros_like(numeric[0])
+            for c in numeric:
+                if c.shape != result.shape:
+                    raise ValueError("all contributions must share a shape")
+                result += c
+            nbytes = float(result.nbytes)
+        self._record("reduce", nbytes, self.cost_model.reduce_time(nbytes, self.size))
+        return result
+
+    def allreduce_sum(self, contributions: Sequence[Optional[np.ndarray]]) -> Optional[np.ndarray]:
+        """Sum one array per rank; every rank ends with the result."""
+        if len(contributions) != self.size:
+            raise ValueError(f"expected {self.size} contributions, got {len(contributions)}")
+        numeric = [c for c in contributions if c is not None]
+        result = None
+        nbytes = 0.0
+        if numeric:
+            result = np.zeros_like(numeric[0])
+            for c in numeric:
+                result += c
+            nbytes = float(result.nbytes)
+        self._record("allreduce", nbytes, self.cost_model.allreduce_time(nbytes, self.size))
+        return result
+
+    def broadcast(self, value: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """Broadcast an array from the root; returns (a copy of) the array."""
+        nbytes = float(value.nbytes) if value is not None else 0.0
+        self._record("broadcast", nbytes, self.cost_model.broadcast_time(nbytes, self.size))
+        return None if value is None else np.array(value, copy=True)

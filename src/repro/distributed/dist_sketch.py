@@ -1,0 +1,291 @@
+"""Distributed sketch application over block-row matrices (Section 7).
+
+Every routine follows the same pattern the paper describes:
+
+1. each rank generates its *own* sketch for its row block ``A^(i)``,
+2. each rank applies that sketch locally (this is where the single-GPU
+   performance results of Section 6 carry over verbatim), and
+3. the ``k x n`` partial results are summed with one reduction, since
+   ``S A = sum_i S^(i) A^(i)`` for every sketch family considered.
+
+The per-rank compute time is taken from the simulated-GPU cost model (each
+rank gets its own :class:`~repro.gpu.executor.GPUExecutor`); the reduction is
+charged by the communicator's alpha-beta model.  The multisketch additionally
+broadcasts the small second-stage Gaussian so every rank applies the *same*
+``G_ms``, exactly as in the paper's derivation
+``G_ms C A = sum_i G_ms C^(i) A^(i)``.
+
+An mpi4py implementation maps one-to-one onto this code: ``SimComm.reduce_sum``
+becomes ``comm.Reduce(partial, total, op=MPI.SUM)`` on contiguous NumPy
+buffers and the per-rank sections run unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.distributed.block_row import BlockRowMatrix
+from repro.distributed.comm import SimComm
+from repro.gpu.device import DeviceSpec, H100_SXM5
+from repro.gpu.executor import GPUExecutor
+
+
+@dataclass
+class DistributedSketchResult:
+    """Outcome of a distributed sketch application.
+
+    Attributes
+    ----------
+    method:
+        Sketch family name.
+    sketch:
+        The reduced ``k x n`` sketch (None in analytic mode).
+    per_rank_compute:
+        Simulated per-rank GPU seconds (one entry per rank).
+    comm_seconds / comm_bytes:
+        Cost of the final reduction (and the broadcast, for the multisketch).
+    k:
+        Embedding dimension of the result, which is also the size of the
+        reduced message per column.
+    """
+
+    method: str
+    sketch: Optional[np.ndarray]
+    per_rank_compute: List[float]
+    comm_seconds: float
+    comm_bytes: float
+    k: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_rank_compute(self) -> float:
+        """Critical-path compute time (the slowest rank)."""
+        return max(self.per_rank_compute) if self.per_rank_compute else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Critical-path time: slowest rank's compute plus communication."""
+        return self.max_rank_compute + self.comm_seconds
+
+
+def _rank_executor(device: DeviceSpec, numeric: bool, seed: int) -> GPUExecutor:
+    return GPUExecutor(device, numeric=numeric, seed=seed, track_memory=False)
+
+
+def distributed_gaussian_sketch(
+    a: BlockRowMatrix,
+    k: int,
+    comm: SimComm,
+    *,
+    device: DeviceSpec = H100_SXM5,
+    seed: int = 0,
+) -> DistributedSketchResult:
+    """Apply a Gaussian sketch to a block-row matrix: ``G A = sum_i G^(i) A^(i)``."""
+    if comm.size != a.n_blocks:
+        raise ValueError("communicator size must match the number of row blocks")
+    numeric = a.is_numeric
+    partials: List[Optional[np.ndarray]] = []
+    compute: List[float] = []
+    for rank in range(a.n_blocks):
+        ex = _rank_executor(device, numeric, seed * 1000 + rank)
+        rows, _ = a.block_shape(rank)
+        sketch = GaussianSketch(rows, k, executor=ex, seed=seed * 1000 + rank)
+        block = a.block(rank)
+        if numeric:
+            partials.append(sketch.sketch_host(block))
+        else:
+            dev = ex.empty(a.block_shape(rank), label="A_block")
+            sketch.apply(dev)
+            partials.append(None)
+        compute.append(ex.elapsed)
+    before = comm.total_time()
+    bytes_before = comm.total_bytes()
+    result = comm.reduce_sum(partials)
+    return DistributedSketchResult(
+        method="gaussian",
+        sketch=result,
+        per_rank_compute=compute,
+        comm_seconds=comm.total_time() - before,
+        comm_bytes=comm.total_bytes() - bytes_before,
+        k=k,
+    )
+
+
+def distributed_countsketch(
+    a: BlockRowMatrix,
+    k: int,
+    comm: SimComm,
+    *,
+    device: DeviceSpec = H100_SXM5,
+    variant: str = "atomic",
+    seed: int = 0,
+) -> DistributedSketchResult:
+    """Apply a CountSketch to a block-row matrix: ``C A = sum_i C^(i) A^(i)``.
+
+    Note the communication volume is ``k x n`` with ``k = 2 n^2``, i.e. much
+    larger than the Gaussian's ``2n x n`` message -- the trade-off Section 7
+    points out.
+    """
+    if comm.size != a.n_blocks:
+        raise ValueError("communicator size must match the number of row blocks")
+    numeric = a.is_numeric
+    partials: List[Optional[np.ndarray]] = []
+    compute: List[float] = []
+    for rank in range(a.n_blocks):
+        ex = _rank_executor(device, numeric, seed * 1000 + rank)
+        rows, _ = a.block_shape(rank)
+        sketch = CountSketch(rows, k, variant=variant, executor=ex, seed=seed * 1000 + rank)
+        block = a.block(rank)
+        if numeric:
+            partials.append(sketch.sketch_host(block))
+        else:
+            dev = ex.empty(a.block_shape(rank), label="A_block")
+            sketch.apply(dev)
+            partials.append(None)
+        compute.append(ex.elapsed)
+    before = comm.total_time()
+    bytes_before = comm.total_bytes()
+    result = comm.reduce_sum(partials)
+    return DistributedSketchResult(
+        method="countsketch",
+        sketch=result,
+        per_rank_compute=compute,
+        comm_seconds=comm.total_time() - before,
+        comm_bytes=comm.total_bytes() - bytes_before,
+        k=k,
+    )
+
+
+def distributed_multisketch(
+    a: BlockRowMatrix,
+    k1: int,
+    k2: int,
+    comm: SimComm,
+    *,
+    device: DeviceSpec = H100_SXM5,
+    seed: int = 0,
+) -> DistributedSketchResult:
+    """Apply a Count-Gauss multisketch to a block-row matrix.
+
+    ``G_ms C A = sum_i G_ms C^(i) A^(i)``: the small ``k2 x k1`` Gaussian is
+    broadcast so every rank uses the same second stage, each rank multisketches
+    its own block, and only ``k2 x n`` partial results are reduced -- the same
+    communication volume as the Gaussian sketch, with far cheaper per-rank
+    compute.  This is why the paper expects the multisketch to win in
+    distributed settings as well.
+    """
+    if comm.size != a.n_blocks:
+        raise ValueError("communicator size must match the number of row blocks")
+    numeric = a.is_numeric
+    _, n = a.shape
+
+    # Broadcast the shared second-stage Gaussian (k2 x k1 doubles).
+    gms_bytes = float(k2) * k1 * 8
+    shared_gaussian = None
+    if numeric:
+        shared_gaussian = np.random.default_rng(seed).standard_normal((k2, k1)) / np.sqrt(k2)
+    comm.broadcast(shared_gaussian if shared_gaussian is not None else np.zeros(1))
+    # Correct the recorded broadcast size in analytic mode (zeros(1) is a stand-in).
+    if shared_gaussian is None and comm.records:
+        last = comm.records[-1]
+        comm.records[-1] = type(last)(
+            name=last.name,
+            bytes_moved=gms_bytes,
+            seconds=comm.cost_model.broadcast_time(gms_bytes, comm.size),
+        )
+
+    partials: List[Optional[np.ndarray]] = []
+    compute: List[float] = []
+    for rank in range(a.n_blocks):
+        ex = _rank_executor(device, numeric, seed * 1000 + rank)
+        rows, _ = a.block_shape(rank)
+        local_k1 = min(k1, rows)
+        count = CountSketch(rows, local_k1, executor=ex, seed=seed * 1000 + rank)
+        block = a.block(rank)
+        if numeric:
+            y1 = count.sketch_host(block)
+            # Apply the shared Gaussian (restricted to the local k1 columns).
+            g_local = shared_gaussian[:, :local_k1]
+            partials.append(g_local @ y1)
+            # Charge the GEMM the local rank would have run.
+            y1_dev = ex.to_device(y1, label="Y1")
+            g_dev = ex.to_device(g_local, label="G_ms")
+            ex.blas.gemm(g_dev, y1_dev, phase="Matrix sketch")
+        else:
+            dev = ex.empty(a.block_shape(rank), label="A_block")
+            y1 = count.apply(dev)
+            g_dev = ex.empty((k2, local_k1), label="G_ms")
+            ex.blas.gemm(g_dev, y1, phase="Matrix sketch")
+            partials.append(None)
+        compute.append(ex.elapsed)
+
+    before = comm.total_time()
+    bytes_before = comm.total_bytes()
+    result = comm.reduce_sum(partials)
+    return DistributedSketchResult(
+        method="multisketch",
+        sketch=result,
+        per_rank_compute=compute,
+        comm_seconds=comm.total_time() - before,
+        comm_bytes=comm.total_bytes() - bytes_before,
+        k=k2,
+        extra={"k1": float(k1), "broadcast_bytes": gms_bytes},
+    )
+
+
+def distributed_block_srht(
+    a: BlockRowMatrix,
+    k: int,
+    comm: SimComm,
+    *,
+    device: DeviceSpec = H100_SXM5,
+    seed: int = 0,
+) -> DistributedSketchResult:
+    """Apply a block SRHT: an independent SRHT per row block, then reduce.
+
+    This is the [Balabanov et al. 2023] construction referenced in Section 7:
+    per-block FWHTs avoid the global memory-access pattern that makes a
+    monolithic distributed SRHT impractical, at the cost of the SRHT's larger
+    embedding dimension (``k = O(n log n)``) relative to the multisketch.
+    """
+    if comm.size != a.n_blocks:
+        raise ValueError("communicator size must match the number of row blocks")
+    numeric = a.is_numeric
+    partials: List[Optional[np.ndarray]] = []
+    compute: List[float] = []
+    # Each per-rank SRHT preserves its block's norm and the independent sign
+    # flips make the cross terms vanish in expectation, so the partial
+    # results are summed without additional scaling (see BlockSRHT).
+    scale = 1.0
+    for rank in range(a.n_blocks):
+        ex = _rank_executor(device, numeric, seed * 1000 + rank)
+        rows, _ = a.block_shape(rank)
+        if rows < k:
+            raise ValueError(f"rank {rank} owns {rows} rows < k={k}; use fewer blocks or smaller k")
+        sketch = SRHT(rows, k, executor=ex, seed=seed * 1000 + rank)
+        block = a.block(rank)
+        if numeric:
+            partials.append(scale * sketch.sketch_host(block))
+        else:
+            dev = ex.empty(a.block_shape(rank), label="A_block")
+            sketch.apply(dev)
+            partials.append(None)
+        compute.append(ex.elapsed)
+    before = comm.total_time()
+    bytes_before = comm.total_bytes()
+    result = comm.reduce_sum(partials)
+    return DistributedSketchResult(
+        method="block_srht",
+        sketch=result,
+        per_rank_compute=compute,
+        comm_seconds=comm.total_time() - before,
+        comm_bytes=comm.total_bytes() - bytes_before,
+        k=k,
+    )

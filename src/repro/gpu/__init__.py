@@ -1,0 +1,40 @@
+"""Simulated GPU substrate.
+
+The paper's experiments run on an NVIDIA H100 SXM5 80GB with CUDA 12.4 using
+cuBLAS, cuSPARSE, cuSOLVER and cuRAND.  This package provides a stand-in for
+that stack: every kernel is executed *numerically* with NumPy so results are
+bit-for-bit reproducible on a CPU, while a roofline-style cost model charges
+*simulated* device time for each launch.  The cost model accounts for the
+quantities that determine the paper's performance story -- bytes moved, FLOPs
+executed, kernel-launch overhead, synchronisation stages, atomic contention
+and memory-coalescing efficiency -- so the relative ordering of the sketching
+methods (Figures 2-5) is preserved even though no physical GPU is present.
+
+Main entry points
+-----------------
+:class:`~repro.gpu.device.DeviceSpec`
+    Hardware description (H100/A100 presets or custom).
+:class:`~repro.gpu.executor.GPUExecutor`
+    Runs kernels, tracks memory, and accumulates a time breakdown.
+"""
+
+from repro.gpu.device import DeviceSpec, H100_SXM5, A100_SXM4, get_device
+from repro.gpu.memory import DeviceMemoryTracker, DeviceOutOfMemoryError
+from repro.gpu.timing import KernelTiming, TimeBreakdown, SimClock
+from repro.gpu.kernels import KernelCostModel, KernelClass
+from repro.gpu.executor import GPUExecutor
+
+__all__ = [
+    "DeviceSpec",
+    "H100_SXM5",
+    "A100_SXM4",
+    "get_device",
+    "DeviceMemoryTracker",
+    "DeviceOutOfMemoryError",
+    "KernelTiming",
+    "TimeBreakdown",
+    "SimClock",
+    "KernelCostModel",
+    "KernelClass",
+    "GPUExecutor",
+]

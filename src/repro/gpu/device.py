@@ -1,0 +1,145 @@
+"""Device specifications for the simulated GPU.
+
+A :class:`DeviceSpec` captures the roofline parameters that the paper's
+performance analysis relies on: peak memory bandwidth, peak floating-point
+throughput per precision, device memory capacity, and a handful of overhead
+constants (kernel launch latency, atomic penalty, synchronisation cost).
+
+The default device is an NVIDIA H100 SXM5 80GB, matching Section 6.1 of the
+paper.  An A100 preset is provided because the rand_cholQR reference
+([Higgins et al. 2024]) was evaluated on an A100, and a small "laptop" preset
+is useful for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Roofline description of a (simulated) GPU.
+
+    Parameters
+    ----------
+    name:
+        Human readable device name.
+    memory_bandwidth:
+        Peak HBM bandwidth in bytes/second.
+    peak_flops_fp64 / peak_flops_fp32:
+        Peak floating point throughput (FLOP/s) for each precision,
+        excluding tensor cores (the paper's kernels use plain CUDA cores
+        for the sketches and cuBLAS GEMM for the dense work).
+    memory_capacity:
+        Device memory capacity in bytes.  Allocations beyond this raise
+        :class:`~repro.gpu.memory.DeviceOutOfMemoryError`, reproducing the
+        blank Gaussian bars in Figures 2 and 5.
+    kernel_launch_overhead:
+        Fixed per-kernel-launch latency in seconds.
+    sync_overhead:
+        Cost of a device-wide synchronisation (seconds); the FWHT pays this
+        once per stage, which is one of the reasons the SRHT underperforms.
+    atomic_efficiency:
+        Multiplicative efficiency applied to the memory throughput of
+        kernels dominated by atomics (the Algorithm-2 CountSketch).  The
+        paper reports 50-60% of peak for that kernel.
+    spmm_efficiency:
+        Achieved fraction of peak bandwidth for cuSPARSE SpMM with a random
+        sparsity pattern (the paper reports ~20%).
+    gemm_efficiency:
+        Achieved fraction of peak FLOP/s for large cuBLAS GEMM.
+    stream_efficiency:
+        Achieved fraction of peak bandwidth for well-coalesced streaming
+        kernels (copies, transposes, scalings).
+    fwht_efficiency:
+        Achieved fraction of peak bandwidth for the shared-memory staged
+        radix-4 FWHT (the paper reports 60-70%).
+    rng_rate:
+        Random number generation rate in values/second (cuRAND Philox-like).
+    shared_memory_per_block:
+        Bytes of shared memory available to a block; controls when the FWHT
+        switches to its shared-memory stage.
+    """
+
+    name: str
+    memory_bandwidth: float
+    peak_flops_fp64: float
+    peak_flops_fp32: float
+    memory_capacity: float
+    kernel_launch_overhead: float = 5.0e-6
+    sync_overhead: float = 3.0e-6
+    atomic_efficiency: float = 0.55
+    spmm_efficiency: float = 0.20
+    gemm_efficiency: float = 0.80
+    stream_efficiency: float = 0.85
+    fwht_efficiency: float = 0.65
+    rng_rate: float = 6.0e10
+    shared_memory_per_block: int = 48 * 1024
+
+    def peak_flops(self, dtype_size: int) -> float:
+        """Return the peak FLOP/s for a given floating point width in bytes."""
+        if dtype_size >= 8:
+            return self.peak_flops_fp64
+        return self.peak_flops_fp32
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA H100 SXM5 80GB -- the device used in the paper (Section 6.1).
+H100_SXM5 = DeviceSpec(
+    name="NVIDIA H100 SXM5 80GB",
+    memory_bandwidth=3.35e12,
+    peak_flops_fp64=33.5e12,
+    peak_flops_fp32=66.9e12,
+    memory_capacity=80.0e9,
+)
+
+#: NVIDIA A100 SXM4 80GB -- used by the rand_cholQR reference implementation.
+A100_SXM4 = DeviceSpec(
+    name="NVIDIA A100 SXM4 80GB",
+    memory_bandwidth=2.04e12,
+    peak_flops_fp64=9.7e12,
+    peak_flops_fp32=19.5e12,
+    memory_capacity=80.0e9,
+)
+
+#: Tiny device used by the test-suite to exercise OOM and overhead paths
+#: without allocating large arrays.
+TEST_DEVICE = DeviceSpec(
+    name="test-device-1GB",
+    memory_bandwidth=1.0e11,
+    peak_flops_fp64=1.0e12,
+    peak_flops_fp32=2.0e12,
+    memory_capacity=1.0e9,
+)
+
+_REGISTRY = {
+    "h100": H100_SXM5,
+    "h100-sxm5": H100_SXM5,
+    "a100": A100_SXM4,
+    "a100-sxm4": A100_SXM4,
+    "test": TEST_DEVICE,
+}
+
+
+def get_device(name: str = "h100") -> DeviceSpec:
+    """Look up a device preset by (case-insensitive) name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not one of the registered presets.
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown device '{name}'; available: {sorted(set(_REGISTRY))}"
+        )
+    return _REGISTRY[key]
+
+
+def register_device(key: str, spec: DeviceSpec) -> None:
+    """Register a custom device preset under ``key`` for :func:`get_device`."""
+    _REGISTRY[key.strip().lower()] = spec

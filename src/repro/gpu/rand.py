@@ -1,0 +1,158 @@
+"""cuRAND stand-in: device random number generation with a cost model.
+
+The paper (Section 6.1) uses cuRAND to generate the random sketches and shows
+that the cost of generating the dense Gaussian matrix is a non-negligible part
+of the Gaussian sketch's "Sketch gen time", while the CountSketch only needs
+``d`` random integers and ``d`` random booleans, which is effectively free.
+This module reproduces both behaviours: numeric generation uses NumPy's
+Philox generator (counter-based, like cuRAND's default), and each generation
+call charges time proportional to the number of values produced plus the
+bytes written.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.kernels import KernelClass, KernelRequest
+
+
+class SimRNG:
+    """Device random number generator bound to a :class:`GPUExecutor`.
+
+    Parameters
+    ----------
+    executor:
+        The executor that owns memory, timing, and the host-side generator.
+    phase:
+        Default phase label for generation kernels; the paper's figures call
+        this "Sketch gen".
+    """
+
+    def __init__(self, executor: GPUExecutor, phase: str = "Sketch gen") -> None:
+        self._ex = executor
+        self._phase = phase
+
+    def _generator(self, generator: Optional[np.random.Generator]) -> np.random.Generator:
+        """The generator used for numeric draws (defaults to the executor's)."""
+        return generator if generator is not None else self._ex.rng
+
+    # ------------------------------------------------------------------
+    def _charge(self, name: str, count: float, bytes_written: float, phase: Optional[str]) -> None:
+        self._ex.launch(
+            KernelRequest(
+                name=name,
+                kclass=KernelClass.RNG,
+                bytes_written=bytes_written,
+                flops=float(count),  # interpreted as "values generated" by the cost model
+                phase=phase if phase is not None else self._phase,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def standard_normal(
+        self,
+        shape: Tuple[int, ...],
+        dtype=np.float64,
+        scale: float = 1.0,
+        order: str = "C",
+        label: str = "gaussian",
+        phase: Optional[str] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> DeviceArray:
+        """Generate i.i.d. N(0, scale^2) values on the device.
+
+        This is the expensive path used by the Gaussian sketch: a
+        ``k x d`` matrix of doubles both costs generation time and occupies
+        device memory (which is what produces the paper's out-of-memory bars).
+        """
+        arr = self._ex.empty(shape, dtype=dtype, order=order, label=label)
+        if arr.data is not None:
+            arr.data[...] = self._generator(generator).standard_normal(size=shape).astype(dtype, copy=False)
+            if scale != 1.0:
+                arr.data *= scale
+        self._charge("curand_normal", arr.size, arr.nbytes, phase)
+        return arr
+
+    def uniform_integers(
+        self,
+        low: int,
+        high: int,
+        count: int,
+        dtype=np.int32,
+        label: str = "row_map",
+        phase: Optional[str] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> DeviceArray:
+        """Generate ``count`` uniform integers in ``[low, high)`` (CountSketch row map)."""
+        arr = self._ex.empty((int(count),), dtype=dtype, label=label)
+        if arr.data is not None:
+            arr.data[...] = self._generator(generator).integers(low, high, size=int(count), dtype=np.int64).astype(dtype)
+        self._charge("curand_uniform_int", count, arr.nbytes, phase)
+        return arr
+
+    def rademacher(
+        self,
+        count: int,
+        as_bool: bool = True,
+        label: str = "signs",
+        phase: Optional[str] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> DeviceArray:
+        """Generate ``count`` Rademacher variables.
+
+        With ``as_bool=True`` (the Algorithm-2 representation) the result is a
+        boolean array where True means +1; otherwise it is ``+/-1`` in int8.
+        """
+        dtype = np.bool_ if as_bool else np.int8
+        arr = self._ex.empty((int(count),), dtype=dtype, label=label)
+        if arr.data is not None:
+            bits = self._generator(generator).integers(0, 2, size=int(count), dtype=np.int8)
+            if as_bool:
+                arr.data[...] = bits.astype(np.bool_)
+            else:
+                arr.data[...] = (2 * bits - 1).astype(np.int8)
+        self._charge("curand_rademacher", count, arr.nbytes, phase)
+        return arr
+
+    def sample_without_replacement(
+        self,
+        population: int,
+        count: int,
+        dtype=np.int64,
+        label: str = "row_sample",
+        phase: Optional[str] = None,
+        generator: Optional[np.random.Generator] = None,
+    ) -> DeviceArray:
+        """Sample ``count`` distinct indices from ``range(population)`` (SRHT row sampling)."""
+        if count > population:
+            raise ValueError("cannot sample more indices than the population size")
+        arr = self._ex.empty((int(count),), dtype=dtype, label=label)
+        if arr.data is not None:
+            arr.data[...] = self._generator(generator).choice(population, size=int(count), replace=False).astype(dtype)
+        self._charge("curand_sample", count, arr.nbytes, phase)
+        return arr
+
+    def random_matrix(
+        self,
+        shape: Tuple[int, ...],
+        dtype=np.float64,
+        order: str = "C",
+        label: str = "A",
+        phase: str = "Problem gen",
+        generator: Optional[np.random.Generator] = None,
+    ) -> DeviceArray:
+        """Generate a dense random test matrix (uniform in [-1, 1)).
+
+        Used by the workload generators; charged under its own phase so it
+        never pollutes the sketch/solve timings.
+        """
+        arr = self._ex.empty(shape, dtype=dtype, order=order, label=label)
+        if arr.data is not None:
+            arr.data[...] = (self._generator(generator).random(size=shape) * 2.0 - 1.0).astype(dtype, copy=False)
+        self._charge("curand_uniform", arr.size, arr.nbytes, phase)
+        return arr

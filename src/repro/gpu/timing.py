@@ -1,0 +1,227 @@
+"""Simulated timing primitives.
+
+The paper reports wall-clock kernel timings averaged over 100 runs and broken
+down by phase ("Sketch gen time", "Apply Time", "POTRF", "GEQRF", ...).  The
+classes here model exactly that: every simulated kernel launch produces a
+:class:`KernelTiming`, the executor accumulates them on a :class:`SimClock`,
+and a :class:`TimeBreakdown` groups the accumulated time by phase label so the
+harness can print the same stacked-bar decomposition the figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing record for one simulated kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (e.g. ``"countsketch_atomic"``, ``"gemm"``).
+    seconds:
+        Total simulated execution time, including launch overhead.
+    bytes_moved:
+        Global-memory traffic charged to the kernel (reads + writes).
+    flops:
+        Floating point operations charged to the kernel.
+    phase:
+        Phase label used by the breakdowns (e.g. ``"Matrix sketch"``).
+    launches:
+        Number of kernel launches folded into this record (the FWHT is one
+        logical operation but many launches).
+    """
+
+    name: str
+    seconds: float
+    bytes_moved: float = 0.0
+    flops: float = 0.0
+    phase: str = "unlabelled"
+    launches: int = 1
+
+    def achieved_bandwidth(self) -> float:
+        """Achieved memory throughput in bytes/second (0 if instantaneous)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.bytes_moved / self.seconds
+
+    def achieved_flops(self) -> float:
+        """Achieved FLOP/s (0 if instantaneous)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.flops / self.seconds
+
+    def relabel(self, phase: str) -> "KernelTiming":
+        """Return a copy of this record with a different phase label."""
+        return KernelTiming(
+            name=self.name,
+            seconds=self.seconds,
+            bytes_moved=self.bytes_moved,
+            flops=self.flops,
+            phase=phase,
+            launches=self.launches,
+        )
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulated simulated time grouped by phase label.
+
+    This mirrors the stacked bars of Figures 2 and 5: each phase label is a
+    bar segment and :meth:`total` is the bar height.
+    """
+
+    records: List[KernelTiming] = field(default_factory=list)
+
+    def add(self, timing: KernelTiming) -> None:
+        """Append a kernel timing record."""
+        self.records.append(timing)
+
+    def extend(self, timings: Iterable[KernelTiming]) -> None:
+        """Append several kernel timing records."""
+        self.records.extend(timings)
+
+    def total(self) -> float:
+        """Total simulated seconds across all records."""
+        return float(sum(r.seconds for r in self.records))
+
+    def total_bytes(self) -> float:
+        """Total global-memory traffic across all records."""
+        return float(sum(r.bytes_moved for r in self.records))
+
+    def total_flops(self) -> float:
+        """Total floating point operations across all records."""
+        return float(sum(r.flops for r in self.records))
+
+    def by_phase(self) -> Dict[str, float]:
+        """Seconds per phase label, in insertion order of first appearance."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.phase] = out.get(r.phase, 0.0) + r.seconds
+        return out
+
+    def by_kernel(self) -> Dict[str, float]:
+        """Seconds per kernel name."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        return out
+
+    def phase_seconds(self, phase: str) -> float:
+        """Seconds accumulated under a specific phase label."""
+        return float(sum(r.seconds for r in self.records if r.phase == phase))
+
+    def merged(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Return a new breakdown containing this one's and ``other``'s records."""
+        merged = TimeBreakdown()
+        merged.records = list(self.records) + list(other.records)
+        return merged
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """Return a breakdown with every record's time scaled by ``factor``.
+
+        Used to average repeated experiments: accumulate ``reps`` runs and
+        scale by ``1/reps``.
+        """
+        scaled = TimeBreakdown()
+        for r in self.records:
+            scaled.add(
+                KernelTiming(
+                    name=r.name,
+                    seconds=r.seconds * factor,
+                    bytes_moved=r.bytes_moved * factor,
+                    flops=r.flops * factor,
+                    phase=r.phase,
+                    launches=r.launches,
+                )
+            )
+        return scaled
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class SimClock:
+    """Monotonically accumulating simulated clock.
+
+    The executor owns one clock; each kernel launch advances it.  The clock
+    also keeps a running :class:`TimeBreakdown` and supports *regions*, which
+    the harness uses to attribute everything launched inside a ``with`` block
+    to a phase label regardless of the kernels' own defaults.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._breakdown = TimeBreakdown()
+        self._phase_stack: List[str] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since clock creation."""
+        return self._now
+
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """The full breakdown of everything recorded on this clock."""
+        return self._breakdown
+
+    def current_phase(self) -> Optional[str]:
+        """The innermost active phase label, or None."""
+        return self._phase_stack[-1] if self._phase_stack else None
+
+    def record(self, timing: KernelTiming) -> KernelTiming:
+        """Advance the clock by a kernel timing and store it.
+
+        If a phase region is active it overrides the record's own phase.
+        Returns the (possibly relabelled) record that was stored.
+        """
+        phase = self.current_phase()
+        if phase is not None and timing.phase != phase:
+            timing = timing.relabel(phase)
+        self._now += timing.seconds
+        self._breakdown.add(timing)
+        return timing
+
+    def phase(self, label: str) -> "_PhaseRegion":
+        """Context manager labelling everything recorded inside it."""
+        return _PhaseRegion(self, label)
+
+    def elapsed_since(self, mark: float) -> float:
+        """Simulated seconds elapsed since a previous value of :attr:`now`."""
+        return self._now - mark
+
+    def snapshot(self) -> TimeBreakdown:
+        """Copy of the current breakdown (records are immutable, list is new)."""
+        snap = TimeBreakdown()
+        snap.records = list(self._breakdown.records)
+        return snap
+
+    def breakdown_since(self, n_records: int) -> TimeBreakdown:
+        """Breakdown of the records added after the first ``n_records``."""
+        snap = TimeBreakdown()
+        snap.records = list(self._breakdown.records[n_records:])
+        return snap
+
+    def reset(self) -> None:
+        """Reset the clock to zero and clear the breakdown."""
+        self._now = 0.0
+        self._breakdown = TimeBreakdown()
+        self._phase_stack.clear()
+
+
+class _PhaseRegion:
+    """Context manager implementing :meth:`SimClock.phase`."""
+
+    def __init__(self, clock: SimClock, label: str) -> None:
+        self._clock = clock
+        self._label = label
+
+    def __enter__(self) -> "_PhaseRegion":
+        self._clock._phase_stack.append(self._label)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._clock._phase_stack.pop()

@@ -1,0 +1,53 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.metrics` -- percent-of-peak bandwidth / FLOP metrics
+  (Figures 3-4).
+* :mod:`repro.harness.runner` -- repetition/averaging utilities and the
+  sweep configuration object.
+* :mod:`repro.harness.experiments` -- one entry point per paper artefact
+  (``table1``, ``figure2`` ... ``figure8``, ``headline_speedup``,
+  ``section7_distributed``).
+* :mod:`repro.harness.report` -- plain-text renderers that print the same
+  rows / series the paper's figures show.
+"""
+
+from repro.harness.metrics import percent_of_peak_bandwidth, percent_of_peak_flops
+from repro.harness.runner import SweepConfig, average_breakdowns, run_repeated
+from repro.harness.experiments import (
+    SKETCH_METHODS,
+    SOLVER_METHODS,
+    table1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    headline_speedup,
+    section7_distributed,
+)
+from repro.harness.report import format_table, render_figure_rows, render_breakdown_rows
+
+__all__ = [
+    "percent_of_peak_bandwidth",
+    "percent_of_peak_flops",
+    "SweepConfig",
+    "average_breakdowns",
+    "run_repeated",
+    "SKETCH_METHODS",
+    "SOLVER_METHODS",
+    "table1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "headline_speedup",
+    "section7_distributed",
+    "format_table",
+    "render_figure_rows",
+    "render_breakdown_rows",
+]

@@ -1,0 +1,439 @@
+"""One entry point per paper artefact (Table 1, Figures 2-8, Section 7).
+
+Every ``figureN`` function sweeps the same grid the paper uses (or a scaled
+version of it, see :class:`~repro.harness.runner.SweepConfig`) and returns a
+list of plain dictionaries -- one row per (problem size, method) -- that the
+report module renders as text and the benchmark suite asserts shapes on.
+
+Timing rows come from the simulated-GPU cost model; accuracy rows (Figures
+6-8) come from actual floating-point computation, so they are real measured
+residuals, not estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import default_embedding_dim
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.distributed.comm import SimComm
+from repro.distributed.cost_model import communication_table
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.memory import DeviceOutOfMemoryError
+from repro.harness.metrics import percent_of_peak_bandwidth, percent_of_peak_flops, speedup
+from repro.harness.runner import SweepConfig, average_breakdowns
+from repro.linalg.lstsq import normal_equations, qr_solve, sketch_and_solve
+from repro.linalg.rand_cholqr import rand_cholqr_lstsq
+from repro.theory.complexity import complexity_table
+from repro.workloads.least_squares import (
+    condition_sweep_problem,
+    easy_problem,
+    hard_problem,
+)
+
+#: Sketch methods of Figures 2-4, in the paper's plotting order.
+SKETCH_METHODS = ("Gram", "Gauss", "Count (Alg 2)", "Count (SPMM)", "Multi", "SRHT")
+
+#: Least-squares methods of Figure 5, in the paper's plotting order.
+SOLVER_METHODS = ("Normal Eq", "Gauss", "Count", "Multi", "SRHT", "rand_cholQR")
+
+#: Generation/application phase labels summed into Figure 2's two bar segments.
+_GEN_PHASES = ("Sketch gen",)
+_APPLY_PHASES = ("Matrix sketch", "Apply", "Gram matrix")
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+def table1(d: int = 1 << 22, n: int = 128, eps: float = 0.5) -> List[Dict[str, float]]:
+    """Table 1: embedding dimension, arithmetic, read/writes, max distortion."""
+    return [row.as_dict() for row in complexity_table(d, n, eps)]
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-4: sketch application performance
+# ---------------------------------------------------------------------------
+def _build_sketch(method: str, d: int, n: int, executor: GPUExecutor, seed: int):
+    """Instantiate the sketch operator a Figure-2 method refers to."""
+    k_gauss = default_embedding_dim("gaussian", n)
+    k_count = min(default_embedding_dim("countsketch", n), d)
+    if method == "Gauss":
+        return GaussianSketch(d, k_gauss, executor=executor, seed=seed)
+    if method == "Count (Alg 2)":
+        return CountSketch(d, k_count, variant="atomic", executor=executor, seed=seed)
+    if method == "Count (SPMM)":
+        return CountSketch(d, k_count, variant="spmm", executor=executor, seed=seed)
+    if method == "Multi":
+        return count_gauss(d, n, executor=executor, seed=seed)
+    if method == "SRHT":
+        return SRHT(d, k_gauss, executor=executor, seed=seed)
+    raise ValueError(f"unknown sketch method '{method}'")
+
+
+def _sketch_once(method: str, d: int, n: int, config: SweepConfig, seed: int) -> Dict[str, float]:
+    """Run one sketch experiment and return its timing row."""
+    executor = GPUExecutor(config.device, numeric=config.numeric, seed=seed, track_memory=True)
+    try:
+        if config.numeric:
+            a = executor.rand.random_matrix((d, n), label="A", phase="Problem gen")
+        else:
+            a = executor.empty((d, n), label="A")
+        mark = executor.mark()
+        if method == "Gram":
+            executor.blas.gram(a, phase="Apply")
+        else:
+            sketch = _build_sketch(method, d, n, executor, seed)
+            sketch.generate()
+            sketch.apply(a, phase="Matrix sketch")
+        breakdown = executor.breakdown_since(mark)
+    except DeviceOutOfMemoryError:
+        return {
+            "d": d,
+            "n": n,
+            "method": method,
+            "oom": True,
+            "gen_seconds": math.nan,
+            "apply_seconds": math.nan,
+            "total_seconds": math.nan,
+            "bytes_moved": math.nan,
+            "flops": math.nan,
+        }
+    phases = breakdown.by_phase()
+    gen = sum(phases.get(p, 0.0) for p in _GEN_PHASES)
+    apply_time = sum(phases.get(p, 0.0) for p in _APPLY_PHASES)
+    return {
+        "d": d,
+        "n": n,
+        "method": method,
+        "oom": False,
+        "gen_seconds": gen,
+        "apply_seconds": apply_time,
+        "total_seconds": breakdown.total(),
+        "bytes_moved": breakdown.total_bytes(),
+        "flops": breakdown.total_flops(),
+    }
+
+
+def figure2(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = SKETCH_METHODS,
+) -> List[Dict[str, float]]:
+    """Figure 2: sketch generation + application time per method and size."""
+    if config is None:
+        config = SweepConfig(scale="paper")
+    rows: List[Dict[str, float]] = []
+    for d, n in config.grid():
+        for method in methods:
+            repeats = [
+                _sketch_once(method, d, n, config, config.seed_for(d, n, r))
+                for r in range(config.repetitions)
+            ]
+            if any(r["oom"] for r in repeats):
+                rows.append(repeats[0])
+                continue
+            avg = dict(repeats[0])
+            for key in ("gen_seconds", "apply_seconds", "total_seconds", "bytes_moved", "flops"):
+                avg[key] = float(np.mean([r[key] for r in repeats]))
+            rows.append(avg)
+    return rows
+
+
+def figure3(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = SKETCH_METHODS,
+    rows: Optional[List[Dict[str, float]]] = None,
+) -> List[Dict[str, float]]:
+    """Figure 3: percent of peak memory throughput per method and size."""
+    if config is None:
+        config = SweepConfig(scale="paper")
+    if rows is None:
+        rows = figure2(config, methods)
+    out = []
+    for row in rows:
+        if row["oom"] or row["total_seconds"] <= 0:
+            pct = math.nan
+        else:
+            pct = 100.0 * (row["bytes_moved"] / row["total_seconds"]) / config.device.memory_bandwidth
+        out.append({**row, "percent_peak_bandwidth": pct})
+    return out
+
+
+def figure4(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = SKETCH_METHODS,
+    rows: Optional[List[Dict[str, float]]] = None,
+) -> List[Dict[str, float]]:
+    """Figure 4: percent of peak FLOP/s per method and size."""
+    if config is None:
+        config = SweepConfig(scale="paper")
+    if rows is None:
+        rows = figure2(config, methods)
+    out = []
+    for row in rows:
+        if row["oom"] or row["total_seconds"] <= 0:
+            pct = math.nan
+        else:
+            pct = 100.0 * (row["flops"] / row["total_seconds"]) / config.device.peak_flops(8)
+        out.append({**row, "percent_peak_flops": pct})
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: least-squares solver timing
+# ---------------------------------------------------------------------------
+def _solve_once(method: str, d: int, n: int, config: SweepConfig, seed: int) -> Dict[str, float]:
+    """Run one least-squares timing experiment and return its row."""
+    executor = GPUExecutor(config.device, numeric=config.numeric, seed=seed, track_memory=True)
+    try:
+        if config.numeric:
+            a = executor.rand.random_matrix((d, n), label="A", phase="Problem gen")
+            b = executor.rand.random_matrix((d,), label="b", phase="Problem gen")
+        else:
+            a = executor.empty((d, n), label="A")
+            b = executor.empty((d,), label="b")
+
+        k_count = min(default_embedding_dim("countsketch", n), d)
+        k_gauss = default_embedding_dim("gaussian", n)
+        if method == "Normal Eq":
+            result = normal_equations(a, b, executor=executor)
+        elif method == "Gauss":
+            sketch = GaussianSketch(d, k_gauss, executor=executor, seed=seed)
+            result = sketch_and_solve(a, b, sketch, executor=executor)
+        elif method == "Count":
+            sketch = CountSketch(d, k_count, executor=executor, seed=seed)
+            result = sketch_and_solve(a, b, sketch, executor=executor)
+        elif method == "Multi":
+            sketch = count_gauss(d, n, executor=executor, seed=seed)
+            result = sketch_and_solve(a, b, sketch, executor=executor)
+        elif method == "SRHT":
+            sketch = SRHT(d, k_gauss, executor=executor, seed=seed)
+            result = sketch_and_solve(a, b, sketch, executor=executor)
+        elif method == "rand_cholQR":
+            sketch = count_gauss(d, n, executor=executor, seed=seed)
+            result = rand_cholqr_lstsq(a, b, sketch, executor=executor)
+        else:
+            raise ValueError(f"unknown solver method '{method}'")
+    except DeviceOutOfMemoryError:
+        return {
+            "d": d,
+            "n": n,
+            "method": method,
+            "oom": True,
+            "total_seconds": math.nan,
+            "phases": {},
+        }
+    return {
+        "d": d,
+        "n": n,
+        "method": method,
+        "oom": False,
+        "total_seconds": result.total_seconds,
+        "phases": result.breakdown.by_phase(),
+    }
+
+
+def figure5(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = SOLVER_METHODS,
+) -> List[Dict[str, float]]:
+    """Figure 5: runtime breakdown of the least-squares solvers."""
+    if config is None:
+        config = SweepConfig(scale="paper")
+    rows: List[Dict[str, float]] = []
+    for d, n in config.grid():
+        for method in methods:
+            repeats = [
+                _solve_once(method, d, n, config, config.seed_for(d, n, r))
+                for r in range(config.repetitions)
+            ]
+            if any(r["oom"] for r in repeats):
+                rows.append(repeats[0])
+                continue
+            avg = dict(repeats[0])
+            avg["total_seconds"] = float(np.mean([r["total_seconds"] for r in repeats]))
+            phase_keys = set()
+            for r in repeats:
+                phase_keys.update(r["phases"])
+            avg["phases"] = {
+                key: float(np.mean([r["phases"].get(key, 0.0) for r in repeats]))
+                for key in phase_keys
+            }
+            rows.append(avg)
+    return rows
+
+
+def headline_speedup(
+    rows: Optional[List[Dict[str, float]]] = None,
+    config: Optional[SweepConfig] = None,
+) -> Dict[str, float]:
+    """The Section 6.3 / conclusion headline: multisketch vs normal equations.
+
+    Returns the best observed speedup of the multisketch sketch-and-solve
+    solver over the normal equations across the sweep ("up to 77% faster" in
+    the paper, at d = 2^22, n = 256).
+    """
+    if rows is None:
+        rows = figure5(config)
+    by_size: Dict[tuple, Dict[str, float]] = {}
+    for row in rows:
+        if row["oom"]:
+            continue
+        by_size.setdefault((row["d"], row["n"]), {})[row["method"]] = row["total_seconds"]
+    best = {"speedup": -math.inf, "d": None, "n": None}
+    for (d, n), times in by_size.items():
+        if "Normal Eq" in times and "Multi" in times and times["Multi"] > 0:
+            s = speedup(times["Normal Eq"], times["Multi"])
+            if s > best["speedup"]:
+                best = {"speedup": s, "d": d, "n": n,
+                        "normal_eq_seconds": times["Normal Eq"], "multi_seconds": times["Multi"]}
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-7: least-squares residuals on easy/hard problems
+# ---------------------------------------------------------------------------
+def _accuracy_methods(d: int, n: int, executor: GPUExecutor, seed: int) -> Dict[str, Callable]:
+    """Solver closures used by the accuracy experiments (Figures 6-8)."""
+    k_count = min(default_embedding_dim("countsketch", n), d)
+    k_gauss = default_embedding_dim("gaussian", n)
+    return {
+        "Normal Eq": lambda a, b: normal_equations(a, b, executor=executor),
+        "Gauss": lambda a, b: sketch_and_solve(
+            a, b, GaussianSketch(d, k_gauss, executor=executor, seed=seed), executor=executor
+        ),
+        "Count": lambda a, b: sketch_and_solve(
+            a, b, CountSketch(d, k_count, executor=executor, seed=seed + 1), executor=executor
+        ),
+        "Multi": lambda a, b: sketch_and_solve(
+            a, b, count_gauss(d, n, executor=executor, seed=seed + 2), executor=executor
+        ),
+        "SRHT": lambda a, b: sketch_and_solve(
+            a, b, SRHT(d, k_gauss, executor=executor, seed=seed + 3), executor=executor
+        ),
+        "rand_cholQR": lambda a, b: rand_cholqr_lstsq(
+            a, b, count_gauss(d, n, executor=executor, seed=seed + 4), executor=executor
+        ),
+        "QR": lambda a, b: qr_solve(a, b, executor=executor),
+    }
+
+
+def _residual_sweep(
+    problem_factory: Callable[[int, int, int], "object"],
+    config: SweepConfig,
+    methods: Sequence[str],
+) -> List[Dict[str, float]]:
+    rows: List[Dict[str, float]] = []
+    for d, n in config.grid():
+        per_method: Dict[str, List[float]] = {m: [] for m in methods}
+        for r in range(config.repetitions):
+            seed = config.seed_for(d, n, r)
+            problem = problem_factory(d, n, seed)
+            executor = GPUExecutor(config.device, numeric=True, seed=seed, track_memory=False)
+            solvers = _accuracy_methods(d, n, executor, seed)
+            for m in methods:
+                result = solvers[m](problem.a, problem.b)
+                per_method[m].append(result.relative_residual)
+        for m in methods:
+            vals = np.asarray(per_method[m], dtype=np.float64)
+            rows.append(
+                {
+                    "d": d,
+                    "n": n,
+                    "method": m,
+                    "relative_residual": float(np.mean(vals)),
+                    "residual_std": float(np.std(vals)),
+                }
+            )
+    return rows
+
+
+_ACCURACY_METHODS = ("Normal Eq", "Gauss", "Count", "Multi", "SRHT", "rand_cholQR", "QR")
+
+
+def figure6(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = _ACCURACY_METHODS,
+) -> List[Dict[str, float]]:
+    """Figure 6: relative residuals on the "easy" (low-noise) problem."""
+    if config is None:
+        config = SweepConfig(scale="quick", numeric=True, repetitions=1)
+    return _residual_sweep(lambda d, n, s: easy_problem(d, n, seed=s), config, methods)
+
+
+def figure7(
+    config: Optional[SweepConfig] = None,
+    methods: Sequence[str] = _ACCURACY_METHODS,
+) -> List[Dict[str, float]]:
+    """Figure 7: relative residuals on the "hard" (high-noise) problem."""
+    if config is None:
+        config = SweepConfig(scale="quick", numeric=True, repetitions=1)
+    return _residual_sweep(lambda d, n, s: hard_problem(d, n, seed=s), config, methods)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: stability vs condition number
+# ---------------------------------------------------------------------------
+_FIGURE8_METHODS = ("Normal Eq", "Gauss", "Count", "Multi", "QR")
+
+
+def figure8(
+    cond_values: Optional[Sequence[float]] = None,
+    *,
+    d: int = 1 << 14,
+    n: int = 16,
+    seed: int = 0,
+    methods: Sequence[str] = _FIGURE8_METHODS,
+) -> List[Dict[str, float]]:
+    """Figure 8: relative residual vs cond(A) for ``b = A e`` (exact solution exists).
+
+    The paper uses ``d = 2^17``; the default here is ``2^14`` so the sweep
+    stays quick, and the benchmark suite exposes the full-size option.
+    """
+    if cond_values is None:
+        cond_values = np.logspace(0, 20, 11)
+    rows: List[Dict[str, float]] = []
+    for cond in cond_values:
+        problem = condition_sweep_problem(float(cond), d=d, n=n, seed=seed)
+        executor = GPUExecutor(numeric=True, seed=seed, track_memory=False)
+        solvers = _accuracy_methods(d, n, executor, seed)
+        for m in methods:
+            result = solvers[m](problem.a, problem.b)
+            rows.append(
+                {
+                    "cond": float(cond),
+                    "d": d,
+                    "n": n,
+                    "method": m,
+                    "relative_residual": result.relative_residual,
+                    "failed": result.failed,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section 7: distributed considerations
+# ---------------------------------------------------------------------------
+def section7_distributed(
+    d: int = 1 << 22,
+    n: int = 128,
+    p_values: Sequence[int] = (2, 4, 8, 16, 32, 64),
+) -> List[Dict[str, float]]:
+    """Section 7: per-sketch communication volume / time across process counts."""
+    rows = []
+    for est in communication_table(d, n, p_values):
+        rows.append(est.as_dict())
+    # annotate with the process count (communication_table iterates p outer)
+    idx = 0
+    methods_per_p = 4
+    for p in p_values:
+        for _ in range(methods_per_p):
+            rows[idx]["p"] = p
+            idx += 1
+    return rows

@@ -1,0 +1,72 @@
+"""Performance metrics derived from simulated time breakdowns.
+
+Figures 3 and 4 of the paper report, for every sketch method and problem
+size, the percentage of the device's peak memory throughput and peak FLOP/s
+that the computation achieved.  With the simulated executor those percentages
+follow directly from the charged bytes / FLOPs and the simulated time; the
+helpers here compute them so the harness and the tests share one definition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timing import TimeBreakdown
+
+
+def percent_of_peak_bandwidth(
+    breakdown: TimeBreakdown,
+    device: DeviceSpec,
+    *,
+    bytes_moved: Optional[float] = None,
+    seconds: Optional[float] = None,
+) -> float:
+    """Achieved memory throughput as a percentage of the device peak.
+
+    By default both the byte count and the time come from the breakdown;
+    either can be overridden (e.g. to measure only the "Apply" phase, or to
+    use the algorithmic traffic rather than the charged traffic).
+    """
+    total_bytes = breakdown.total_bytes() if bytes_moved is None else float(bytes_moved)
+    total_seconds = breakdown.total() if seconds is None else float(seconds)
+    if total_seconds <= 0.0:
+        return 0.0
+    achieved = total_bytes / total_seconds
+    return 100.0 * achieved / device.memory_bandwidth
+
+
+def percent_of_peak_flops(
+    breakdown: TimeBreakdown,
+    device: DeviceSpec,
+    *,
+    dtype_size: int = 8,
+    flops: Optional[float] = None,
+    seconds: Optional[float] = None,
+) -> float:
+    """Achieved FLOP/s as a percentage of the device peak for the given precision."""
+    total_flops = breakdown.total_flops() if flops is None else float(flops)
+    total_seconds = breakdown.total() if seconds is None else float(seconds)
+    if total_seconds <= 0.0:
+        return 0.0
+    achieved = total_flops / total_seconds
+    return 100.0 * achieved / device.peak_flops(dtype_size)
+
+
+def arithmetic_intensity(breakdown: TimeBreakdown) -> float:
+    """FLOPs per byte of global-memory traffic (the roofline x-axis)."""
+    total_bytes = breakdown.total_bytes()
+    if total_bytes <= 0.0:
+        return 0.0
+    return breakdown.total_flops() / total_bytes
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Relative speedup of ``seconds`` versus ``baseline_seconds``.
+
+    Follows the paper's convention for "X% faster": the returned value is
+    ``baseline / time - 1``, so 0.77 means 77% faster.
+    """
+    if seconds <= 0.0:
+        raise ValueError("seconds must be positive")
+    return baseline_seconds / seconds - 1.0

@@ -1,0 +1,129 @@
+"""Plain-text rendering of experiment rows.
+
+The paper presents its evaluation as grouped bar charts and line plots; in a
+terminal the equivalent is a table whose rows are the same series.  These
+renderers are deliberately dependency-free (no matplotlib) and are what the
+example scripts and ``EXPERIMENTS.md`` generation use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "OOM/n.a."
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Format a list of row dictionaries as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(r.get(c), precision) for c in columns] for r in rows]
+    widths = [max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(header))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure_rows(
+    rows: Sequence[Mapping[str, object]],
+    value_key: str,
+    *,
+    title: str = "",
+    scale: float = 1.0,
+    unit: str = "",
+) -> str:
+    """Render figure rows grouped by problem size, one column per method.
+
+    This produces the "series" view of a grouped bar chart: each output row
+    is one ``(d, n)`` point, each column one method, each cell the value
+    (scaled, e.g. seconds -> milliseconds).
+    """
+    sizes: List[tuple] = []
+    methods: List[str] = []
+    values: Dict[tuple, Dict[str, object]] = {}
+    for row in rows:
+        # Figure-8 style rows are keyed by the condition number; the size-grid
+        # figures are keyed by (d, n).
+        key = (row["cond"],) if "cond" in row else (row["d"], row["n"])
+        if key not in values:
+            sizes.append(key)
+            values[key] = {}
+        method = str(row["method"])
+        if method not in methods:
+            methods.append(method)
+        val = row.get(value_key)
+        if isinstance(val, (int, float)) and val == val:
+            val = float(val) * scale
+        values[key][method] = val
+
+    table_rows = []
+    for key in sizes:
+        if len(key) == 2:
+            base = {"d": key[0], "n": key[1]}
+        else:
+            base = {"cond": key[0]}
+        base.update({m: values[key].get(m) for m in methods})
+        table_rows.append(base)
+    columns = (["d", "n"] if len(sizes[0]) == 2 else ["cond"]) + methods
+    label = f"{title} [{value_key}{' , ' + unit if unit else ''}]" if title else value_key
+    return format_table(table_rows, columns, title=label)
+
+
+def render_breakdown_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str = "",
+    scale: float = 1.0e3,
+    unit: str = "ms",
+) -> str:
+    """Render Figure-5 style rows (each row carries a ``phases`` dict)."""
+    phase_names: List[str] = []
+    for row in rows:
+        for p in row.get("phases", {}):
+            if p not in phase_names:
+                phase_names.append(p)
+    flat = []
+    for row in rows:
+        entry = {
+            "d": row["d"],
+            "n": row["n"],
+            "method": row["method"],
+            "total": (row["total_seconds"] * scale) if row["total_seconds"] == row["total_seconds"] else float("nan"),
+        }
+        for p in phase_names:
+            val = row.get("phases", {}).get(p)
+            entry[p] = val * scale if isinstance(val, (int, float)) else None
+        flat.append(entry)
+    columns = ["d", "n", "method", "total"] + phase_names
+    label = f"{title} [{unit}]" if title else f"breakdown [{unit}]"
+    return format_table(flat, columns, title=label)

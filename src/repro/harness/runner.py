@@ -1,0 +1,124 @@
+"""Sweep configuration and repetition utilities.
+
+The paper averages every recorded metric over 100 randomly generated repeats
+(Section 6.1).  ``run_repeated`` does the same for any experiment callable
+that returns a :class:`~repro.gpu.timing.TimeBreakdown`; ``SweepConfig``
+bundles the knobs every figure sweep shares (size grid, device, scale,
+repetitions, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpu.device import DeviceSpec, H100_SXM5
+from repro.gpu.timing import TimeBreakdown
+from repro.workloads.matrices import (
+    PAPER_D_VALUES,
+    PAPER_N_VALUES,
+    SCALED_D_VALUES,
+    SCALED_N_VALUES,
+)
+
+#: Default row counts for quick numeric runs (used by the benchmark suite so a
+#: full figure regeneration stays in CI-friendly time).
+QUICK_D_VALUES: Tuple[int, ...] = (1 << 13, 1 << 14, 1 << 15)
+
+#: Default column counts for quick numeric runs.
+QUICK_N_VALUES: Tuple[int, ...] = (32, 64, 128)
+
+
+@dataclass
+class SweepConfig:
+    """Configuration shared by the figure sweeps.
+
+    Attributes
+    ----------
+    d_values / n_values:
+        Size grid.  ``scale`` picks a preset grid when these are omitted.
+    scale:
+        ``"paper"`` (2^21..2^23, analytic by default), ``"scaled"``
+        (2^15..2^17) or ``"quick"`` (2^13..2^15).
+    numeric:
+        Whether kernels carry real data.  Defaults to False for the paper
+        grid (those matrices are tens of GB) and True otherwise.
+    device:
+        Simulated device.
+    repetitions:
+        Number of randomly seeded repeats to average (the paper uses 100).
+    seed:
+        Base seed; repeat ``r`` of experiment ``(d, n)`` derives its own seed.
+    skip_largest_n:
+        Mirror the paper's grid truncation (no ``n = 256`` at the largest d).
+    """
+
+    d_values: Optional[Sequence[int]] = None
+    n_values: Optional[Sequence[int]] = None
+    scale: str = "quick"
+    numeric: Optional[bool] = None
+    device: DeviceSpec = H100_SXM5
+    repetitions: int = 3
+    seed: int = 0
+    skip_largest_n: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale not in ("paper", "scaled", "quick"):
+            raise ValueError("scale must be 'paper', 'scaled' or 'quick'")
+        if self.d_values is None:
+            self.d_values = {
+                "paper": PAPER_D_VALUES,
+                "scaled": SCALED_D_VALUES,
+                "quick": QUICK_D_VALUES,
+            }[self.scale]
+        if self.n_values is None:
+            self.n_values = {
+                "paper": PAPER_N_VALUES,
+                "scaled": SCALED_N_VALUES,
+                "quick": QUICK_N_VALUES,
+            }[self.scale]
+        if self.numeric is None:
+            self.numeric = self.scale != "paper"
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+
+    def grid(self) -> List[Tuple[int, int]]:
+        """The ``(d, n)`` grid, with the paper's largest-d truncation applied."""
+        largest = max(self.d_values)
+        largest_n_cut = sorted(self.n_values)[-1]
+        points = []
+        for d in self.d_values:
+            for n in self.n_values:
+                if self.skip_largest_n and d == largest and n == largest_n_cut and len(self.n_values) > 1:
+                    continue
+                points.append((d, n))
+        return points
+
+    def seed_for(self, d: int, n: int, repeat: int) -> int:
+        """Deterministic per-(d, n, repeat) seed."""
+        return (self.seed * 1_000_003 + d * 31 + n * 17 + repeat) % (2**31 - 1)
+
+
+def average_breakdowns(breakdowns: Iterable[TimeBreakdown]) -> TimeBreakdown:
+    """Average several breakdowns into one (sum of records scaled by 1/count)."""
+    breakdowns = list(breakdowns)
+    if not breakdowns:
+        return TimeBreakdown()
+    merged = TimeBreakdown()
+    for b in breakdowns:
+        merged = merged.merged(b)
+    return merged.scaled(1.0 / len(breakdowns))
+
+
+def run_repeated(
+    experiment: Callable[[int], TimeBreakdown],
+    repetitions: int,
+) -> TimeBreakdown:
+    """Run ``experiment(repeat_index)`` several times and average the breakdowns.
+
+    This mirrors the paper's "average over 100 repeated randomly generated
+    experiments to eliminate noise".
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    return average_breakdowns(experiment(r) for r in range(repetitions))

@@ -1,0 +1,45 @@
+"""Least-squares solvers and randomized QR factorizations.
+
+Implements every solver the paper's Section 6.3 compares:
+
+* :func:`~repro.linalg.lstsq.normal_equations` -- Gram matrix + Cholesky, the
+  fastest deterministic direct solver, stable only for ``kappa(A) < u^{-1/2}``.
+* :func:`~repro.linalg.lstsq.sketch_and_solve` -- Algorithm 1 with any sketch
+  operator (Gaussian, CountSketch, SRHT, or multisketch).
+* :func:`~repro.linalg.lstsq.qr_solve` -- Householder-QR reference solver.
+* :func:`~repro.linalg.rand_cholqr.rand_cholqr` -- Algorithm 4 (randomized
+  Cholesky QR factorization).
+* :func:`~repro.linalg.rand_cholqr.rand_cholqr_lstsq` -- Algorithm 5 (the
+  rand_cholQR / preconditioned-normal-equations least-squares solver).
+
+plus the problem generators with prescribed condition numbers used by
+Figure 8 (:mod:`repro.linalg.conditioning`).
+"""
+
+from repro.linalg.lstsq import (
+    LeastSquaresResult,
+    normal_equations,
+    sketch_and_solve,
+    qr_solve,
+    relative_residual,
+)
+from repro.linalg.cholqr import cholesky_qr, cholesky_qr2
+from repro.linalg.rand_cholqr import rand_cholqr, rand_cholqr_lstsq
+from repro.linalg.conditioning import matrix_with_condition, condition_number
+from repro.linalg.iterative import sketch_preconditioned_lsqr, IterativeSolveInfo
+
+__all__ = [
+    "LeastSquaresResult",
+    "normal_equations",
+    "sketch_and_solve",
+    "qr_solve",
+    "relative_residual",
+    "cholesky_qr",
+    "cholesky_qr2",
+    "rand_cholqr",
+    "rand_cholqr_lstsq",
+    "matrix_with_condition",
+    "condition_number",
+    "sketch_preconditioned_lsqr",
+    "IterativeSolveInfo",
+]

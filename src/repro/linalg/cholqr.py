@@ -1,0 +1,61 @@
+"""Cholesky-QR building blocks.
+
+``cholesky_qr`` computes the QR factorization of a tall matrix through its
+Gram matrix (``G = A^T A``, ``R = chol(G)``, ``Q = A R^{-1}``).  It is fast on
+GPUs (everything is GEMM-shaped) but squares the condition number, so it is
+only reliable for ``kappa(A) < u^{-1/2}``.  The randomized variant in
+:mod:`repro.linalg.rand_cholqr` (the paper's Algorithm 4) first whitens ``A``
+with a sketched QR so that the subsequent Cholesky-QR operates on a
+well-conditioned matrix, restoring stability up to ``kappa(A) < u^{-1}``.
+``cholesky_qr2`` (Cholesky QR applied twice) is provided as a further
+comparison point used in the randomized-QR literature.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.solver import CholeskyFailedError
+
+
+def cholesky_qr(
+    a: DeviceArray,
+    executor: GPUExecutor,
+    *,
+    phase_prefix: str = "",
+) -> Tuple[DeviceArray, DeviceArray]:
+    """Cholesky-QR factorization ``A = Q R``.
+
+    Returns device handles ``(Q, R)`` where ``R`` is upper triangular.
+
+    Raises
+    ------
+    CholeskyFailedError
+        If the Gram matrix is numerically indefinite, which happens once
+        ``kappa(A)`` exceeds roughly ``u^{-1/2}``.
+    """
+    blas, solver = executor.blas, executor.solver
+    gram = blas.gram(a, phase=f"{phase_prefix}Gram matrix")
+    r = solver.potrf(gram, phase=f"{phase_prefix}POTRF")
+    q = solver.trsm(a, r, phase=f"{phase_prefix}TRSM", label="cholqr_Q")
+    return q, r
+
+
+def cholesky_qr2(
+    a: DeviceArray,
+    executor: GPUExecutor,
+    *,
+    phase_prefix: str = "",
+) -> Tuple[DeviceArray, DeviceArray]:
+    """Cholesky QR applied twice (CholQR2) for improved orthogonality.
+
+    The second pass repairs the loss of orthogonality of the first; the
+    combined ``R`` factor is the product of the two triangular factors.
+    """
+    q1, r1 = cholesky_qr(a, executor, phase_prefix=phase_prefix)
+    q2, r2 = cholesky_qr(q1, executor, phase_prefix=phase_prefix)
+    blas = executor.blas
+    r = blas.gemm(r2, r1, phase=f"{phase_prefix}R update", label="cholqr2_R")
+    return q2, r

@@ -1,0 +1,215 @@
+"""Sketch-preconditioned iterative least squares (Blendenpik / LSRN style).
+
+Section 6 of the paper notes that when the sketch-and-solve distortion is
+unacceptable one can still use sketching to accelerate an *exact* solve,
+either directly (rand_cholQR, Algorithm 5) or through "an iterative method
+such as Blendenpik or LSRN" [Avron et al. 2010; Meng et al. 2014].  This
+module implements that second route so the repository covers the full design
+space the paper discusses:
+
+1. sketch ``A`` (any operator from :mod:`repro.core`, the multisketch being
+   the cheapest),
+2. take the R factor of the sketched matrix's economy QR,
+3. run LSQR on the right-preconditioned system ``min ||b - (A R^{-1}) y||``,
+   whose condition number is O(1) by the subspace-embedding property, and
+4. recover ``x = R^{-1} y``.
+
+The iteration count is therefore independent of ``kappa(A)``; each iteration
+costs two passes over ``A`` (one multiply by ``A R^{-1}``, one by its
+transpose), which the simulated cost model charges as GEMV-class kernels.
+
+Accuracy note: this is a plain LSQR recurrence without reorthogonalisation or
+iterative refinement, so the attainable relative residual has a floor that
+scales like ``u * kappa(A)`` -- still orders of magnitude beyond where the
+normal equations break down, but short of the fully refined Blendenpik of
+[Avron et al. 2010].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.core.base import SketchOperator
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.kernels import KernelClass, KernelRequest
+from repro.linalg.lstsq import LeastSquaresResult, _to_device
+
+ArrayLike = Union[np.ndarray, DeviceArray]
+
+
+@dataclass
+class IterativeSolveInfo:
+    """Convergence record of the preconditioned LSQR iteration."""
+
+    iterations: int
+    converged: bool
+    residual_history: list
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1] if self.residual_history else float("nan")
+
+
+def _charge_matvec(executor: GPUExecutor, d: int, n: int, phase: str) -> None:
+    """Charge one pass over A (a d x n GEMV) to the simulated clock."""
+    itemsize = 8
+    executor.launch(
+        KernelRequest(
+            name="lsqr_matvec",
+            kclass=KernelClass.STREAM,
+            bytes_read=float(d) * n * itemsize,
+            bytes_written=float(max(d, n)) * itemsize,
+            flops=2.0 * d * n,
+            dtype_size=itemsize,
+            phase=phase,
+        )
+    )
+
+
+def sketch_preconditioned_lsqr(
+    a: ArrayLike,
+    b: ArrayLike,
+    sketch: SketchOperator,
+    *,
+    executor: Optional[GPUExecutor] = None,
+    tol: float = 1e-10,
+    max_iterations: int = 100,
+) -> LeastSquaresResult:
+    """Blendenpik-style least squares: sketch, factor, precondition, iterate.
+
+    Parameters
+    ----------
+    a, b:
+        The overdetermined problem ``min_x ||b - A x||_2``.
+    sketch:
+        Any sketch operator with ``k >= n`` rows (the multisketch with
+        ``k2 = 2n`` is the natural choice).
+    tol:
+        Relative tolerance on the preconditioned normal-equation residual
+        ``||(A R^{-1})^T r||`` used as the stopping criterion.
+    max_iterations:
+        Iteration cap; with a subspace-embedding preconditioner LSQR
+        converges in a few tens of iterations regardless of ``kappa(A)``.
+
+    Returns
+    -------
+    LeastSquaresResult
+        With the converged solution; ``extra`` carries the iteration count
+        under ``"iterations"`` and convergence flag under ``"converged"``.
+    """
+    if executor is None:
+        executor = sketch.executor
+    if executor is not sketch.executor:
+        raise ValueError("the sketch operator must live on the same executor as the solve")
+    if max_iterations <= 0:
+        raise ValueError("max_iterations must be positive")
+
+    a_dev = _to_device(executor, a, "A", order="C")
+    b_dev = _to_device(executor, b, "b")
+    d, n = a_dev.shape
+    solver = executor.solver
+
+    mark = executor.mark()
+
+    # 1-2: sketch and factor (same ingredients as rand_cholQR's first steps).
+    sketch.generate()
+    y = sketch.apply(a_dev, phase="Matrix sketch")
+    factors = solver.geqrf(y, phase="GEQRF")
+
+    # 3: preconditioned LSQR in host arithmetic (each pass over A charged).
+    if not (executor.numeric and a_dev.is_numeric and b_dev.is_numeric):
+        # Analytic mode: charge a representative number of iterations.
+        representative_iters = 30
+        for _ in range(representative_iters):
+            _charge_matvec(executor, d, n, "LSQR")
+            _charge_matvec(executor, d, n, "LSQR")
+        breakdown = executor.breakdown_since(mark)
+        return LeastSquaresResult(
+            method=f"blendenpik[{sketch.family}]",
+            x=None,
+            residual_norm=float("nan"),
+            relative_residual=float("nan"),
+            breakdown=breakdown,
+            total_seconds=breakdown.total(),
+            extra={"iterations": float(representative_iters), "converged": 1.0},
+        )
+
+    a_np = a_dev.data
+    b_np = b_dev.data
+    r_np = factors.r.require_data()
+
+    def apply_pre(v: np.ndarray) -> np.ndarray:
+        """Compute (A R^{-1}) v."""
+        _charge_matvec(executor, d, n, "LSQR")
+        return a_np @ sla.solve_triangular(r_np, v, lower=False)
+
+    def apply_pre_t(u: np.ndarray) -> np.ndarray:
+        """Compute (A R^{-1})^T u."""
+        _charge_matvec(executor, d, n, "LSQR")
+        return sla.solve_triangular(r_np, a_np.T @ u, lower=False, trans="T")
+
+    # Golub-Kahan bidiagonalisation (standard LSQR recurrences).
+    history = []
+    u = b_np.copy()
+    beta = float(np.linalg.norm(u))
+    if beta > 0:
+        u /= beta
+    v = apply_pre_t(u)
+    alpha = float(np.linalg.norm(v))
+    if alpha > 0:
+        v /= alpha
+    w = v.copy()
+    y_sol = np.zeros(n)
+    phi_bar, rho_bar = beta, alpha
+    converged = False
+    norm_atb = alpha * beta if alpha * beta > 0 else 1.0
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        u = apply_pre(v) - alpha * u
+        beta = float(np.linalg.norm(u))
+        if beta > 0:
+            u /= beta
+        v = apply_pre_t(u) - beta * v
+        alpha = float(np.linalg.norm(v))
+        if alpha > 0:
+            v /= alpha
+
+        rho = float(np.hypot(rho_bar, beta))
+        c, s = rho_bar / rho, beta / rho
+        theta = s * alpha
+        rho_bar = -c * alpha
+        phi = c * phi_bar
+        phi_bar = s * phi_bar
+
+        y_sol += (phi / rho) * w
+        w = v - (theta / rho) * w
+
+        # ||(AR^{-1})^T r|| = phi_bar * alpha * |c|; normalise by the initial value.
+        grad_norm = abs(phi_bar * alpha * c)
+        history.append(grad_norm / norm_atb)
+        if history[-1] <= tol:
+            converged = True
+            break
+
+    # 4: undo the preconditioner.
+    x_np = sla.solve_triangular(r_np, y_sol, lower=False)
+    breakdown = executor.breakdown_since(mark)
+
+    res = float(np.linalg.norm(b_np - a_np @ x_np))
+    nb = float(np.linalg.norm(b_np))
+    rel = res / nb if nb > 0 else res
+    return LeastSquaresResult(
+        method=f"blendenpik[{sketch.family}]",
+        x=x_np,
+        residual_norm=res,
+        relative_residual=rel,
+        breakdown=breakdown,
+        total_seconds=breakdown.total(),
+        extra={"iterations": float(iterations), "converged": float(converged)},
+    )

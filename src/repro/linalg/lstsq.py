@@ -1,0 +1,234 @@
+"""Least-squares solvers: normal equations, sketch-and-solve, Householder QR.
+
+These are the three directly-compared solvers of Section 6.3 (rand_cholQR is
+in :mod:`repro.linalg.rand_cholqr`).  Each solver accepts either host NumPy
+arrays or device handles, runs on a simulated GPU executor, and returns a
+:class:`LeastSquaresResult` carrying the solution, the achieved relative
+residual, and the per-phase simulated time breakdown -- exactly the
+decomposition plotted in Figure 5 (Gram matrix / AT*b / Sketch gen / Matrix
+sketch / Vector sketch / POTRF / GEQRF / ORMQR / TRSV / TRSM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.base import SketchOperator
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.timing import TimeBreakdown
+
+ArrayLike = Union[np.ndarray, DeviceArray]
+
+
+@dataclass
+class LeastSquaresResult:
+    """Outcome of a least-squares solve.
+
+    Attributes
+    ----------
+    method:
+        Solver name (``"normal_equations"``, ``"sketch_and_solve[...]"``, ...).
+    x:
+        Solution vector (host copy; ``None`` in analytic mode).
+    residual_norm / relative_residual:
+        ``||b - A x||_2`` and ``||b - A x||_2 / ||b||_2`` (NaN when analytic).
+    breakdown:
+        Simulated time breakdown of the solve (excludes problem generation).
+    total_seconds:
+        Convenience copy of ``breakdown.total()``.
+    failed / failure_reason:
+        Set when the solver broke down (e.g. Cholesky failure on an
+        ill-conditioned Gram matrix), in which case ``x`` is ``None``.
+    """
+
+    method: str
+    x: Optional[np.ndarray]
+    residual_norm: float
+    relative_residual: float
+    breakdown: TimeBreakdown
+    total_seconds: float
+    failed: bool = False
+    failure_reason: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Seconds per phase label (the Figure-5 bar segments)."""
+        return self.breakdown.by_phase()
+
+
+def relative_residual(a: np.ndarray, b: np.ndarray, x: np.ndarray) -> float:
+    """``||b - A x||_2 / ||b||_2`` computed on the host in float64."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    nb = np.linalg.norm(b)
+    if nb == 0.0:
+        return float(np.linalg.norm(a @ x))
+    return float(np.linalg.norm(b - a @ x) / nb)
+
+
+def _to_device(executor: GPUExecutor, arr: ArrayLike, label: str, order: str = "C") -> DeviceArray:
+    if isinstance(arr, DeviceArray):
+        return arr
+    return executor.to_device(np.asarray(arr), order=order, label=label)
+
+
+def _residuals(
+    executor: GPUExecutor, a: DeviceArray, b: DeviceArray, x: DeviceArray
+) -> tuple:
+    """Host-side residual computation (not charged to the solver's clock)."""
+    if not (executor.numeric and a.is_numeric and b.is_numeric and x.is_numeric):
+        return float("nan"), float("nan"), None
+    x_host = x.to_host()
+    res = float(np.linalg.norm(b.data - a.data @ x_host))
+    nb = float(np.linalg.norm(b.data))
+    rel = res / nb if nb > 0 else res
+    return res, rel, x_host
+
+
+# ---------------------------------------------------------------------------
+# Normal equations
+# ---------------------------------------------------------------------------
+def normal_equations(
+    a: ArrayLike,
+    b: ArrayLike,
+    *,
+    executor: Optional[GPUExecutor] = None,
+) -> LeastSquaresResult:
+    """Solve ``min_x ||b - A x||_2`` via the normal equations.
+
+    Pipeline (Section 6.1): Gram matrix ``G = A^T A`` with GEMM, right-hand
+    side ``y = A^T b`` with GEMV, Cholesky ``G = R^T R`` (POTRF), then two
+    triangular solves ``x = R^{-1} (R^{-T} y)``.
+
+    This is the fastest deterministic direct solver but squares the condition
+    number: it fails (Cholesky breakdown or garbage solution) once
+    ``kappa(A)`` exceeds about ``u^{-1/2} ~ 1e8``; Figure 8 shows this.
+    """
+    if executor is None:
+        executor = GPUExecutor(numeric=True, track_memory=False)
+    a_dev = _to_device(executor, a, "A", order="F")
+    b_dev = _to_device(executor, b, "b")
+    blas, solver = executor.blas, executor.solver
+
+    mark = executor.mark()
+    failed, reason = False, ""
+    x_dev: Optional[DeviceArray] = None
+    try:
+        gram = blas.gram(a_dev, phase="Gram matrix")
+        atb = blas.gemv(a_dev, b_dev, trans_a=True, phase="AT*b", label="ATb")
+        r = solver.potrf(gram, phase="POTRF")
+        y = solver.trsv(r, atb, transpose=True, phase="TRSV", label="forward_solve")
+        x_dev = solver.trsv(r, y, transpose=False, phase="TRSV", label="solution")
+    except np.linalg.LinAlgError as exc:
+        failed, reason = True, f"Cholesky factorization failed: {exc}"
+
+    breakdown = executor.breakdown_since(mark)
+    if failed or x_dev is None:
+        return LeastSquaresResult(
+            method="normal_equations",
+            x=None,
+            residual_norm=float("inf"),
+            relative_residual=float("inf"),
+            breakdown=breakdown,
+            total_seconds=breakdown.total(),
+            failed=True,
+            failure_reason=reason,
+        )
+    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    return LeastSquaresResult(
+        method="normal_equations",
+        x=x_host,
+        residual_norm=res,
+        relative_residual=rel,
+        breakdown=breakdown,
+        total_seconds=breakdown.total(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sketch-and-solve (Algorithm 1)
+# ---------------------------------------------------------------------------
+def sketch_and_solve(
+    a: ArrayLike,
+    b: ArrayLike,
+    sketch: SketchOperator,
+    *,
+    executor: Optional[GPUExecutor] = None,
+) -> LeastSquaresResult:
+    """Algorithm 1: sketch-and-solve approximate least squares.
+
+    ``Y = S A`` and ``z = S b`` are formed with the given sketch operator,
+    then the reduced problem ``min_x ||z - Y x||_2`` is solved with a QR-based
+    solve (GEQRF + ORMQR + TRSV), exactly as in the paper's implementation
+    (GELS was avoided because it was significantly slower).
+
+    The returned residual is measured against the *original* problem, so the
+    O(1) distortion factor of the sketch shows up directly in
+    ``relative_residual``.
+    """
+    if executor is None:
+        executor = sketch.executor
+    if executor is not sketch.executor:
+        raise ValueError("the sketch operator must live on the same executor as the solve")
+    a_dev = _to_device(executor, a, "A", order="C")
+    b_dev = _to_device(executor, b, "b")
+    solver = executor.solver
+
+    mark = executor.mark()
+    sketch.generate()
+    y = sketch.apply(a_dev, phase="Matrix sketch")
+    z = sketch.apply_vector(b_dev, phase="Vector sketch")
+    factors = solver.geqrf(y, phase="GEQRF")
+    qtz = solver.ormqr(factors, z, phase="ORMQR")
+    x_dev = solver.trsv(factors.r, qtz, phase="TRSV", label="solution")
+
+    breakdown = executor.breakdown_since(mark)
+    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    return LeastSquaresResult(
+        method=f"sketch_and_solve[{sketch.family}]",
+        x=x_host,
+        residual_norm=res,
+        relative_residual=rel,
+        breakdown=breakdown,
+        total_seconds=breakdown.total(),
+        extra={"sketch_dim": float(sketch.k)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Householder QR reference
+# ---------------------------------------------------------------------------
+def qr_solve(
+    a: ArrayLike,
+    b: ArrayLike,
+    *,
+    executor: Optional[GPUExecutor] = None,
+) -> LeastSquaresResult:
+    """Reference Householder-QR least-squares solve on the original matrix.
+
+    Numerically the gold standard (stable for ``kappa(A) < u^{-1}`` with no
+    distortion), but far slower than every other method at the paper's sizes,
+    which is why Figure 5 omits it; Figures 6-8 include its accuracy.
+    """
+    if executor is None:
+        executor = GPUExecutor(numeric=True, track_memory=False)
+    a_dev = _to_device(executor, a, "A", order="F")
+    b_dev = _to_device(executor, b, "b")
+
+    mark = executor.mark()
+    x_dev = executor.solver.householder_qr_solve(a_dev, b_dev)
+    breakdown = executor.breakdown_since(mark)
+    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    return LeastSquaresResult(
+        method="qr",
+        x=x_host,
+        residual_norm=res,
+        relative_residual=rel,
+        breakdown=breakdown,
+        total_seconds=breakdown.total(),
+    )

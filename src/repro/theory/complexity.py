@@ -1,0 +1,132 @@
+"""Table 1: asymptotic embedding dimension, arithmetic, and memory traffic.
+
+The table gives, for a dense matrix ``A in R^{d x n}``, the asymptotically
+optimal embedding dimension, the arithmetic, the global-memory read/writes,
+and the maximum distortion for each sketching method:
+
+==============  ==================  ==============  ==============  ==================
+Method          Embed dim           Arithmetic      Read/Writes     Max distortion
+==============  ==================  ==============  ==============  ==================
+Gaussian        eps^-2 n            d n^2           d n             1 + eps
+SRHT            eps^-2 n log n      d n log n       d n log n       1 + eps
+CountSketch     eps^-2 n^2          d n             d n             1 + eps
+MultiSketch     eps2^-2 n           d n + n^4       d n + n^4       (1+eps1)(1+eps2)
+==============  ==================  ==============  ==============  ==================
+
+The functions here return those quantities as concrete numbers for given
+``(d, n, eps)`` so the benchmark harness can print the table and so the cost
+model can be cross-checked against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class SketchComplexity:
+    """One row of Table 1, evaluated at concrete ``(d, n, eps)``."""
+
+    method: str
+    embedding_dim: float
+    arithmetic: float
+    read_writes: float
+    max_distortion: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form used by the report printer."""
+        return {
+            "method": self.method,
+            "embedding_dim": self.embedding_dim,
+            "arithmetic": self.arithmetic,
+            "read_writes": self.read_writes,
+            "max_distortion": self.max_distortion,
+        }
+
+
+def sketch_complexity(
+    method: str,
+    d: int,
+    n: int,
+    eps: float = 0.5,
+    eps2: Optional[float] = None,
+) -> SketchComplexity:
+    """Evaluate one Table-1 row for a ``d x n`` matrix.
+
+    Parameters
+    ----------
+    method:
+        ``"gaussian"``, ``"srht"``, ``"countsketch"`` or ``"multisketch"``.
+    d, n:
+        Matrix dimensions.
+    eps:
+        Target distortion (``eps1`` for the multisketch).
+    eps2:
+        Second-stage distortion for the multisketch (defaults to ``eps``).
+    """
+    if d <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie in (0, 1)")
+    method_l = method.lower()
+    logn = max(math.log2(max(n, 2)), 1.0)
+
+    if method_l in ("gaussian", "gauss"):
+        return SketchComplexity("Gaussian", n / eps**2, float(d) * n * n, float(d) * n, 1.0 + eps)
+    if method_l == "srht":
+        return SketchComplexity(
+            "SRHT", n * logn / eps**2, float(d) * n * logn, float(d) * n * logn, 1.0 + eps
+        )
+    if method_l in ("countsketch", "count"):
+        return SketchComplexity(
+            "CountSketch", n * n / eps**2, float(d) * n, float(d) * n, 1.0 + eps
+        )
+    if method_l in ("multisketch", "multi", "count_gauss"):
+        e2 = eps if eps2 is None else eps2
+        if not 0.0 < e2 < 1.0:
+            raise ValueError("eps2 must lie in (0, 1)")
+        work = float(d) * n + float(n) ** 4
+        return SketchComplexity(
+            f"MultiSketch({eps}, {e2})",
+            n / e2**2,
+            work,
+            work,
+            (1.0 + eps) * (1.0 + e2),
+        )
+    raise ValueError(f"unknown sketch method '{method}'")
+
+
+def complexity_table(
+    d: int,
+    n: int,
+    eps: float = 0.5,
+    methods: Optional[Iterable[str]] = None,
+) -> List[SketchComplexity]:
+    """All rows of Table 1 evaluated at ``(d, n, eps)``."""
+    if methods is None:
+        methods = ("gaussian", "srht", "countsketch", "multisketch")
+    return [sketch_complexity(m, d, n, eps) for m in methods]
+
+
+def gram_matrix_cost(d: int, n: int) -> Dict[str, float]:
+    """Arithmetic and traffic of the Gram matrix ``A^T A`` (the paper's baseline)."""
+    return {
+        "arithmetic": 2.0 * d * n * n,
+        "read_writes": float(d) * n + float(n) * n,
+    }
+
+
+def crossover_n(eps: float = 0.5) -> float:
+    """Column count above which the multisketch does less work than the Gram matrix.
+
+    Setting ``d n + n^4 < 2 d n^2`` and ignoring the ``n^4`` term (valid while
+    ``n^3 << d``), the multisketch wins as soon as ``n > 1 / (2 - 1/n) ~ 1``;
+    the practically relevant crossover is where the constant factors flip,
+    which the paper locates empirically around ``n = 64`` on the H100.  This
+    helper returns the theoretical work-ratio crossover for completeness.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie in (0, 1)")
+    return 1.0

@@ -1,0 +1,109 @@
+"""Empirical distortion measurement for sketch operators.
+
+Definition 1.1 of the paper: ``S`` is an eps-subspace embedding for a
+subspace ``V`` if ``|<x, y> - <Sx, Sy>| <= eps ||x|| ||y||`` for all
+``x, y in V``.  For an ``n``-dimensional subspace spanned by the columns of
+an orthonormal ``Q in R^{d x n}`` this is equivalent to
+
+    ``|| Q^T S^T S Q - I ||_2 <= eps``,
+
+so the sharpest realised distortion of a concrete sketch can be measured as
+the extreme singular values of ``S Q``.  These helpers are used by the
+property-based tests and by the EXPERIMENTS.md accuracy tables.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def measure_subspace_distortion(sketch, basis: np.ndarray) -> float:
+    """Realised distortion of ``sketch`` on the subspace spanned by ``basis``.
+
+    Parameters
+    ----------
+    sketch:
+        Any :class:`~repro.core.base.SketchOperator`.
+    basis:
+        A ``d x n`` matrix whose columns span the subspace (it is
+        orthonormalised internally).
+
+    Returns
+    -------
+    float
+        ``|| Q^T S^T S Q - I ||_2`` -- the smallest ``eps`` for which the
+        subspace embedding inequality holds on this subspace.
+    """
+    basis = np.asarray(basis, dtype=np.float64)
+    if basis.ndim != 2:
+        raise ValueError("basis must be a 2-D array")
+    q, _ = np.linalg.qr(basis)
+    sq = sketch.sketch_host(q)
+    gram = sq.T @ sq
+    return float(np.linalg.norm(gram - np.eye(gram.shape[0]), ord=2))
+
+
+def singular_value_distortion(sketch, basis: np.ndarray) -> Tuple[float, float]:
+    """Extreme singular values of ``S Q`` for an orthonormalised basis ``Q``.
+
+    A perfect embedding would give ``(1, 1)``; an eps-embedding guarantees
+    they lie in ``[sqrt(1-eps), sqrt(1+eps)]``.
+    """
+    basis = np.asarray(basis, dtype=np.float64)
+    q, _ = np.linalg.qr(basis)
+    sq = sketch.sketch_host(q)
+    svals = np.linalg.svd(sq, compute_uv=False)
+    return float(svals.min()), float(svals.max())
+
+
+def measure_pairwise_distortion(
+    sketch, vectors: np.ndarray, rng: np.random.Generator | None = None, pairs: int = 64
+) -> float:
+    """Maximum inner-product distortion over sampled vector pairs.
+
+    Directly checks Definition 1.1 on random pairs drawn from the column
+    space of ``vectors``: returns the largest observed
+    ``|<x,y> - <Sx,Sy>| / (||x|| ||y||)``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    d, n = vectors.shape
+    sketched = sketch.sketch_host(vectors)
+    worst = 0.0
+    for _ in range(int(pairs)):
+        c1 = rng.standard_normal(n)
+        c2 = rng.standard_normal(n)
+        x, y = vectors @ c1, vectors @ c2
+        sx, sy = sketched @ c1, sketched @ c2
+        denom = np.linalg.norm(x) * np.linalg.norm(y)
+        if denom == 0.0:
+            continue
+        worst = max(worst, abs(float(x @ y) - float(sx @ sy)) / denom)
+    return worst
+
+
+def residual_distortion_bound(eps: float) -> float:
+    """Sketch-and-solve residual inflation bound ``sqrt((1+eps)/(1-eps))``.
+
+    Mirrors :func:`repro.theory.embeddings.sketch_and_solve_residual_factor`;
+    kept here as well because accuracy post-processing imports this module.
+    """
+    if not 0.0 <= eps < 1.0:
+        raise ValueError("eps must lie in [0, 1)")
+    return float(np.sqrt((1.0 + eps) / (1.0 - eps)))
+
+
+def observed_residual_inflation(residual_sketched: float, residual_true: float) -> float:
+    """Ratio of the sketch-and-solve residual to the true residual.
+
+    This is the O(1) factor the paper discusses in Section 6.3; values close
+    to 1 mean the distortion introduced by sketch-and-solve is negligible.
+    """
+    if residual_true < 0 or residual_sketched < 0:
+        raise ValueError("residual norms must be non-negative")
+    if residual_true == 0.0:
+        return float("inf") if residual_sketched > 0 else 1.0
+    return residual_sketched / residual_true

@@ -1,0 +1,37 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.matrices` -- the random dense matrices of Section 6.2
+  (the ``d in {2^21, 2^22, 2^23} x n in {32, 64, 128, 256}`` grid), with a
+  scaled-down default grid usable on a CPU.
+* :mod:`repro.workloads.least_squares` -- the least-squares problems of
+  Section 6.3: the "easy" (low noise) and "hard" (high noise) right-hand
+  sides and the condition-number sweep of Figure 8.
+"""
+
+from repro.workloads.matrices import (
+    PAPER_D_VALUES,
+    PAPER_N_VALUES,
+    SCALED_D_VALUES,
+    paper_size_grid,
+    random_dense_matrix,
+)
+from repro.workloads.least_squares import (
+    LeastSquaresProblem,
+    make_lstsq_problem,
+    easy_problem,
+    hard_problem,
+    condition_sweep_problem,
+)
+
+__all__ = [
+    "PAPER_D_VALUES",
+    "PAPER_N_VALUES",
+    "SCALED_D_VALUES",
+    "paper_size_grid",
+    "random_dense_matrix",
+    "LeastSquaresProblem",
+    "make_lstsq_problem",
+    "easy_problem",
+    "hard_problem",
+    "condition_sweep_problem",
+]

@@ -1,0 +1,139 @@
+"""Least-squares problem generators (Section 6.3, Figures 5-8).
+
+Two families of problems are used in the paper:
+
+* Timing / residual experiments (Figures 5-7): ``A`` is random with
+  ``kappa(A) = 100``, the exact solution is ``e = [1, ..., 1]^T`` and the
+  right-hand side is ``b = A e + eta`` where ``eta_i ~ N(mu, sigma^2)``.
+  The "easy" problem uses ``(mu, sigma^2) = (0, 0.01)`` (small residual); the
+  "hard" problem uses ``(3, 2)`` (large residual).
+* Stability sweep (Figure 8): ``d = 2^17``, ``n = 16``, ``b = A e`` exactly
+  (zero residual in exact arithmetic) and ``kappa(A)`` swept from 1 to 1e20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg.conditioning import matrix_with_condition
+
+
+@dataclass
+class LeastSquaresProblem:
+    """A generated overdetermined least-squares problem ``min ||b - A x||``.
+
+    Attributes
+    ----------
+    a, b:
+        Coefficient matrix (``d x n``) and right-hand side (``d``).
+    x_exact:
+        The vector used to build ``b`` (the all-ones vector in the paper);
+        only equal to the least-squares solution when the noise is zero.
+    cond:
+        Condition number ``A`` was constructed with.
+    noise_mean, noise_std:
+        Parameters of the additive Gaussian noise.
+    kind:
+        ``"easy"``, ``"hard"``, ``"exact"`` or ``"custom"``.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    x_exact: np.ndarray
+    cond: float
+    noise_mean: float
+    noise_std: float
+    kind: str
+
+    @property
+    def d(self) -> int:
+        """Number of rows."""
+        return self.a.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of columns."""
+        return self.a.shape[1]
+
+    def true_relative_residual(self) -> float:
+        """Relative residual of the exact least-squares solution (via QR)."""
+        x, *_ = np.linalg.lstsq(self.a, self.b, rcond=None)
+        return float(np.linalg.norm(self.b - self.a @ x) / np.linalg.norm(self.b))
+
+
+def make_lstsq_problem(
+    d: int,
+    n: int,
+    *,
+    cond: float = 100.0,
+    noise_mean: float = 0.0,
+    noise_std: float = 0.1,
+    seed: Optional[int] = None,
+    kind: str = "custom",
+    dtype=np.float64,
+) -> LeastSquaresProblem:
+    """Build a least-squares problem with controlled conditioning and noise.
+
+    ``b = A e + eta`` with ``e`` the all-ones vector and
+    ``eta_i ~ N(noise_mean, noise_std^2)``; ``noise_std = 0`` gives a
+    consistent system whose exact solution is ``e``.
+
+    The condition-controlled matrix is rescaled by ``sqrt(d * n)`` so its
+    Frobenius norm matches that of the raw random (unit-variance entry)
+    matrices the paper draws: without this the additive noise would dominate
+    ``A e`` at any size and every relative residual would sit near 1.  The
+    rescaling leaves the condition number untouched.
+    """
+    if d < n:
+        raise ValueError("least-squares problems here are overdetermined (d >= n)")
+    rng = np.random.default_rng(seed)
+    a = matrix_with_condition(d, n, cond, seed=seed, dtype=dtype)
+    a = a * np.sqrt(float(d) * n)
+    x_exact = np.ones(n, dtype=dtype)
+    b = a @ x_exact
+    if noise_std > 0.0 or noise_mean != 0.0:
+        b = b + rng.normal(noise_mean, max(noise_std, 0.0), size=d).astype(dtype)
+    return LeastSquaresProblem(
+        a=a,
+        b=b.astype(dtype),
+        x_exact=x_exact,
+        cond=cond,
+        noise_mean=noise_mean,
+        noise_std=noise_std,
+        kind=kind,
+    )
+
+
+def easy_problem(d: int, n: int, *, seed: Optional[int] = None) -> LeastSquaresProblem:
+    """The paper's "easy" problem: ``eta_i ~ N(0, 0.01)`` (Figure 6)."""
+    return make_lstsq_problem(
+        d, n, cond=100.0, noise_mean=0.0, noise_std=np.sqrt(0.01), seed=seed, kind="easy"
+    )
+
+
+def hard_problem(d: int, n: int, *, seed: Optional[int] = None) -> LeastSquaresProblem:
+    """The paper's "hard" problem: ``eta_i ~ N(3, 2)`` (Figure 7)."""
+    return make_lstsq_problem(
+        d, n, cond=100.0, noise_mean=3.0, noise_std=np.sqrt(2.0), seed=seed, kind="hard"
+    )
+
+
+def condition_sweep_problem(
+    cond: float,
+    *,
+    d: int = 1 << 17,
+    n: int = 16,
+    seed: Optional[int] = None,
+) -> LeastSquaresProblem:
+    """The Figure-8 problem: ``b = A e`` exactly, ``kappa(A) = cond``.
+
+    In exact arithmetic the residual is zero for every solver; in floating
+    point the measured residual reveals each solver's stability limit.
+    """
+    problem = make_lstsq_problem(
+        d, n, cond=cond, noise_mean=0.0, noise_std=0.0, seed=seed, kind="exact"
+    )
+    return problem

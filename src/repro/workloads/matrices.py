@@ -1,0 +1,83 @@
+"""Random dense matrices on the paper's size grid.
+
+Section 6.2 fixes random matrices ``A in R^{d x n}`` with
+``d in {2^21, 2^22, 2^23}`` and ``n in {32, 64, 128, 256}`` (the largest
+``d`` only goes up to ``n = 128``).  Those sizes are tens of gigabytes in
+double precision, fine for an 80 GB H100 but not for a CPU test run, so the
+module also defines a proportionally scaled grid (``d in {2^15, 2^16,
+2^17}``) that keeps the same aspect ratios; the harness uses the scaled grid
+for numeric runs and the paper grid for analytic (cost-model-only) sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+#: The paper's row counts: 2^21, 2^22, 2^23.
+PAPER_D_VALUES: Tuple[int, ...] = (1 << 21, 1 << 22, 1 << 23)
+
+#: The paper's column counts.
+PAPER_N_VALUES: Tuple[int, ...] = (32, 64, 128, 256)
+
+#: Scaled-down row counts used for numeric experiments on a CPU.
+SCALED_D_VALUES: Tuple[int, ...] = (1 << 15, 1 << 16, 1 << 17)
+
+#: Column counts used with the scaled grid (same as the paper's).
+SCALED_N_VALUES: Tuple[int, ...] = (32, 64, 128, 256)
+
+
+def paper_size_grid(
+    paper_scale: bool = True,
+    *,
+    max_n_for_largest_d: int = 128,
+) -> Iterator[Tuple[int, int]]:
+    """Iterate over the ``(d, n)`` grid of Figures 2-7.
+
+    The paper's largest ``d`` (2^23) stops at ``n = 128`` -- the ``n = 256``
+    column would not fit next to its sketches on the device -- and the same
+    truncation is applied to the scaled grid for shape consistency.
+    """
+    d_values = PAPER_D_VALUES if paper_scale else SCALED_D_VALUES
+    n_values = PAPER_N_VALUES if paper_scale else SCALED_N_VALUES
+    largest_d = max(d_values)
+    for d in d_values:
+        for n in n_values:
+            if d == largest_d and n > max_n_for_largest_d:
+                continue
+            yield d, n
+
+
+def grid_as_list(paper_scale: bool = True) -> List[Tuple[int, int]]:
+    """The size grid as a concrete list (convenience for parametrised tests)."""
+    return list(paper_size_grid(paper_scale))
+
+
+def random_dense_matrix(
+    d: int,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    dtype=np.float64,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Random dense ``d x n`` test matrix.
+
+    ``distribution`` may be ``"uniform"`` (entries in ``[-1, 1)``, the
+    cheapest to generate, matching the paper's timing experiments where only
+    the shape matters) or ``"gaussian"``.
+    """
+    if d <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        return (rng.random((d, n)) * 2.0 - 1.0).astype(dtype, copy=False)
+    if distribution == "gaussian":
+        return rng.standard_normal((d, n)).astype(dtype, copy=False)
+    raise ValueError(f"unknown distribution '{distribution}'")
+
+
+def matrix_memory_footprint(d: int, n: int, dtype=np.float64) -> float:
+    """Bytes needed to store a dense ``d x n`` matrix of the given dtype."""
+    return float(d) * n * np.dtype(dtype).itemsize

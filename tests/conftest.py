@@ -1,0 +1,45 @@
+"""Shared fixtures for the test-suite.
+
+Most tests need a numeric executor with memory tracking disabled (so shapes
+can be chosen for test speed rather than device realism), a seeded NumPy
+generator, and a small random matrix.  Keeping them here avoids repeating the
+setup in every module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import TEST_DEVICE, H100_SXM5
+from repro.gpu.executor import GPUExecutor
+
+
+@pytest.fixture
+def executor() -> GPUExecutor:
+    """Numeric executor on the paper's H100 with unlimited memory."""
+    return GPUExecutor(H100_SXM5, numeric=True, seed=1234, track_memory=False)
+
+
+@pytest.fixture
+def analytic_executor() -> GPUExecutor:
+    """Analytic (shape-only) executor on the paper's H100."""
+    return GPUExecutor(H100_SXM5, numeric=False, seed=1234, track_memory=False)
+
+
+@pytest.fixture
+def small_executor() -> GPUExecutor:
+    """Numeric executor on the tiny test device (1 GB) with memory tracking."""
+    return GPUExecutor(TEST_DEVICE, numeric=True, seed=1234, track_memory=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator for building test inputs."""
+    return np.random.default_rng(20240614)
+
+
+@pytest.fixture
+def tall_matrix(rng) -> np.ndarray:
+    """A 4096 x 16 random Gaussian matrix (tall and skinny, like the paper's A)."""
+    return rng.standard_normal((4096, 16))

@@ -1,0 +1,146 @@
+"""Tests for the SketchOperator interface plus property-based embedding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import SketchOperator, default_embedding_dim
+from repro.core.countsketch import CountSketch, StreamingCountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.theory.distortion import measure_subspace_distortion, singular_value_distortion
+
+
+class TestDefaultEmbeddingDim:
+    def test_paper_choices(self):
+        assert default_embedding_dim("gaussian", 128) == 256
+        assert default_embedding_dim("srht", 128) == 256
+        assert default_embedding_dim("countsketch", 128) == 2 * 128 * 128
+        assert default_embedding_dim("multisketch", 128) == 256
+
+    def test_custom_oversampling(self):
+        assert default_embedding_dim("gaussian", 100, oversampling=4.0) == 400
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            default_embedding_dim("fourier", 10)
+
+
+class TestInterfaceContracts:
+    def test_invalid_dimensions(self, executor):
+        with pytest.raises(ValueError):
+            GaussianSketch(0, 1, executor=executor)
+        with pytest.raises(ValueError):
+            GaussianSketch(-5, 2, executor=executor)
+        with pytest.raises(ValueError):
+            GaussianSketch(10, 20, executor=executor)  # k > d
+
+    def test_shape_and_metadata(self, executor):
+        g = GaussianSketch(100, 10, executor=executor, seed=5)
+        assert g.shape == (10, 100)
+        assert g.d == 100 and g.k == 10
+        assert g.seed == 5
+        assert not g.is_generated
+        g.generate()
+        assert g.is_generated
+
+    def test_default_executor_created_when_omitted(self):
+        cs = CountSketch(64, 8, seed=1)
+        assert cs.executor is not None
+        assert cs.executor.numeric
+        y = cs.sketch_host(np.eye(64))
+        assert y.shape == (8, 64)
+
+    def test_cannot_instantiate_abstract_base(self):
+        with pytest.raises(TypeError):
+            SketchOperator(10, 5)  # type: ignore[abstract]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ex: CountSketch(512, 64, executor=ex, seed=3),
+            lambda ex: StreamingCountSketch(512, 64, executor=ex, seed=3),
+            lambda ex: GaussianSketch(512, 32, executor=ex, seed=3),
+            lambda ex: SRHT(512, 32, executor=ex, seed=3),
+            lambda ex: count_gauss(512, 4, executor=ex, seed=3),
+        ],
+    )
+    def test_all_operators_share_the_interface(self, executor, rng, factory):
+        sketch = factory(executor)
+        a = rng.standard_normal((512, 4))
+        b = rng.standard_normal(512)
+        y = sketch.sketch_host(a)
+        z = sketch.sketch_host(b)
+        assert y.shape == (sketch.k, 4)
+        assert z.shape == (sketch.k,)
+        assert np.all(np.isfinite(y)) and np.all(np.isfinite(z))
+
+
+class TestSubspaceEmbeddingProperties:
+    """Property-based checks of Definition 1.1 on random subspaces."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_gaussian_sketch_is_a_subspace_embedding(self, seed):
+        d, n, k = 1024, 4, 256
+        basis = np.random.default_rng(seed).standard_normal((d, n))
+        sketch = GaussianSketch(d, k, seed=seed)
+        eps = measure_subspace_distortion(sketch, basis)
+        assert eps < 0.75  # k = 64 n gives a comfortable distortion margin
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_countsketch_is_a_subspace_embedding(self, seed):
+        d, n = 2048, 4
+        k = 16 * n * n  # comfortably above the O(n^2) requirement
+        basis = np.random.default_rng(seed).standard_normal((d, n))
+        sketch = CountSketch(d, k, seed=seed)
+        eps = measure_subspace_distortion(sketch, basis)
+        assert eps < 0.8
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_multisketch_is_a_subspace_embedding(self, seed):
+        d, n = 2048, 4
+        basis = np.random.default_rng(seed).standard_normal((d, n))
+        sketch = count_gauss(d, n, k1=32 * n * n, k2=64 * n, seed=seed)
+        eps = measure_subspace_distortion(sketch, basis)
+        assert eps < 0.9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_singular_values_of_sketched_orthobasis_near_one(self, seed):
+        d, n, k = 1024, 4, 256
+        basis = np.random.default_rng(seed).standard_normal((d, n))
+        sketch = GaussianSketch(d, k, seed=seed)
+        smin, smax = singular_value_distortion(sketch, basis)
+        assert 0.5 < smin <= smax < 1.6
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+    )
+    def test_sketch_output_shapes_property(self, seed, n):
+        d = 512
+        a = np.random.default_rng(seed).standard_normal((d, n))
+        for sketch in (
+            CountSketch(d, 128, seed=seed),
+            GaussianSketch(d, 64, seed=seed),
+            SRHT(d, 64, seed=seed),
+        ):
+            y = sketch.sketch_host(a)
+            assert y.shape == (sketch.k, n)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_countsketch_preserves_column_sums_up_to_sign_structure(self, seed):
+        """Each column of A contributes exactly once (with +-1) to the sketch."""
+        d, n, k = 512, 3, 64
+        a = np.random.default_rng(seed).standard_normal((d, n))
+        cs = CountSketch(d, k, seed=seed)
+        y = cs.sketch_host(a)
+        signs = np.where(cs.signs, 1.0, -1.0)
+        np.testing.assert_allclose(y.sum(axis=0), (signs[:, None] * a).sum(axis=0), rtol=1e-9)

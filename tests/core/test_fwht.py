@@ -1,0 +1,142 @@
+"""Tests for the Fast Walsh-Hadamard Transform implementations (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fwht import (
+    fwht,
+    fwht_global_passes,
+    fwht_matrix,
+    fwht_num_stages,
+    fwht_radix4_inplace,
+    hadamard_matrix,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("n,expected", [(1, True), (2, True), (3, False), (16, True), (0, False), (-4, False), (1024, True), (1023, False)])
+    def test_is_power_of_two(self, n, expected):
+        assert is_power_of_two(n) is expected
+
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (1000, 1024), (1024, 1024)])
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_hadamard_matrix_orthogonality(self):
+        h = hadamard_matrix(16)
+        np.testing.assert_allclose(h @ h.T, 16 * np.eye(16))
+
+    def test_hadamard_matrix_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(12)
+
+
+class TestVectorTransforms:
+    @pytest.mark.parametrize("d", [1, 2, 4, 8, 16, 64, 256, 1024])
+    def test_fwht_matches_explicit_hadamard(self, rng, d):
+        x = rng.standard_normal(d)
+        expected = hadamard_matrix(d) @ x
+        np.testing.assert_allclose(fwht(x), expected, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("d", [4, 16, 64, 256, 1024])
+    def test_radix4_matches_radix2(self, rng, d):
+        x = rng.standard_normal(d)
+        expected = fwht(x)
+        np.testing.assert_allclose(fwht_radix4_inplace(x.copy()), expected, rtol=1e-10)
+
+    @pytest.mark.parametrize("d", [2, 8, 32, 128, 512])
+    def test_radix4_handles_odd_log2_lengths(self, rng, d):
+        """Lengths that are powers of two but not powers of four need a radix-2 peel."""
+        x = rng.standard_normal(d)
+        np.testing.assert_allclose(fwht_radix4_inplace(x.copy()), fwht(x), rtol=1e-10)
+
+    def test_non_power_of_two_rejected(self, rng):
+        with pytest.raises(ValueError):
+            fwht(rng.standard_normal(12))
+        with pytest.raises(ValueError):
+            fwht_radix4_inplace(rng.standard_normal(12))
+
+    def test_involution_up_to_scaling(self, rng):
+        """H (H x) = d x: the FWHT is its own inverse up to a factor of d."""
+        x = rng.standard_normal(128)
+        np.testing.assert_allclose(fwht(fwht(x)), 128 * x, rtol=1e-10)
+
+    def test_parseval(self, rng):
+        """||H x||^2 = d ||x||^2 (the transform preserves energy up to d)."""
+        x = rng.standard_normal(256)
+        assert np.linalg.norm(fwht(x)) ** 2 == pytest.approx(256 * np.linalg.norm(x) ** 2)
+
+
+class TestMatrixTransform:
+    def test_matrix_transform_matches_columnwise(self, rng):
+        a = rng.standard_normal((64, 5))
+        expected = np.column_stack([fwht(a[:, j]) for j in range(5)])
+        np.testing.assert_allclose(fwht_matrix(a), expected, rtol=1e-10)
+
+    def test_matrix_transform_accepts_vectors(self, rng):
+        x = rng.standard_normal(32)
+        np.testing.assert_allclose(fwht_matrix(x), fwht(x), rtol=1e-12)
+
+    def test_matrix_transform_rejects_bad_row_count(self, rng):
+        with pytest.raises(ValueError):
+            fwht_matrix(rng.standard_normal((12, 3)))
+
+    def test_linearity(self, rng):
+        a = rng.standard_normal((64, 3))
+        b = rng.standard_normal((64, 3))
+        np.testing.assert_allclose(
+            fwht_matrix(2.0 * a + b), 2.0 * fwht_matrix(a) + fwht_matrix(b), rtol=1e-10
+        )
+
+
+class TestStageCounting:
+    @pytest.mark.parametrize("d,stages", [(4, 1), (16, 2), (64, 3), (256, 4), (2, 1), (8, 2)])
+    def test_radix4_stage_count(self, d, stages):
+        assert fwht_num_stages(d, radix=4) == stages
+
+    def test_global_passes_decrease_with_shared_memory(self):
+        d = 1 << 22
+        small_smem = fwht_global_passes(d, shared_memory_elems=256)
+        big_smem = fwht_global_passes(d, shared_memory_elems=6144)
+        assert big_smem < small_smem
+
+    def test_global_passes_at_least_one(self):
+        assert fwht_global_passes(4, shared_memory_elems=1 << 20) == 1
+
+    def test_global_passes_h100_shared_memory(self):
+        """With 48 KB of shared memory (6144 doubles) a 2^22-point FWHT needs ~6 passes."""
+        passes = fwht_global_passes(1 << 22, shared_memory_elems=6144, radix=4)
+        assert 4 <= passes <= 8
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fwht_num_stages(12)
+        with pytest.raises(ValueError):
+            fwht_global_passes(16, 0)
+
+
+class TestFWHTProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        log2d=st.integers(min_value=0, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_energy_preservation_property(self, log2d, seed):
+        d = 1 << log2d
+        x = np.random.default_rng(seed).standard_normal(d)
+        y = fwht(x)
+        assert np.linalg.norm(y) ** 2 == pytest.approx(d * np.linalg.norm(x) ** 2, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        log2d=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_radix4_equals_radix2_property(self, log2d, seed):
+        d = 1 << log2d
+        x = np.random.default_rng(seed).standard_normal(d)
+        np.testing.assert_allclose(fwht_radix4_inplace(x.copy()), fwht(x), rtol=1e-9, atol=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for the Gaussian sketch and the SRHT / block SRHT."""
+
+import numpy as np
+import pytest
+
+from repro.core.fwht import hadamard_matrix
+from repro.core.gaussian import GaussianSketch
+from repro.core.srht import SRHT, BlockSRHT
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.memory import DeviceOutOfMemoryError
+
+
+D, N, K = 1024, 8, 32
+
+
+class TestGaussianSketch:
+    def test_apply_equals_explicit_gemm(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        g = GaussianSketch(D, K, executor=executor, seed=1)
+        np.testing.assert_allclose(g.sketch_host(a), g.explicit_matrix() @ a, rtol=1e-12)
+
+    def test_entries_scaled_by_inverse_sqrt_k(self, executor):
+        g = GaussianSketch(D, K, executor=executor, seed=2)
+        mat = g.explicit_matrix()
+        assert float(np.std(mat)) == pytest.approx(1.0 / np.sqrt(K), rel=0.05)
+
+    def test_vector_apply(self, executor, rng):
+        b = rng.standard_normal(D)
+        g = GaussianSketch(D, K, executor=executor, seed=3)
+        np.testing.assert_allclose(g.sketch_host(b), g.explicit_matrix() @ b, rtol=1e-12)
+
+    def test_norm_preserved_in_expectation(self, executor, rng):
+        x = rng.standard_normal(D)
+        norms = [
+            np.linalg.norm(GaussianSketch(D, 256, executor=executor, seed=s).sketch_host(x)) ** 2
+            for s in range(20)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.15)
+
+    def test_memory_required(self, executor):
+        g = GaussianSketch(D, K, executor=executor)
+        assert g.memory_required() == K * D * 8
+
+    def test_out_of_memory_on_small_device(self):
+        """The explicit Gaussian exhausts memory -- the paper's blank bars."""
+        ex = GPUExecutor(TEST_DEVICE, numeric=False, track_memory=True)
+        d = 1 << 22  # 4M rows
+        g = GaussianSketch(d, 64, executor=ex, seed=0)  # 64 * 4M * 8 = 2.1 GB > 1 GB
+        with pytest.raises(DeviceOutOfMemoryError):
+            g.generate()
+
+    def test_generation_dominates_sketch_gen_phase(self, analytic_executor):
+        g = GaussianSketch(1 << 20, 256, executor=analytic_executor, seed=1)
+        g.generate()
+        phases = analytic_executor.breakdown().by_phase()
+        assert phases.get("Sketch gen", 0.0) > 0
+        # generating 256 * 2^20 doubles takes milliseconds of simulated time
+        assert phases["Sketch gen"] > 1e-3
+
+    def test_reproducible_with_seed(self, executor):
+        m1 = GaussianSketch(D, K, executor=executor, seed=11).explicit_matrix()
+        m2 = GaussianSketch(D, K, executor=executor, seed=11).explicit_matrix()
+        np.testing.assert_array_equal(m1, m2)
+
+
+class TestSRHT:
+    def test_apply_equals_explicit_construction(self, executor, rng):
+        """S = (1/sqrt(k)) P H D applied to A matches the definition exactly."""
+        a = rng.standard_normal((64, 5))
+        srht = SRHT(64, 16, executor=executor, seed=4)
+        y = srht.sketch_host(a)
+
+        signs = srht._signs.data.astype(np.float64)
+        sample = srht._sample.data
+        h = hadamard_matrix(64)
+        expected = (h @ (a * signs[:, None]))[sample, :] / np.sqrt(16)
+        np.testing.assert_allclose(y, expected, rtol=1e-10)
+
+    def test_non_power_of_two_input_padded(self, executor, rng):
+        a = rng.standard_normal((100, 4))
+        srht = SRHT(100, 16, executor=executor, seed=5)
+        assert srht.padded_dim == 128
+        y = srht.sketch_host(a)
+        assert y.shape == (16, 4)
+        assert np.all(np.isfinite(y))
+
+    def test_vector_apply_consistent_with_matrix(self, executor, rng):
+        b = rng.standard_normal(256)
+        srht = SRHT(256, 32, executor=executor, seed=6)
+        y_vec = srht.sketch_host(b)
+        y_mat = srht.sketch_host(b.reshape(-1, 1))[:, 0]
+        np.testing.assert_allclose(y_vec, y_mat, rtol=1e-10)
+
+    def test_norm_preserved_in_expectation(self, executor, rng):
+        x = rng.standard_normal(512)
+        norms = [
+            np.linalg.norm(SRHT(512, 128, executor=executor, seed=s).sketch_host(x)) ** 2
+            for s in range(20)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.2)
+
+    def test_fwht_kernel_and_syncs_charged(self, analytic_executor):
+        srht = SRHT(1 << 20, 64, executor=analytic_executor, seed=1)
+        a = analytic_executor.empty((1 << 20, 32))
+        mark = analytic_executor.mark()
+        srht.apply(a)
+        records = analytic_executor.breakdown_since(mark).records
+        fwht_records = [r for r in records if r.name == "fwht_radix4"]
+        assert len(fwht_records) == 1
+        assert fwht_records[0].launches > 1  # one launch per butterfly stage
+
+    def test_srht_slower_than_countsketch_at_paper_scale(self):
+        """Figure 2: the SRHT needs several passes over A, the CountSketch one."""
+        from repro.core.countsketch import CountSketch
+
+        ex = GPUExecutor(numeric=False, track_memory=False)
+        d, n = 1 << 22, 128
+        a = ex.empty((d, n))
+        mark = ex.mark()
+        CountSketch(d, 2 * n * n, executor=ex, seed=1).apply(a)
+        count_time = ex.elapsed_since(mark)
+        mark = ex.mark()
+        SRHT(d, 2 * n, executor=ex, seed=1).apply(a)
+        srht_time = ex.elapsed_since(mark)
+        assert srht_time > 2.0 * count_time
+
+
+class TestBlockSRHT:
+    def test_shapes_and_finiteness(self, executor, rng):
+        a = rng.standard_normal((512, 6))
+        block = BlockSRHT(512, 16, n_blocks=4, executor=executor, seed=7)
+        y = block.sketch_host(a)
+        assert y.shape == (16, 6)
+        assert np.all(np.isfinite(y))
+
+    def test_norm_preserved_in_expectation(self, executor, rng):
+        x = rng.standard_normal(1024)
+        norms = [
+            np.linalg.norm(BlockSRHT(1024, 128, n_blocks=4, executor=executor, seed=s).sketch_host(x)) ** 2
+            for s in range(20)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.25)
+
+    def test_block_count_validation(self, executor):
+        with pytest.raises(ValueError):
+            BlockSRHT(512, 16, n_blocks=0, executor=executor)
+        with pytest.raises(ValueError):
+            BlockSRHT(64, 32, n_blocks=4, executor=executor)  # blocks smaller than k

@@ -1,0 +1,130 @@
+"""Tests for multisketch composition and the Count-Gauss factory."""
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import MultiSketch, count_gauss
+from repro.gpu.executor import GPUExecutor
+
+
+D, N = 4096, 8
+
+
+class TestComposition:
+    def test_two_stage_matches_explicit_product(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        count = CountSketch(D, 2 * N * N, executor=executor, seed=1)
+        gauss = GaussianSketch(2 * N * N, 2 * N, executor=executor, seed=2)
+        multi = MultiSketch([count, gauss])
+        y = multi.sketch_host(a)
+        expected = gauss.explicit_matrix() @ (count.explicit_matrix() @ a)
+        np.testing.assert_allclose(y, expected, rtol=1e-10)
+
+    def test_explicit_matrix_of_composition(self, executor):
+        count = CountSketch(D, 64, executor=executor, seed=1)
+        gauss = GaussianSketch(64, 16, executor=executor, seed=2)
+        multi = MultiSketch([count, gauss])
+        np.testing.assert_allclose(
+            multi.explicit_matrix(),
+            gauss.explicit_matrix() @ count.explicit_matrix(),
+            rtol=1e-10,
+        )
+
+    def test_vector_path(self, executor, rng):
+        b = rng.standard_normal(D)
+        multi = count_gauss(D, N, executor=executor, seed=3)
+        np.testing.assert_allclose(
+            multi.sketch_host(b), multi.explicit_matrix() @ b, rtol=1e-10
+        )
+
+    def test_dimension_chaining_validated(self, executor):
+        count = CountSketch(D, 64, executor=executor, seed=1)
+        gauss = GaussianSketch(128, 16, executor=executor, seed=2)  # mismatched input dim
+        with pytest.raises(ValueError):
+            MultiSketch([count, gauss])
+
+    def test_single_stage_rejected(self, executor):
+        count = CountSketch(D, 64, executor=executor, seed=1)
+        with pytest.raises(ValueError):
+            MultiSketch([count])
+
+    def test_stages_must_share_executor(self, executor):
+        other = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        count = CountSketch(D, 64, executor=executor, seed=1)
+        gauss = GaussianSketch(64, 16, executor=other, seed=2)
+        with pytest.raises(ValueError):
+            MultiSketch([count, gauss])
+
+    def test_three_stage_composition(self, executor, rng):
+        a = rng.standard_normal((D, 4))
+        s1 = CountSketch(D, 512, executor=executor, seed=1)
+        s2 = CountSketch(512, 64, executor=executor, seed=2)
+        s3 = GaussianSketch(64, 8, executor=executor, seed=3)
+        multi = MultiSketch([s1, s2, s3])
+        expected = (
+            s3.explicit_matrix() @ s2.explicit_matrix() @ s1.explicit_matrix() @ a
+        )
+        np.testing.assert_allclose(multi.sketch_host(a), expected, rtol=1e-10)
+
+
+class TestCountGaussFactory:
+    def test_default_dimensions_follow_paper(self, executor):
+        multi = count_gauss(1 << 16, 64, executor=executor, seed=1)
+        assert multi.stages[0].k == 2 * 64 * 64  # k1 = 2 n^2
+        assert multi.k == 2 * 64  # k2 = 2 n
+
+    def test_k1_clipped_to_d(self, executor):
+        multi = count_gauss(1000, 64, executor=executor, seed=1)  # 2n^2 = 8192 > d
+        assert multi.stages[0].k == 1000
+
+    def test_k2_cannot_exceed_k1(self, executor):
+        with pytest.raises(ValueError):
+            count_gauss(D, N, k1=8, k2=16, executor=executor)
+
+    def test_spmm_variant_selectable(self, executor):
+        multi = count_gauss(D, N, countsketch_variant="spmm", executor=executor, seed=1)
+        assert multi.stages[0].variant == "spmm"
+
+    def test_norm_preserved_in_expectation(self, executor, rng):
+        x = rng.standard_normal(D)
+        norms = [
+            np.linalg.norm(count_gauss(D, 16, executor=executor, seed=s).sketch_host(x)) ** 2
+            for s in range(25)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.2)
+
+
+class TestTransposeTrick:
+    def test_trick_and_no_trick_produce_identical_results(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        y1 = count_gauss(D, N, executor=executor, seed=5, transpose_trick=True).sketch_host(a)
+        y2 = count_gauss(D, N, executor=executor, seed=5, transpose_trick=False).sketch_host(a)
+        np.testing.assert_allclose(y1, y2, rtol=1e-10)
+
+    def test_trick_is_faster_at_paper_scale(self):
+        """Section 6.1: transposing only the small k2 x n result saves time."""
+        d, n = 1 << 22, 128
+        ex1 = GPUExecutor(numeric=False, track_memory=False)
+        a1 = ex1.empty((d, n))
+        count_gauss(d, n, executor=ex1, seed=1, transpose_trick=True).apply(a1)
+        with_trick = ex1.elapsed
+
+        ex2 = GPUExecutor(numeric=False, track_memory=False)
+        a2 = ex2.empty((d, n))
+        count_gauss(d, n, executor=ex2, seed=1, transpose_trick=False).apply(a2)
+        without_trick = ex2.elapsed
+        assert with_trick < without_trick
+
+    def test_multisketch_adds_little_overhead_over_countsketch(self):
+        """Figure 2: 'the multisketch technique adds minimal overhead to the CountSketch'."""
+        d, n = 1 << 22, 128
+        ex1 = GPUExecutor(numeric=False, track_memory=False)
+        CountSketch(d, 2 * n * n, executor=ex1, seed=1).apply(ex1.empty((d, n)))
+        count_only = ex1.elapsed
+
+        ex2 = GPUExecutor(numeric=False, track_memory=False)
+        count_gauss(d, n, executor=ex2, seed=1).apply(ex2.empty((d, n)))
+        multi = ex2.elapsed
+        assert multi < 1.6 * count_only

@@ -1,0 +1,192 @@
+"""Tests for the distributed block-row sketching layer (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.block_row import BlockRowMatrix
+from repro.distributed.comm import CommCostModel, SimComm
+from repro.distributed.cost_model import communication_table, sketch_communication_volume
+from repro.distributed.dist_sketch import (
+    distributed_block_srht,
+    distributed_countsketch,
+    distributed_gaussian_sketch,
+    distributed_multisketch,
+)
+from repro.theory.distortion import measure_subspace_distortion
+
+
+class TestCommCostModel:
+    def test_single_process_is_free(self):
+        m = CommCostModel()
+        assert m.reduce_time(1e9, 1) == 0.0
+        assert m.allreduce_time(1e9, 1) == 0.0
+        assert m.broadcast_time(1e9, 1) == 0.0
+
+    def test_reduce_time_grows_with_message_size(self):
+        m = CommCostModel()
+        assert m.reduce_time(1e9, 8) > m.reduce_time(1e6, 8)
+
+    def test_tree_algorithm_more_expensive_for_large_messages(self):
+        ring = CommCostModel(algorithm="ring")
+        tree = CommCostModel(algorithm="tree")
+        assert tree.reduce_time(1e9, 16) > ring.reduce_time(1e9, 16)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CommCostModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            CommCostModel(algorithm="butterfly")
+
+
+class TestSimComm:
+    def test_reduce_sum(self):
+        comm = SimComm(4)
+        parts = [np.full(3, float(i)) for i in range(4)]
+        total = comm.reduce_sum(parts)
+        np.testing.assert_array_equal(total, np.full(3, 6.0))
+        assert comm.total_time() > 0
+        assert comm.total_bytes() == 24
+
+    def test_allreduce_and_broadcast(self):
+        comm = SimComm(4)
+        total = comm.allreduce_sum([np.ones(2)] * 4)
+        np.testing.assert_array_equal(total, 4 * np.ones(2))
+        out = comm.broadcast(np.arange(3.0))
+        np.testing.assert_array_equal(out, np.arange(3.0))
+        assert set(comm.by_collective()) == {"allreduce", "broadcast"}
+
+    def test_contribution_count_enforced(self):
+        comm = SimComm(3)
+        with pytest.raises(ValueError):
+            comm.reduce_sum([np.ones(2)] * 2)
+
+    def test_shape_mismatch_rejected(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.reduce_sum([np.ones(2), np.ones(3)])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+
+class TestBlockRowMatrix:
+    def test_from_global_round_trip(self, rng):
+        a = rng.standard_normal((100, 6))
+        dist = BlockRowMatrix.from_global(a, 4)
+        assert dist.n_blocks == 4
+        assert dist.shape == (100, 6)
+        np.testing.assert_array_equal(dist.gather(), a)
+
+    def test_analytic_blocks(self):
+        dist = BlockRowMatrix.analytic(1 << 20, 64, 8)
+        assert dist.shape == (1 << 20, 64)
+        assert not dist.is_numeric
+        with pytest.raises(RuntimeError):
+            dist.gather()
+
+    def test_block_shapes_cover_all_rows(self, rng):
+        dist = BlockRowMatrix.from_global(rng.standard_normal((103, 4)), 5)
+        assert sum(dist.block_rows(r) for r in range(5)) == 103
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            BlockRowMatrix([])
+        with pytest.raises(ValueError):
+            BlockRowMatrix([rng.standard_normal((4, 3)), rng.standard_normal((4, 2))])
+        with pytest.raises(ValueError):
+            BlockRowMatrix([None], block_shapes=None)
+        with pytest.raises(ValueError):
+            BlockRowMatrix.from_global(rng.standard_normal((4, 2)), 10)
+
+
+class TestDistributedSketches:
+    D, N, P = 4096, 8, 4
+
+    def _dist_matrix(self, rng):
+        a = rng.standard_normal((self.D, self.N))
+        return a, BlockRowMatrix.from_global(a, self.P)
+
+    def test_distributed_gaussian_is_an_embedding(self, rng):
+        a, dist = self._dist_matrix(rng)
+        comm = SimComm(self.P)
+        result = distributed_gaussian_sketch(dist, 8 * self.N, comm, seed=1)
+        assert result.sketch.shape == (8 * self.N, self.N)
+
+        class _Wrapper:
+            def __init__(self, sketch):
+                self.sketch = sketch
+
+            def sketch_host(self, x):
+                # re-run on the orthonormalised basis through the same machinery
+                dist_x = BlockRowMatrix.from_global(np.asarray(x), TestDistributedSketches.P)
+                return distributed_gaussian_sketch(dist_x, 8 * TestDistributedSketches.N, SimComm(TestDistributedSketches.P), seed=1).sketch
+
+        eps = measure_subspace_distortion(_Wrapper(result.sketch), a)
+        assert eps < 0.9
+
+    def test_distributed_countsketch_matches_blockwise_reference(self, rng):
+        a, dist = self._dist_matrix(rng)
+        comm = SimComm(self.P)
+        k = 4 * self.N * self.N
+        result = distributed_countsketch(dist, k, comm, seed=2)
+        assert result.sketch.shape == (k, self.N)
+        # communication volume: one k x n partial per rank reduced once
+        assert result.comm_bytes == pytest.approx(k * self.N * 8)
+        assert len(result.per_rank_compute) == self.P
+
+    def test_distributed_multisketch_message_matches_gaussian(self, rng):
+        """Section 7: the multisketch reduces the same k2 x n message as the Gaussian."""
+        a, dist = self._dist_matrix(rng)
+        k1, k2 = 2 * self.N * self.N, 2 * self.N
+        multi = distributed_multisketch(dist, k1, k2, SimComm(self.P), seed=3)
+        gauss = distributed_gaussian_sketch(dist, k2, SimComm(self.P), seed=3)
+        assert multi.comm_bytes == pytest.approx(gauss.comm_bytes)
+        assert multi.sketch.shape == (k2, self.N)
+
+    def test_distributed_block_srht(self, rng):
+        a, dist = self._dist_matrix(rng)
+        result = distributed_block_srht(dist, 2 * self.N, SimComm(self.P), seed=4)
+        assert result.sketch.shape == (2 * self.N, self.N)
+        assert np.all(np.isfinite(result.sketch))
+
+    def test_block_srht_rejects_too_small_blocks(self, rng):
+        dist = BlockRowMatrix.from_global(rng.standard_normal((64, 8)), 4)
+        with pytest.raises(ValueError):
+            distributed_block_srht(dist, 32, SimComm(4), seed=1)
+
+    def test_communicator_size_must_match_blocks(self, rng):
+        _, dist = self._dist_matrix(rng)
+        with pytest.raises(ValueError):
+            distributed_gaussian_sketch(dist, 16, SimComm(self.P + 1), seed=1)
+
+    def test_analytic_mode_charges_costs_without_data(self):
+        dist = BlockRowMatrix.analytic(1 << 18, 64, 4)
+        comm = SimComm(4)
+        result = distributed_countsketch(dist, 2 * 64 * 64, comm, seed=5)
+        assert result.sketch is None
+        assert result.max_rank_compute > 0
+        assert result.total_seconds >= result.max_rank_compute
+
+
+class TestCostModelTable:
+    def test_countsketch_communicates_most(self):
+        est = {m: sketch_communication_volume(m, 1 << 22, 128, 8) for m in
+               ("gaussian", "countsketch", "multisketch", "block_srht")}
+        assert est["countsketch"].message_bytes > est["block_srht"].message_bytes
+        assert est["block_srht"].message_bytes > est["gaussian"].message_bytes
+        assert est["multisketch"].message_bytes == est["gaussian"].message_bytes
+
+    def test_multisketch_broadcast_accounted(self):
+        est = sketch_communication_volume("multisketch", 1 << 22, 128, 8)
+        assert est.broadcast_bytes > 0
+
+    def test_table_covers_all_process_counts(self):
+        rows = communication_table(1 << 20, 64, (2, 4, 8))
+        assert len(rows) == 12
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sketch_communication_volume("gaussian", 0, 10, 2)
+        with pytest.raises(ValueError):
+            sketch_communication_volume("warp", 100, 10, 2)

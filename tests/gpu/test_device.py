@@ -1,0 +1,74 @@
+"""Tests for the device specifications."""
+
+import pytest
+
+from repro.gpu.device import (
+    A100_SXM4,
+    H100_SXM5,
+    TEST_DEVICE,
+    DeviceSpec,
+    get_device,
+    register_device,
+)
+
+
+class TestPresets:
+    def test_h100_matches_paper_hardware(self):
+        assert "H100" in H100_SXM5.name
+        assert H100_SXM5.memory_capacity == pytest.approx(80e9)
+        # HBM3 bandwidth of the SXM5 part.
+        assert 3.0e12 < H100_SXM5.memory_bandwidth < 3.5e12
+        assert H100_SXM5.peak_flops_fp64 < H100_SXM5.peak_flops_fp32
+
+    def test_a100_slower_than_h100(self):
+        assert A100_SXM4.memory_bandwidth < H100_SXM5.memory_bandwidth
+        assert A100_SXM4.peak_flops_fp64 < H100_SXM5.peak_flops_fp64
+
+    def test_efficiency_constants_match_paper_figures(self):
+        # Figure 3: Algorithm-2 CountSketch hits 50-60% of peak, SpMM ~20%,
+        # SRHT 60-70%.
+        assert 0.5 <= H100_SXM5.atomic_efficiency <= 0.6
+        assert 0.15 <= H100_SXM5.spmm_efficiency <= 0.25
+        assert 0.6 <= H100_SXM5.fwht_efficiency <= 0.7
+
+
+class TestPeakFlops:
+    def test_fp64_selected_for_8_byte_types(self):
+        assert H100_SXM5.peak_flops(8) == H100_SXM5.peak_flops_fp64
+
+    def test_fp32_selected_for_4_byte_types(self):
+        assert H100_SXM5.peak_flops(4) == H100_SXM5.peak_flops_fp32
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_device("H100") is H100_SXM5
+        assert get_device("a100-sxm4") is A100_SXM4
+        assert get_device("test") is TEST_DEVICE
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("tpu-v5")
+
+    def test_register_custom_device(self):
+        custom = DeviceSpec(
+            name="custom",
+            memory_bandwidth=1e12,
+            peak_flops_fp64=5e12,
+            peak_flops_fp32=1e13,
+            memory_capacity=16e9,
+        )
+        register_device("my-custom-gpu", custom)
+        assert get_device("MY-CUSTOM-GPU") is custom
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_spec(self):
+        modified = H100_SXM5.with_overrides(atomic_efficiency=0.9)
+        assert modified.atomic_efficiency == 0.9
+        assert H100_SXM5.atomic_efficiency != 0.9
+        assert modified.memory_bandwidth == H100_SXM5.memory_bandwidth
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            H100_SXM5.atomic_efficiency = 1.0  # type: ignore[misc]

@@ -1,0 +1,126 @@
+"""Tests for the executor and device array handles."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.kernels import KernelClass, KernelRequest
+from repro.gpu.memory import DeviceOutOfMemoryError
+
+
+class TestAllocation:
+    def test_empty_numeric_has_data(self, executor):
+        arr = executor.empty((10, 3), label="x")
+        assert arr.is_numeric
+        assert arr.shape == (10, 3)
+        assert arr.data.shape == (10, 3)
+
+    def test_empty_analytic_has_no_data(self, analytic_executor):
+        arr = analytic_executor.empty((10, 3))
+        assert not arr.is_numeric
+        with pytest.raises(RuntimeError):
+            arr.require_data()
+
+    def test_zeros_initialises_and_charges_memset(self, executor):
+        before = len(executor.breakdown())
+        arr = executor.zeros((5, 5))
+        assert np.all(arr.data == 0.0)
+        names = [r.name for r in executor.breakdown().records[before:]]
+        assert "memset" in names
+
+    def test_to_device_copies(self, executor, rng):
+        host = rng.standard_normal((7, 2))
+        dev = executor.to_device(host)
+        host[0, 0] = 1e9
+        assert dev.data[0, 0] != 1e9
+
+    def test_memory_tracked_allocation_and_oom(self):
+        ex = GPUExecutor(TEST_DEVICE, numeric=False, track_memory=True)
+        ex.empty((1000, 1000))  # 8 MB, fine
+        with pytest.raises(DeviceOutOfMemoryError):
+            ex.empty((200_000, 1000))  # 1.6 GB > 1 GB test device
+
+    def test_free_releases_memory(self):
+        ex = GPUExecutor(TEST_DEVICE, numeric=False, track_memory=True)
+        arr = ex.empty((1000, 1000))
+        used = ex.memory.in_use
+        arr.free()
+        assert ex.memory.in_use < used
+
+    def test_like_matches_template(self, executor):
+        template = executor.empty((4, 4), dtype=np.float32, order="F")
+        clone = executor.like(template)
+        assert clone.shape == (4, 4)
+        assert clone.dtype == np.float32
+        assert clone.order == "F"
+
+
+class TestLaunchAndPhases:
+    def test_launch_advances_clock(self, executor):
+        t0 = executor.elapsed
+        executor.launch(
+            KernelRequest(name="k", kclass=KernelClass.STREAM, bytes_read=1e9)
+        )
+        assert executor.elapsed > t0
+
+    def test_phase_context_labels_launches(self, executor):
+        with executor.phase("Matrix sketch"):
+            executor.launch(KernelRequest(name="k", kclass=KernelClass.STREAM, bytes_read=1.0))
+        assert "Matrix sketch" in executor.breakdown().by_phase()
+
+    def test_mark_and_breakdown_since(self, executor):
+        executor.launch(KernelRequest(name="a", kclass=KernelClass.STREAM, bytes_read=1e6))
+        mark = executor.mark()
+        executor.launch(KernelRequest(name="b", kclass=KernelClass.STREAM, bytes_read=1e6))
+        since = executor.breakdown_since(mark)
+        assert [r.name for r in since.records] == ["b"]
+        assert executor.elapsed_since(mark) == pytest.approx(since.total())
+
+    def test_reset_clock(self, executor):
+        executor.launch(KernelRequest(name="a", kclass=KernelClass.STREAM, bytes_read=1e6))
+        executor.reset_clock()
+        assert executor.elapsed == 0.0
+
+    def test_lazy_library_handles_are_cached(self, executor):
+        assert executor.blas is executor.blas
+        assert executor.solver is executor.solver
+        assert executor.sparse is executor.sparse
+        assert executor.rand is executor.rand
+
+
+class TestDeviceArray:
+    def test_properties(self, executor):
+        arr = executor.empty((6, 4), dtype=np.float64)
+        assert arr.ndim == 2
+        assert arr.size == 24
+        assert arr.nbytes == 24 * 8
+        assert arr.itemsize == 8
+
+    def test_to_host_returns_copy(self, executor):
+        arr = executor.zeros((3, 3))
+        host = arr.to_host()
+        host[0, 0] = 5.0
+        assert arr.data[0, 0] == 0.0
+
+    def test_with_order_is_a_transposed_view(self, executor, rng):
+        arr = executor.to_device(rng.standard_normal((4, 6)), order="C")
+        view = arr.with_order("F")
+        assert view.shape == (6, 4)
+        assert view.order == "F"
+        assert np.shares_memory(view.data, arr.data)
+        np.testing.assert_array_equal(view.data, arr.data.T)
+
+    def test_with_order_same_order_returns_self(self, executor):
+        arr = executor.empty((4, 6), order="C")
+        assert arr.with_order("C") is arr
+
+    def test_invalid_order_rejected(self, executor):
+        with pytest.raises(ValueError):
+            DeviceArray((2, 2), np.float64, "Z", None, "x", None, executor)
+
+    def test_seeded_executors_are_reproducible(self):
+        a = GPUExecutor(numeric=True, seed=7, track_memory=False).rng.standard_normal(5)
+        b = GPUExecutor(numeric=True, seed=7, track_memory=False).rng.standard_normal(5)
+        np.testing.assert_array_equal(a, b)

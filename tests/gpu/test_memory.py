@@ -1,0 +1,115 @@
+"""Tests for the device memory tracker (OOM behaviour of Figures 2 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import (
+    DeviceMemoryTracker,
+    DeviceOutOfMemoryError,
+    array_nbytes,
+)
+
+
+class TestBasicAccounting:
+    def test_alloc_and_free(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        h = tracker.alloc(400.0, label="x")
+        assert tracker.in_use == 400.0
+        assert tracker.free == 600.0
+        tracker.free_handle(h)
+        assert tracker.in_use == 0.0
+
+    def test_peak_tracks_high_water_mark(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        h1 = tracker.alloc(300.0)
+        h2 = tracker.alloc(500.0)
+        tracker.free_handle(h1)
+        tracker.free_handle(h2)
+        assert tracker.peak == 800.0
+        assert tracker.in_use == 0.0
+
+    def test_alloc_array_uses_dtype_size(self):
+        tracker = DeviceMemoryTracker(1e9)
+        tracker.alloc_array((100, 50), np.float64)
+        assert tracker.in_use == 100 * 50 * 8
+
+    def test_negative_alloc_rejected(self):
+        tracker = DeviceMemoryTracker(1000.0)
+        with pytest.raises(ValueError):
+            tracker.alloc(-1.0)
+
+    def test_double_free_raises(self):
+        tracker = DeviceMemoryTracker(1000.0)
+        h = tracker.alloc(10.0)
+        tracker.free_handle(h)
+        with pytest.raises(KeyError):
+            tracker.free_handle(h)
+
+
+class TestOutOfMemory:
+    def test_oversized_allocation_raises(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        with pytest.raises(DeviceOutOfMemoryError):
+            tracker.alloc(1001.0)
+
+    def test_cumulative_allocations_raise(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        tracker.alloc(600.0)
+        with pytest.raises(DeviceOutOfMemoryError):
+            tracker.alloc(600.0)
+
+    def test_reserve_fraction_reduces_usable_capacity(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.1)
+        assert tracker.usable_capacity == pytest.approx(900.0)
+        with pytest.raises(DeviceOutOfMemoryError):
+            tracker.alloc(950.0)
+
+    def test_error_carries_diagnostics(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        tracker.alloc(500.0)
+        with pytest.raises(DeviceOutOfMemoryError) as excinfo:
+            tracker.alloc(700.0, label="gaussian_sketch_matrix")
+        err = excinfo.value
+        assert err.requested == 700.0
+        assert err.in_use == 500.0
+        assert "gaussian_sketch_matrix" in str(err)
+
+    def test_gaussian_sketch_at_paper_size_fits_but_is_large(self):
+        """The explicit 2n x d Gaussian at d=2^22, n=256 occupies ~17 GB."""
+        nbytes = array_nbytes((512, 1 << 22), np.float64)
+        assert nbytes == pytest.approx(17.18e9, rel=0.01)
+
+    def test_would_fit(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        tracker.alloc(800.0)
+        assert tracker.would_fit(200.0)
+        assert not tracker.would_fit(201.0)
+
+
+class TestScopedAllocation:
+    def test_scoped_frees_on_exit(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        with tracker.scoped(400.0, "tmp"):
+            assert tracker.in_use == 400.0
+        assert tracker.in_use == 0.0
+
+    def test_scoped_frees_on_exception(self):
+        tracker = DeviceMemoryTracker(1000.0, reserve_fraction=0.0)
+        with pytest.raises(RuntimeError):
+            with tracker.scoped(400.0, "tmp"):
+                raise RuntimeError("boom")
+        assert tracker.in_use == 0.0
+
+    def test_reset_clears_everything(self):
+        tracker = DeviceMemoryTracker(1000.0)
+        tracker.alloc(100.0)
+        tracker.reset()
+        assert tracker.in_use == 0.0
+        assert tracker.peak == 0.0
+        assert tracker.live_allocations() == ()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DeviceMemoryTracker(0.0)
+        with pytest.raises(ValueError):
+            DeviceMemoryTracker(100.0, reserve_fraction=1.5)

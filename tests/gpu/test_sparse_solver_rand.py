@@ -1,0 +1,181 @@
+"""Tests for the cuSPARSE, cuSOLVER, and cuRAND stand-ins."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.gpu.solver import CholeskyFailedError
+
+
+# ---------------------------------------------------------------------------
+# cuSPARSE
+# ---------------------------------------------------------------------------
+class TestSparse:
+    def _countsketch_csr(self, executor, rng, k=16, d=200):
+        rows = rng.integers(0, k, size=d)
+        cols = np.arange(d)
+        vals = rng.choice([-1.0, 1.0], size=d)
+        return executor.sparse.build_csr((k, d), rows, cols, vals), rows, vals
+
+    def test_spmm_matches_dense_product(self, executor, rng):
+        csr, _, _ = self._countsketch_csr(executor, rng)
+        a = executor.to_device(rng.standard_normal((200, 5)))
+        y = executor.sparse.spmm(csr, a)
+        np.testing.assert_allclose(y.data, csr.matrix.toarray() @ a.data, rtol=1e-12)
+
+    def test_spmv_matches_dense_product(self, executor, rng):
+        csr, _, _ = self._countsketch_csr(executor, rng)
+        x = executor.to_device(rng.standard_normal(200))
+        y = executor.sparse.spmv(csr, x)
+        np.testing.assert_allclose(y.data, csr.matrix.toarray() @ x.data, rtol=1e-12)
+
+    def test_spmm_dimension_mismatch(self, executor, rng):
+        csr, _, _ = self._countsketch_csr(executor, rng)
+        with pytest.raises(ValueError):
+            executor.sparse.spmm(csr, executor.empty((77, 3)))
+
+    def test_analytic_csr_requires_nnz(self, analytic_executor):
+        with pytest.raises(ValueError):
+            analytic_executor.sparse.build_csr((10, 100), None, None, None)
+        csr = analytic_executor.sparse.build_csr((10, 100), None, None, None, nnz=100)
+        assert csr.nnz == 100
+        assert not csr.is_numeric
+
+    def test_csr_nbytes_counts_values_and_indices(self, executor, rng):
+        csr, _, _ = self._countsketch_csr(executor, rng, k=8, d=100)
+        assert csr.nbytes >= 100 * (8 + 4)
+
+    def test_spmm_uses_spmm_kernel_class(self, executor, rng):
+        csr, _, _ = self._countsketch_csr(executor, rng)
+        a = executor.to_device(rng.standard_normal((200, 5)))
+        mark = executor.mark()
+        executor.sparse.spmm(csr, a)
+        assert executor.breakdown_since(mark).records[0].name == "cusparse_spmm"
+
+
+# ---------------------------------------------------------------------------
+# cuSOLVER
+# ---------------------------------------------------------------------------
+class TestSolver:
+    def test_potrf_reconstructs(self, executor, rng):
+        m = rng.standard_normal((20, 6))
+        g = executor.to_device(m.T @ m + 6 * np.eye(6))
+        r = executor.solver.potrf(g)
+        np.testing.assert_allclose(r.data.T @ r.data, g.data, rtol=1e-10)
+        # upper triangular
+        assert np.allclose(r.data, np.triu(r.data))
+
+    def test_potrf_raises_on_indefinite(self, executor):
+        g = executor.to_device(np.array([[1.0, 2.0], [2.0, 1.0]]))  # indefinite
+        with pytest.raises(CholeskyFailedError):
+            executor.solver.potrf(g)
+
+    def test_potrf_requires_square(self, executor):
+        with pytest.raises(ValueError):
+            executor.solver.potrf(executor.empty((3, 4)))
+
+    def test_geqrf_ormqr_solve_least_squares(self, executor, rng):
+        a_np = rng.standard_normal((50, 6))
+        x_true = rng.standard_normal(6)
+        b_np = a_np @ x_true
+        a = executor.to_device(a_np)
+        b = executor.to_device(b_np)
+        factors = executor.solver.geqrf(a)
+        qtb = executor.solver.ormqr(factors, b)
+        x = executor.solver.trsv(factors.r, qtb)
+        np.testing.assert_allclose(x.data, x_true, rtol=1e-10)
+
+    def test_geqrf_requires_tall(self, executor):
+        with pytest.raises(ValueError):
+            executor.solver.geqrf(executor.empty((3, 5)))
+
+    def test_ormqr_dimension_mismatch(self, executor, rng):
+        a = executor.to_device(rng.standard_normal((20, 4)))
+        factors = executor.solver.geqrf(a)
+        with pytest.raises(ValueError):
+            executor.solver.ormqr(factors, executor.empty((7,)))
+
+    def test_trsv_upper_and_transposed(self, executor, rng):
+        r_np = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b_np = rng.standard_normal(5)
+        r = executor.to_device(r_np)
+        b = executor.to_device(b_np)
+        x = executor.solver.trsv(r, b)
+        np.testing.assert_allclose(r_np @ x.data, b_np, rtol=1e-10)
+        y = executor.solver.trsv(r, b, transpose=True)
+        np.testing.assert_allclose(r_np.T @ y.data, b_np, rtol=1e-10)
+
+    def test_trsm_preconditions(self, executor, rng):
+        a_np = rng.standard_normal((30, 4))
+        r_np = np.triu(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        a = executor.to_device(a_np)
+        r = executor.to_device(r_np)
+        a0 = executor.solver.trsm(a, r)
+        np.testing.assert_allclose(a0.data @ r_np, a_np, rtol=1e-10)
+
+    def test_trsm_shape_check(self, executor):
+        with pytest.raises(ValueError):
+            executor.solver.trsm(executor.empty((10, 4)), executor.empty((3, 3)))
+
+    def test_householder_qr_solve(self, executor, rng):
+        a_np = rng.standard_normal((60, 5))
+        b_np = rng.standard_normal(60)
+        a = executor.to_device(a_np)
+        b = executor.to_device(b_np)
+        x = executor.solver.householder_qr_solve(a, b)
+        expected, *_ = np.linalg.lstsq(a_np, b_np, rcond=None)
+        np.testing.assert_allclose(x.data, expected, rtol=1e-8)
+
+    def test_analytic_geqrf_has_no_q(self, analytic_executor):
+        factors = analytic_executor.solver.geqrf(analytic_executor.empty((100, 10)))
+        assert factors.q is None
+        # Analytic ORMQR still produces a shape-only handle and charges time.
+        qtb = analytic_executor.solver.ormqr(factors, analytic_executor.empty((100,)))
+        assert qtb.shape == (10,)
+        assert not qtb.is_numeric
+
+
+# ---------------------------------------------------------------------------
+# cuRAND
+# ---------------------------------------------------------------------------
+class TestRand:
+    def test_standard_normal_statistics(self, executor):
+        arr = executor.rand.standard_normal((20000,), scale=2.0)
+        assert abs(float(np.mean(arr.data))) < 0.1
+        assert float(np.std(arr.data)) == pytest.approx(2.0, rel=0.05)
+
+    def test_uniform_integers_in_range(self, executor):
+        arr = executor.rand.uniform_integers(0, 37, 5000)
+        assert arr.data.min() >= 0
+        assert arr.data.max() < 37
+
+    def test_rademacher_bool_and_signed(self, executor):
+        b = executor.rand.rademacher(1000, as_bool=True)
+        assert b.data.dtype == np.bool_
+        s = executor.rand.rademacher(1000, as_bool=False)
+        assert set(np.unique(s.data)) <= {-1, 1}
+
+    def test_sample_without_replacement_distinct(self, executor):
+        arr = executor.rand.sample_without_replacement(100, 50)
+        assert len(np.unique(arr.data)) == 50
+        with pytest.raises(ValueError):
+            executor.rand.sample_without_replacement(10, 11)
+
+    def test_generation_charged_as_rng_kernels(self, executor):
+        mark = executor.mark()
+        executor.rand.standard_normal((1000, 10))
+        records = executor.breakdown_since(mark).records
+        assert any(r.name == "curand_normal" for r in records)
+        assert executor.breakdown_since(mark).phase_seconds("Sketch gen") > 0
+
+    def test_explicit_generator_overrides_executor_stream(self, executor):
+        g1 = np.random.Generator(np.random.Philox(99))
+        g2 = np.random.Generator(np.random.Philox(99))
+        a = executor.rand.standard_normal((100,), generator=g1)
+        b = executor.rand.standard_normal((100,), generator=g2)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_analytic_generation_charges_time_without_data(self, analytic_executor):
+        arr = analytic_executor.rand.standard_normal((512, 4096))
+        assert not arr.is_numeric
+        assert analytic_executor.elapsed > 0

@@ -1,0 +1,157 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the flows a downstream user follows (public API only) and the
+cross-cutting paper claims that involve several subsystems at once.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CountSketch,
+    GPUExecutor,
+    GaussianSketch,
+    SRHT,
+    count_gauss,
+    normal_equations,
+    qr_solve,
+    rand_cholqr,
+    rand_cholqr_lstsq,
+    sketch_and_solve,
+)
+from repro.distributed import BlockRowMatrix, SimComm, distributed_multisketch
+from repro.linalg.conditioning import matrix_with_condition
+from repro.workloads import easy_problem, hard_problem
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_module_docstring(self):
+        a = np.random.default_rng(0).standard_normal((8192, 32))
+        b = a @ np.ones(32)
+        sketch = count_gauss(d=a.shape[0], n=a.shape[1], seed=1)
+        result = sketch_and_solve(a, b, sketch)
+        assert result.relative_residual < 1e-8
+        assert result.total_seconds > 0
+
+    def test_host_level_matmul_interface(self):
+        a = np.random.default_rng(1).standard_normal((4096, 8))
+        for sketch in (
+            CountSketch(4096, 128, seed=1),
+            GaussianSketch(4096, 16, seed=2),
+            SRHT(4096, 16, seed=3),
+        ):
+            y = sketch @ a
+            assert y.shape == (sketch.k, 8)
+
+
+class TestSolverAgreement:
+    """All exact solvers agree; sketched solvers agree up to the O(1) factor."""
+
+    def test_all_solvers_on_one_problem(self):
+        problem = easy_problem(8192, 32, seed=3)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        ne = normal_equations(problem.a, problem.b, executor=ex)
+        qr = qr_solve(problem.a, problem.b, executor=ex)
+        rc = rand_cholqr_lstsq(
+            problem.a, problem.b, count_gauss(problem.d, problem.n, executor=ex, seed=1), executor=ex
+        )
+        ss = sketch_and_solve(
+            problem.a, problem.b, count_gauss(problem.d, problem.n, executor=ex, seed=2), executor=ex
+        )
+        # Exact solvers agree to machine precision.
+        np.testing.assert_allclose(ne.x, qr.x, rtol=1e-6)
+        np.testing.assert_allclose(rc.x, qr.x, rtol=1e-6)
+        # The sketched residual is within the distortion bound of the optimum.
+        assert qr.relative_residual <= ss.relative_residual <= 1.6 * qr.relative_residual
+
+    def test_hard_problem_residual_ordering_preserved(self):
+        easy = easy_problem(4096, 16, seed=4)
+        hard = hard_problem(4096, 16, seed=4)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        r_easy = sketch_and_solve(easy.a, easy.b, count_gauss(4096, 16, executor=ex, seed=5), executor=ex)
+        r_hard = sketch_and_solve(hard.a, hard.b, count_gauss(4096, 16, executor=ex, seed=6), executor=ex)
+        assert r_hard.relative_residual > r_easy.relative_residual
+
+
+class TestStabilityStory:
+    """Figure 8 in miniature: sketched solvers track QR, normal equations do not."""
+
+    @pytest.mark.parametrize("cond", [1e4, 1e10])
+    def test_sketch_and_solve_tracks_qr(self, cond):
+        a = matrix_with_condition(4096, 16, cond, seed=5)
+        b = a @ np.ones(16)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        qr = qr_solve(a, b, executor=ex)
+        ss = sketch_and_solve(a, b, count_gauss(4096, 16, executor=ex, seed=1), executor=ex)
+        assert ss.relative_residual < 1e-6
+        assert qr.relative_residual < 1e-8
+
+    def test_normal_equations_degrade(self):
+        a = matrix_with_condition(4096, 16, 1e12, seed=6)
+        b = a @ np.ones(16)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        ne = normal_equations(a, b, executor=ex)
+        assert ne.failed or ne.relative_residual > 1e-7
+
+
+class TestRandCholQRFactorization:
+    def test_factorization_and_solver_agree(self):
+        a = matrix_with_condition(8192, 32, 1e3, seed=7)
+        b = a @ np.ones(32)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        q, r = rand_cholqr(a, count_gauss(8192, 32, executor=ex, seed=1), executor=ex)
+        x_from_qr = np.linalg.solve(r.data, q.data.T @ b)
+        result = rand_cholqr_lstsq(a, b, count_gauss(8192, 32, executor=ex, seed=2), executor=ex)
+        np.testing.assert_allclose(x_from_qr, result.x, rtol=1e-8)
+
+
+class TestDistributedIntegration:
+    def test_distributed_multisketch_feeds_sketch_and_solve(self):
+        """Sketch on 4 'ranks', then solve the reduced problem -- the full §7 flow."""
+        d, n, p = 16384, 16, 4
+        problem = easy_problem(d, n, seed=8)
+        dist = BlockRowMatrix.from_global(problem.a, p)
+        comm = SimComm(p)
+        k1, k2 = 2 * n * n, 4 * n
+        sketched = distributed_multisketch(dist, k1, k2, comm, seed=9)
+        assert sketched.sketch.shape == (k2, n)
+
+        # Sketch b with the same per-rank operators is not exposed directly;
+        # verify instead that the reduced matrix is a usable embedding: solve
+        # the sketched normal equations and compare against the true solution.
+        y = sketched.sketch
+        x_sketched, *_ = np.linalg.lstsq(y, y @ np.linalg.lstsq(problem.a, problem.b, rcond=None)[0], rcond=None)
+        x_true, *_ = np.linalg.lstsq(problem.a, problem.b, rcond=None)
+        np.testing.assert_allclose(x_sketched, x_true, rtol=1e-6)
+        assert sketched.total_seconds > 0
+        assert comm.total_bytes() > 0
+
+
+class TestSimulationConsistency:
+    def test_numeric_and_analytic_charge_identical_time(self):
+        """The cost model must not depend on whether real data flows through it."""
+        d, n = 1 << 16, 64
+
+        def run(numeric: bool) -> float:
+            ex = GPUExecutor(numeric=numeric, seed=1, track_memory=False)
+            a = ex.rand.random_matrix((d, n)) if numeric else ex.empty((d, n))
+            sketch = count_gauss(d, n, executor=ex, seed=2)
+            mark = ex.mark()
+            sketch.apply(a)
+            return ex.elapsed_since(mark)
+
+        assert run(True) == pytest.approx(run(False), rel=1e-12)
+
+    def test_breakdown_phases_sum_to_total(self):
+        problem = easy_problem(4096, 16, seed=10)
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        result = sketch_and_solve(
+            problem.a, problem.b, count_gauss(4096, 16, executor=ex, seed=1), executor=ex
+        )
+        assert sum(result.phase_seconds().values()) == pytest.approx(result.total_seconds)

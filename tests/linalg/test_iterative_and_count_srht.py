@@ -1,0 +1,114 @@
+"""Tests for the future-work extensions: Count-SRHT multisketch and the
+Blendenpik-style sketch-preconditioned LSQR solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.multisketch import count_gauss, count_srht
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.conditioning import matrix_with_condition
+from repro.linalg.iterative import sketch_preconditioned_lsqr
+from repro.linalg.lstsq import normal_equations
+
+D, N = 4096, 16
+
+
+class TestCountSRHT:
+    def test_default_dimensions(self, executor):
+        ms = count_srht(1 << 14, 32, executor=executor, seed=1)
+        assert ms.stages[0].k == 2 * 32 * 32
+        assert ms.k == 2 * 32
+
+    def test_matches_explicit_composition(self, executor, rng):
+        a = rng.standard_normal((D, 8))
+        ms = count_srht(D, 8, executor=executor, seed=2)
+        y = ms.sketch_host(a)
+        expected = ms.stages[1].explicit_matrix() @ (ms.stages[0].explicit_matrix() @ a)
+        np.testing.assert_allclose(y, expected, rtol=1e-9, atol=1e-9)
+
+    def test_norm_preserved_in_expectation(self, executor, rng):
+        x = rng.standard_normal(D)
+        norms = [
+            np.linalg.norm(count_srht(D, 16, executor=executor, seed=s).sketch_host(x)) ** 2
+            for s in range(25)
+        ]
+        assert np.mean(norms) == pytest.approx(np.linalg.norm(x) ** 2, rel=0.25)
+
+    def test_cheaper_sketch_generation_than_count_gauss(self):
+        """No dense k2 x k1 Gaussian to generate: the gen phase shrinks."""
+        d, n = 1 << 22, 256
+        ex1 = GPUExecutor(numeric=False, track_memory=False)
+        count_gauss(d, n, executor=ex1, seed=1).generate()
+        gauss_gen = ex1.breakdown().phase_seconds("Sketch gen")
+        ex2 = GPUExecutor(numeric=False, track_memory=False)
+        count_srht(d, n, executor=ex2, seed=1).generate()
+        srht_gen = ex2.breakdown().phase_seconds("Sketch gen")
+        assert srht_gen < gauss_gen
+
+    def test_k2_cannot_exceed_k1(self, executor):
+        with pytest.raises(ValueError):
+            count_srht(D, 8, k1=8, k2=16, executor=executor)
+
+
+class TestSketchPreconditionedLSQR:
+    def test_matches_exact_solution_on_well_conditioned_problem(self, executor, rng):
+        a = matrix_with_condition(D, N, 100.0, seed=1)
+        b = a @ np.ones(N) + 0.01 * rng.standard_normal(D)
+        sketch = count_gauss(D, N, executor=executor, seed=2)
+        result = sketch_preconditioned_lsqr(a, b, sketch, executor=executor)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(result.x, expected, rtol=1e-6)
+        assert result.extra["converged"] == 1.0
+
+    def test_iteration_count_independent_of_conditioning(self, executor, rng):
+        """The whole point of Blendenpik: preconditioned LSQR converges in a
+        handful of iterations regardless of kappa(A)."""
+        iters = []
+        for cond in (1e2, 1e6, 1e10):
+            a = matrix_with_condition(2048, 8, cond, seed=3)
+            b = a @ np.ones(8)
+            sketch = count_gauss(2048, 8, executor=executor, seed=4)
+            result = sketch_preconditioned_lsqr(a, b, sketch, executor=executor)
+            # The residual floor of un-refined LSQR scales like u * kappa(A);
+            # even at kappa = 1e10 it stays far below where the normal
+            # equations have already failed completely.
+            assert result.relative_residual < 1e-6
+            iters.append(result.extra["iterations"])
+        assert max(iters) <= 3 * max(min(iters), 1)
+        assert max(iters) < 40
+
+    def test_no_distortion_unlike_sketch_and_solve(self, executor, rng):
+        a = matrix_with_condition(D, N, 100.0, seed=5)
+        b = a @ np.ones(N) + 0.5 * rng.standard_normal(D)
+        sketch = count_gauss(D, N, executor=executor, seed=6)
+        blendenpik = sketch_preconditioned_lsqr(a, b, sketch, executor=executor)
+        exact = normal_equations(a, b, executor=executor)
+        assert blendenpik.relative_residual == pytest.approx(exact.relative_residual, rel=1e-8)
+
+    def test_phase_breakdown_contains_lsqr_iterations(self, executor, rng):
+        a = matrix_with_condition(1024, 8, 10.0, seed=7)
+        b = rng.standard_normal(1024)
+        sketch = count_gauss(1024, 8, executor=executor, seed=8)
+        result = sketch_preconditioned_lsqr(a, b, sketch, executor=executor)
+        phases = result.phase_seconds()
+        assert "Matrix sketch" in phases and "GEQRF" in phases and "LSQR" in phases
+
+    def test_analytic_mode_charges_representative_cost(self):
+        ex = GPUExecutor(numeric=False, track_memory=False)
+        a = ex.empty((1 << 20, 64))
+        b = ex.empty((1 << 20,))
+        sketch = count_gauss(1 << 20, 64, executor=ex, seed=1)
+        result = sketch_preconditioned_lsqr(a, b, sketch, executor=ex)
+        assert result.x is None
+        assert result.total_seconds > 0
+        assert result.extra["iterations"] > 0
+
+    def test_invalid_arguments(self, executor, rng):
+        a = matrix_with_condition(512, 8, 10.0, seed=9)
+        b = rng.standard_normal(512)
+        sketch = count_gauss(512, 8, executor=executor, seed=10)
+        with pytest.raises(ValueError):
+            sketch_preconditioned_lsqr(a, b, sketch, executor=executor, max_iterations=0)
+        other = GPUExecutor(numeric=True, track_memory=False)
+        with pytest.raises(ValueError):
+            sketch_preconditioned_lsqr(a, b, sketch, executor=other)

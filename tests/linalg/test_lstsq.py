@@ -1,0 +1,150 @@
+"""Tests for the least-squares solvers (Algorithm 1, normal equations, QR)."""
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.conditioning import matrix_with_condition
+from repro.linalg.lstsq import (
+    normal_equations,
+    qr_solve,
+    relative_residual,
+    sketch_and_solve,
+)
+
+D, N = 4096, 16
+
+
+@pytest.fixture
+def consistent_problem(rng):
+    """A consistent system: b = A x_true exactly (zero residual)."""
+    a = matrix_with_condition(D, N, 50.0, seed=7)
+    x_true = rng.standard_normal(N)
+    return a, a @ x_true, x_true
+
+
+@pytest.fixture
+def noisy_problem(rng):
+    a = matrix_with_condition(D, N, 50.0, seed=8)
+    b = a @ np.ones(N) + 0.01 * rng.standard_normal(D)
+    return a, b
+
+
+class TestRelativeResidual:
+    def test_zero_for_exact_solution(self, consistent_problem):
+        a, b, x = consistent_problem
+        assert relative_residual(a, b, x) < 1e-12
+
+    def test_zero_rhs(self):
+        a = np.eye(3)
+        assert relative_residual(a, np.zeros(3), np.ones(3)) == pytest.approx(np.sqrt(3))
+
+
+class TestNormalEquations:
+    def test_recovers_exact_solution(self, executor, consistent_problem):
+        a, b, x_true = consistent_problem
+        result = normal_equations(a, b, executor=executor)
+        assert not result.failed
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+        assert result.relative_residual < 1e-10
+
+    def test_matches_numpy_lstsq_on_noisy_problem(self, executor, noisy_problem):
+        a, b = noisy_problem
+        result = normal_equations(a, b, executor=executor)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(result.x, expected, rtol=1e-6)
+
+    def test_phase_breakdown_matches_figure5_legend(self, executor, noisy_problem):
+        a, b = noisy_problem
+        result = normal_equations(a, b, executor=executor)
+        phases = result.phase_seconds()
+        for expected in ("Gram matrix", "AT*b", "POTRF", "TRSV"):
+            assert expected in phases
+        assert result.total_seconds == pytest.approx(sum(phases.values()))
+
+    def test_fails_gracefully_on_ill_conditioned_matrix(self, executor, rng):
+        a = matrix_with_condition(2048, 8, 1e12, seed=3)
+        b = a @ np.ones(8)
+        result = normal_equations(a, b, executor=executor)
+        # Either Cholesky broke down (failed=True) or the residual is garbage;
+        # in both cases the solver must not silently pretend to be accurate.
+        assert result.failed or result.relative_residual > 1e-8
+
+    def test_default_executor_created(self, noisy_problem):
+        a, b = noisy_problem
+        result = normal_equations(a, b)
+        assert not result.failed
+
+
+class TestSketchAndSolve:
+    @pytest.mark.parametrize(
+        "sketch_factory",
+        [
+            lambda ex: GaussianSketch(D, 4 * N, executor=ex, seed=1),
+            lambda ex: CountSketch(D, 8 * N * N, executor=ex, seed=2),
+            lambda ex: SRHT(D, 4 * N, executor=ex, seed=3),
+            lambda ex: count_gauss(D, N, executor=ex, seed=4),
+        ],
+    )
+    def test_residual_within_distortion_factor(self, executor, noisy_problem, sketch_factory):
+        """Section 2: the sketched residual is within an O(1) factor of the optimum."""
+        a, b = noisy_problem
+        sketch = sketch_factory(executor)
+        result = sketch_and_solve(a, b, sketch, executor=executor)
+        optimal = normal_equations(a, b, executor=executor).relative_residual
+        assert result.relative_residual >= optimal * (1 - 1e-9)
+        assert result.relative_residual <= 2.0 * optimal
+
+    def test_consistent_system_solved_exactly(self, executor, consistent_problem):
+        """With zero residual, sketch-and-solve returns the exact solution."""
+        a, b, x_true = consistent_problem
+        sketch = count_gauss(D, N, executor=executor, seed=5)
+        result = sketch_and_solve(a, b, sketch, executor=executor)
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6)
+
+    def test_phase_breakdown(self, executor, noisy_problem):
+        a, b = noisy_problem
+        sketch = count_gauss(D, N, executor=executor, seed=6)
+        result = sketch_and_solve(a, b, sketch, executor=executor)
+        phases = result.phase_seconds()
+        for expected in ("Sketch gen", "Matrix sketch", "Vector sketch", "GEQRF", "ORMQR", "TRSV"):
+            assert expected in phases
+
+    def test_method_name_includes_sketch_family(self, executor, noisy_problem):
+        a, b = noisy_problem
+        result = sketch_and_solve(a, b, count_gauss(D, N, executor=executor, seed=1), executor=executor)
+        assert "multisketch" in result.method
+        assert result.extra["sketch_dim"] == 2 * N
+
+    def test_executor_mismatch_rejected(self, executor, noisy_problem):
+        a, b = noisy_problem
+        other = GPUExecutor(numeric=True, track_memory=False)
+        sketch = count_gauss(D, N, executor=other, seed=1)
+        with pytest.raises(ValueError):
+            sketch_and_solve(a, b, sketch, executor=executor)
+
+    def test_stable_on_ill_conditioned_matrix(self, executor):
+        """Unlike the normal equations, sketch-and-solve handles kappa ~ 1e12."""
+        a = matrix_with_condition(2048, 8, 1e12, seed=3)
+        b = a @ np.ones(8)
+        result = sketch_and_solve(a, b, count_gauss(2048, 8, executor=executor, seed=1), executor=executor)
+        assert not result.failed
+        assert result.relative_residual < 1e-3
+
+
+class TestQRSolve:
+    def test_matches_numpy_lstsq(self, executor, noisy_problem):
+        a, b = noisy_problem
+        result = qr_solve(a, b, executor=executor)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(result.x, expected, rtol=1e-8)
+
+    def test_handles_extreme_conditioning(self, executor):
+        a = matrix_with_condition(1024, 8, 1e14, seed=4)
+        b = a @ np.ones(8)
+        result = qr_solve(a, b, executor=executor)
+        assert result.relative_residual < 1e-6

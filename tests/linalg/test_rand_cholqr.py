@@ -1,0 +1,139 @@
+"""Tests for randomized Cholesky QR (Algorithms 4-5) and Cholesky-QR helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.multisketch import count_gauss
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.solver import CholeskyFailedError
+from repro.linalg.cholqr import cholesky_qr, cholesky_qr2
+from repro.linalg.conditioning import condition_number, matrix_with_condition
+from repro.linalg.lstsq import normal_equations
+from repro.linalg.rand_cholqr import rand_cholqr, rand_cholqr_lstsq
+
+D, N = 4096, 16
+
+
+class TestCholeskyQR:
+    def test_factorization_reconstructs(self, executor, rng):
+        a_np = matrix_with_condition(512, 8, 10.0, seed=1)
+        a = executor.to_device(a_np)
+        q, r = cholesky_qr(a, executor)
+        np.testing.assert_allclose(q.data @ r.data, a_np, rtol=1e-8)
+        np.testing.assert_allclose(q.data.T @ q.data, np.eye(8), atol=1e-8)
+
+    def test_breaks_down_for_ill_conditioned_input(self, executor):
+        """Beyond kappa ~ u^{-1/2} plain Cholesky QR either fails outright or
+        loses orthogonality badly (the Gram matrix has condition kappa^2)."""
+        a_np = matrix_with_condition(512, 8, 1e9, seed=2)
+        a = executor.to_device(a_np)
+        try:
+            q, _ = cholesky_qr(a, executor)
+        except CholeskyFailedError:
+            return
+        orth_err = np.linalg.norm(q.data.T @ q.data - np.eye(8))
+        assert orth_err > 1e-4
+
+    def test_cholqr2_improves_orthogonality(self, executor):
+        a_np = matrix_with_condition(512, 8, 1e6, seed=3)
+        a = executor.to_device(a_np)
+        q1, _ = cholesky_qr(a, executor)
+        err1 = np.linalg.norm(q1.data.T @ q1.data - np.eye(8))
+        q2, r2 = cholesky_qr2(a, executor)
+        err2 = np.linalg.norm(q2.data.T @ q2.data - np.eye(8))
+        assert err2 < err1
+        np.testing.assert_allclose(q2.data @ r2.data, a_np, rtol=1e-6)
+
+
+class TestRandCholQR:
+    def test_factorization_well_conditioned(self, executor):
+        a_np = matrix_with_condition(D, N, 100.0, seed=4)
+        sketch = count_gauss(D, N, executor=executor, seed=1)
+        q, r = rand_cholqr(a_np, sketch, executor=executor)
+        np.testing.assert_allclose(q.data @ r.data, a_np, rtol=1e-8)
+        np.testing.assert_allclose(q.data.T @ q.data, np.eye(N), atol=1e-10)
+        # R is upper triangular
+        np.testing.assert_allclose(r.data, np.triu(r.data), atol=1e-12)
+
+    def test_stable_where_plain_cholesky_qr_fails(self, executor):
+        """Algorithm 4 is stable up to kappa ~ u^{-1}, far beyond CholeskyQR's u^{-1/2}."""
+        a_np = matrix_with_condition(2048, 8, 1e10, seed=5)
+        sketch = count_gauss(2048, 8, executor=executor, seed=2)
+        q, r = rand_cholqr(a_np, sketch, executor=executor)
+        assert np.linalg.norm(q.data.T @ q.data - np.eye(8)) < 1e-6
+        np.testing.assert_allclose(q.data @ r.data, a_np, rtol=1e-5)
+
+    def test_executor_mismatch_rejected(self, executor):
+        a_np = matrix_with_condition(512, 8, 10.0, seed=1)
+        other = GPUExecutor(numeric=True, track_memory=False)
+        sketch = count_gauss(512, 8, executor=other, seed=1)
+        with pytest.raises(ValueError):
+            rand_cholqr(a_np, sketch, executor=executor)
+
+
+class TestRandCholQRLeastSquares:
+    def test_no_distortion_relative_to_true_solution(self, executor, rng):
+        """Algorithm 5 solves the true least-squares problem (no sketch distortion)."""
+        a = matrix_with_condition(D, N, 100.0, seed=6)
+        b = a @ np.ones(N) + 0.01 * rng.standard_normal(D)
+        sketch = count_gauss(D, N, executor=executor, seed=3)
+        result = rand_cholqr_lstsq(a, b, sketch, executor=executor)
+        expected, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(result.x, expected, rtol=1e-6)
+        optimal = np.linalg.norm(b - a @ expected) / np.linalg.norm(b)
+        assert result.relative_residual == pytest.approx(optimal, rel=1e-8)
+
+    def test_stable_beyond_normal_equations_limit(self, executor):
+        """Figure 8's story: rand_cholQR keeps working where the normal equations fail."""
+        a = matrix_with_condition(2048, 8, 1e10, seed=7)
+        b = a @ np.ones(8)
+        sketch = count_gauss(2048, 8, executor=executor, seed=4)
+        rc = rand_cholqr_lstsq(a, b, sketch, executor=executor)
+        ne = normal_equations(a, b, executor=executor)
+        assert not rc.failed
+        assert rc.relative_residual < 1e-6
+        assert ne.failed or ne.relative_residual > rc.relative_residual
+
+    def test_phase_breakdown_contains_trsm_and_gram(self, executor, rng):
+        a = matrix_with_condition(1024, 8, 10.0, seed=8)
+        b = rng.standard_normal(1024)
+        sketch = count_gauss(1024, 8, executor=executor, seed=5)
+        result = rand_cholqr_lstsq(a, b, sketch, executor=executor)
+        phases = result.phase_seconds()
+        for expected in ("Matrix sketch", "GEQRF", "TRSM", "Gram matrix", "POTRF", "TRSV"):
+            assert expected in phases
+
+    def test_slower_than_sketch_and_solve_in_simulated_time(self):
+        """Figure 5: rand_cholQR is the slowest of the randomized solvers."""
+        from repro.linalg.lstsq import sketch_and_solve
+
+        d, n = 1 << 21, 128
+        ex1 = GPUExecutor(numeric=False, track_memory=False)
+        a1, b1 = ex1.empty((d, n)), ex1.empty((d,))
+        ss = sketch_and_solve(a1, b1, count_gauss(d, n, executor=ex1, seed=1), executor=ex1)
+
+        ex2 = GPUExecutor(numeric=False, track_memory=False)
+        a2, b2 = ex2.empty((d, n)), ex2.empty((d,))
+        rc = rand_cholqr_lstsq(a2, b2, count_gauss(d, n, executor=ex2, seed=1), executor=ex2)
+        assert rc.total_seconds > ss.total_seconds
+
+
+class TestConditioning:
+    def test_condition_number_exact(self):
+        a = matrix_with_condition(256, 8, 1234.5, seed=9)
+        assert condition_number(a) == pytest.approx(1234.5, rel=1e-6)
+
+    @pytest.mark.parametrize("profile", ["geometric", "linear", "cluster"])
+    def test_profiles(self, profile):
+        a = matrix_with_condition(128, 6, 100.0, profile=profile, seed=10)
+        assert condition_number(a) == pytest.approx(100.0, rel=1e-6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            matrix_with_condition(4, 8, 10.0)
+        with pytest.raises(ValueError):
+            matrix_with_condition(8, 4, 0.5)
+
+    def test_condition_number_of_singular_matrix(self):
+        a = np.zeros((4, 2))
+        assert condition_number(a) == float("inf")

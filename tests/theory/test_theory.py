@@ -1,0 +1,186 @@
+"""Tests for embedding dimensions, distortion measurement, and Table 1."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gaussian import GaussianSketch
+from repro.theory.complexity import (
+    complexity_table,
+    crossover_n,
+    gram_matrix_cost,
+    sketch_complexity,
+)
+from repro.theory.distortion import (
+    measure_pairwise_distortion,
+    measure_subspace_distortion,
+    observed_residual_inflation,
+    residual_distortion_bound,
+)
+from repro.theory.embeddings import (
+    countsketch_embedding_dim,
+    gaussian_embedding_dim,
+    multisketch_distortion,
+    multisketch_embedding_dims,
+    required_embedding_dim,
+    sketch_and_solve_residual_factor,
+    srht_embedding_dim,
+    subspace_embedding_holds,
+)
+
+
+class TestEmbeddingDims:
+    def test_gaussian_scales_linearly_in_n(self):
+        assert gaussian_embedding_dim(200, 0.5) > gaussian_embedding_dim(100, 0.5)
+        # k ~ n / eps^2
+        assert gaussian_embedding_dim(100, 0.25) > 3 * gaussian_embedding_dim(100, 0.5)
+
+    def test_countsketch_scales_quadratically_in_n(self):
+        small = countsketch_embedding_dim(10, 0.5, 0.1)
+        large = countsketch_embedding_dim(20, 0.5, 0.1)
+        assert 3.5 < large / small < 4.5
+
+    def test_srht_theoretical_exceeds_practical(self):
+        assert srht_embedding_dim(128, 0.5) > srht_embedding_dim(128, 0.5, practical=True)
+
+    def test_ordering_gaussian_below_srht_below_countsketch(self):
+        n, eps, delta = 64, 0.5, 0.01
+        g = gaussian_embedding_dim(n, eps, delta)
+        s = srht_embedding_dim(n, eps, delta)
+        c = countsketch_embedding_dim(n, eps, delta)
+        assert g <= s <= c
+
+    def test_multisketch_final_dimension_matches_gaussian_order(self):
+        k1, k2 = multisketch_embedding_dims(64)
+        assert k1 > k2
+        assert k2 <= 2 * gaussian_embedding_dim(64)
+
+    def test_dispatch(self):
+        assert required_embedding_dim("gaussian", 32) == gaussian_embedding_dim(32)
+        assert required_embedding_dim("multisketch", 32) == multisketch_embedding_dims(32)[1]
+        with pytest.raises(ValueError):
+            required_embedding_dim("butterfly", 32)
+
+    def test_subspace_embedding_holds(self):
+        need = gaussian_embedding_dim(16)
+        assert subspace_embedding_holds("gaussian", 16, need)
+        assert not subspace_embedding_holds("gaussian", 16, need - 1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_embedding_dim(0, 0.5)
+        with pytest.raises(ValueError):
+            gaussian_embedding_dim(10, 1.5)
+        with pytest.raises(ValueError):
+            gaussian_embedding_dim(10, 0.5, delta=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=512),
+        eps=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_dimensions_always_at_least_n(self, n, eps):
+        assert gaussian_embedding_dim(n, eps) >= n
+        assert srht_embedding_dim(n, eps) >= n
+
+
+class TestDistortionFormulas:
+    def test_multisketch_distortion_composition(self):
+        assert multisketch_distortion(0.5, 0.5) == pytest.approx(1.25)
+        assert multisketch_distortion(0.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            multisketch_distortion(-0.1, 0.5)
+
+    def test_residual_factor_monotone_in_eps(self):
+        assert sketch_and_solve_residual_factor(0.0) == pytest.approx(1.0)
+        assert sketch_and_solve_residual_factor(0.5) == pytest.approx(math.sqrt(3.0))
+        assert residual_distortion_bound(0.5) == pytest.approx(math.sqrt(3.0))
+        with pytest.raises(ValueError):
+            sketch_and_solve_residual_factor(1.0)
+
+    def test_observed_residual_inflation(self):
+        assert observed_residual_inflation(2.0, 1.0) == 2.0
+        assert observed_residual_inflation(0.0, 0.0) == 1.0
+        assert math.isinf(observed_residual_inflation(1.0, 0.0))
+        with pytest.raises(ValueError):
+            observed_residual_inflation(-1.0, 1.0)
+
+
+class TestEmpiricalDistortion:
+    def test_subspace_distortion_zero_for_identity_like_sketch(self, rng):
+        """A sketch that is an exact isometry on the subspace has zero distortion."""
+
+        class _Identity:
+            def sketch_host(self, a):
+                return np.asarray(a, dtype=np.float64)
+
+        basis = rng.standard_normal((64, 4))
+        assert measure_subspace_distortion(_Identity(), basis) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pairwise_distortion_bounded_by_subspace_distortion_scale(self, rng):
+        basis = rng.standard_normal((1024, 4))
+        sketch = GaussianSketch(1024, 256, seed=3)
+        pairwise = measure_pairwise_distortion(sketch, basis, rng=np.random.default_rng(0))
+        assert pairwise < 1.0
+
+    def test_basis_must_be_2d(self, rng):
+        sketch = GaussianSketch(64, 16, seed=1)
+        with pytest.raises(ValueError):
+            measure_subspace_distortion(sketch, rng.standard_normal(64))
+
+
+class TestTable1:
+    def test_all_rows_present(self):
+        rows = complexity_table(1 << 22, 128)
+        methods = [r.method for r in rows]
+        assert any("Gaussian" in m for m in methods)
+        assert any("SRHT" in m for m in methods)
+        assert any("CountSketch" in m for m in methods)
+        assert any("MultiSketch" in m for m in methods)
+
+    def test_countsketch_has_lowest_arithmetic(self):
+        d, n = 1 << 22, 128
+        rows = {r.method.split("(")[0]: r for r in complexity_table(d, n)}
+        assert rows["CountSketch"].arithmetic < rows["SRHT"].arithmetic
+        assert rows["SRHT"].arithmetic < rows["Gaussian"].arithmetic
+
+    def test_countsketch_needs_largest_embedding_dim(self):
+        d, n = 1 << 22, 128
+        rows = {r.method.split("(")[0]: r for r in complexity_table(d, n)}
+        assert rows["CountSketch"].embedding_dim > rows["SRHT"].embedding_dim
+        assert rows["SRHT"].embedding_dim > rows["Gaussian"].embedding_dim
+
+    def test_multisketch_work_is_dn_plus_n4(self):
+        d, n = 10_000, 8
+        row = sketch_complexity("multisketch", d, n, 0.5)
+        assert row.arithmetic == pytest.approx(d * n + n**4)
+        assert row.max_distortion == pytest.approx(1.5 * 1.5)
+
+    def test_gram_matrix_cost(self):
+        cost = gram_matrix_cost(1000, 10)
+        assert cost["arithmetic"] == pytest.approx(2 * 1000 * 100)
+
+    def test_multisketch_cheaper_than_gram_for_wide_matrices(self):
+        d, n = 1 << 22, 128
+        multi = sketch_complexity("multisketch", d, n).arithmetic
+        gram = gram_matrix_cost(d, n)["arithmetic"]
+        assert multi < gram
+
+    def test_as_dict_round_trip(self):
+        row = sketch_complexity("gaussian", 100, 10)
+        d = row.as_dict()
+        assert d["method"] == "Gaussian"
+        assert d["arithmetic"] == row.arithmetic
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sketch_complexity("gaussian", 0, 10)
+        with pytest.raises(ValueError):
+            sketch_complexity("gaussian", 10, 10, eps=2.0)
+        with pytest.raises(ValueError):
+            sketch_complexity("warp", 10, 10)
+        with pytest.raises(ValueError):
+            crossover_n(eps=0.0)

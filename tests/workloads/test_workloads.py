@@ -1,0 +1,106 @@
+"""Tests for the workload generators (problem sizes and least-squares problems)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.conditioning import condition_number
+from repro.workloads.least_squares import (
+    condition_sweep_problem,
+    easy_problem,
+    hard_problem,
+    make_lstsq_problem,
+)
+from repro.workloads.matrices import (
+    PAPER_D_VALUES,
+    PAPER_N_VALUES,
+    SCALED_D_VALUES,
+    grid_as_list,
+    matrix_memory_footprint,
+    paper_size_grid,
+    random_dense_matrix,
+)
+
+
+class TestSizeGrid:
+    def test_paper_values_match_section_6(self):
+        assert PAPER_D_VALUES == (2**21, 2**22, 2**23)
+        assert PAPER_N_VALUES == (32, 64, 128, 256)
+
+    def test_largest_d_excludes_widest_n(self):
+        grid = list(paper_size_grid(paper_scale=True))
+        assert (2**23, 256) not in grid
+        assert (2**23, 128) in grid
+        assert (2**21, 256) in grid
+        assert len(grid) == 11
+
+    def test_scaled_grid_preserves_structure(self):
+        grid = grid_as_list(paper_scale=False)
+        assert len(grid) == 11
+        assert all(d in SCALED_D_VALUES for d, _ in grid)
+
+    def test_memory_footprint(self):
+        # The paper's largest matrix: 2^23 x 128 doubles = 8.6 GB.
+        assert matrix_memory_footprint(2**23, 128) == pytest.approx(8.59e9, rel=0.01)
+
+
+class TestRandomMatrices:
+    def test_uniform_entries_in_range(self):
+        a = random_dense_matrix(1000, 8, seed=1)
+        assert a.shape == (1000, 8)
+        assert a.min() >= -1.0 and a.max() < 1.0
+
+    def test_gaussian_distribution(self):
+        a = random_dense_matrix(5000, 4, seed=2, distribution="gaussian")
+        assert abs(a.mean()) < 0.05
+        assert a.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            random_dense_matrix(100, 4, seed=3), random_dense_matrix(100, 4, seed=3)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            random_dense_matrix(0, 4)
+        with pytest.raises(ValueError):
+            random_dense_matrix(10, 4, distribution="cauchy")
+
+
+class TestLeastSquaresProblems:
+    def test_easy_problem_parameters(self):
+        p = easy_problem(2048, 16, seed=1)
+        assert p.kind == "easy"
+        assert p.noise_mean == 0.0
+        assert p.noise_std == pytest.approx(np.sqrt(0.01))
+        assert p.d == 2048 and p.n == 16
+        assert condition_number(p.a) == pytest.approx(100.0, rel=1e-6)
+
+    def test_hard_problem_has_larger_residual(self):
+        easy = easy_problem(4096, 16, seed=2)
+        hard = hard_problem(4096, 16, seed=2)
+        assert hard.true_relative_residual() > easy.true_relative_residual()
+
+    def test_zero_noise_gives_consistent_system(self):
+        p = make_lstsq_problem(1024, 8, noise_std=0.0, seed=3)
+        np.testing.assert_allclose(p.b, p.a @ p.x_exact)
+        assert p.true_relative_residual() < 1e-12
+
+    def test_condition_sweep_problem(self):
+        p = condition_sweep_problem(1e6, d=2048, n=16, seed=4)
+        assert p.kind == "exact"
+        assert condition_number(p.a) == pytest.approx(1e6, rel=1e-4)
+        np.testing.assert_allclose(p.b, p.a @ np.ones(16))
+
+    def test_exact_solution_is_all_ones(self):
+        p = easy_problem(1024, 8, seed=5)
+        np.testing.assert_array_equal(p.x_exact, np.ones(8))
+
+    def test_overdetermined_enforced(self):
+        with pytest.raises(ValueError):
+            make_lstsq_problem(8, 16)
+
+    def test_reproducible_problems(self):
+        p1 = hard_problem(512, 8, seed=6)
+        p2 = hard_problem(512, 8, seed=6)
+        np.testing.assert_array_equal(p1.a, p2.a)
+        np.testing.assert_array_equal(p1.b, p2.b)
