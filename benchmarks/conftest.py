@@ -12,10 +12,29 @@ grid (d up to 2^17).
 from __future__ import annotations
 
 import os
+import pathlib
 
 import pytest
 
 from repro.harness.runner import SweepConfig
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the ``benchmark`` marker.
+
+    This is what lets the unit suite run in isolation with
+    ``pytest -m "not benchmark"`` without repeating the marker in every
+    module (modules can still add further markers such as ``serving``).
+    """
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - defensive
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.benchmark)
 
 
 def accuracy_scale() -> str:

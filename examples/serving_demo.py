@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Serving sketch-and-solve traffic: micro-batching, caching, sharding.
+
+A regression service receives a stream of `solve(A, b)` requests: many
+observation vectors scored against a handful of shared design matrices (the
+classic multi-tenant serving shape).  This example pushes the same synthetic
+traffic through
+
+1. a naive loop -- every request builds its own sketch, sketches A from
+   scratch and runs its own QR; and
+2. the `SketchServer` -- requests sharing a design matrix are fused into one
+   multi-RHS sketch-and-solve, sketch operators are cached across requests,
+   and batches spread over a pool of two simulated H100 shards;
+
+then prints the throughput, latency percentiles and cache statistics the
+server's telemetry collects.  All times come from the deterministic roofline
+cost model, so the numbers are reproducible anywhere.
+
+Run:  PYTHONPATH=src python examples/serving_demo.py
+"""
+
+import numpy as np
+
+from repro import SketchServer, naive_solve_loop
+from repro.harness.report import format_table
+
+N = 32                       # features per design matrix
+TENANT_ROWS = (1 << 15, 1 << 14, 1 << 14)  # per-tenant design-matrix heights
+REQUESTS = 120               # solve requests across all tenants
+MAX_BATCH = 16
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    designs = [rng.standard_normal((d, N)) for d in TENANT_ROWS]
+    x_true = np.linspace(-1.0, 1.0, N)
+
+    traffic = []
+    for i in range(REQUESTS):
+        a = designs[i % len(designs)]
+        b = a @ x_true + 0.01 * rng.standard_normal(a.shape[0])
+        traffic.append((a, b))
+
+    sizes = ", ".join(f"{d}x{N}" for d in TENANT_ROWS)
+    print(f"Traffic: {REQUESTS} solve requests, {len(designs)} tenants (A sizes: {sizes})\n")
+
+    # -- naive reference: one request at a time, no reuse ----------------
+    naive = naive_solve_loop(traffic, kind="multisketch", seed=7)
+
+    # -- served: micro-batched, cached, sharded --------------------------
+    server = SketchServer(kind="multisketch", shards=2, max_batch=MAX_BATCH, seed=7)
+    for a, b in traffic:
+        server.submit(a, b)
+    responses = server.flush()
+    stats = server.stats()
+
+    speedup = stats["requests_per_second"] / naive["requests_per_second"]
+    print(format_table(
+        [
+            {"mode": "naive loop", "req_per_s": naive["requests_per_second"],
+             "p99_latency_us": None, "cache_hit_rate": None},
+            {"mode": "SketchServer", "req_per_s": stats["requests_per_second"],
+             "p99_latency_us": stats["p99_seconds"] * 1e6,
+             "cache_hit_rate": stats["cache_hit_rate"]},
+        ],
+        title=f"Throughput on simulated H100 shards -- speedup {speedup:.1f}x",
+    ))
+
+    print()
+    print(f"  batches executed     : {int(stats['batches_executed'])} "
+          f"(mean fused size {stats['mean_batch_size']:.1f} RHS)")
+    print(f"  shard busy seconds   : "
+          + ", ".join(f"shard{i}={stats[f'shard{i}_busy_seconds']*1e6:.0f}us"
+                      for i in range(int(stats["shards"]))))
+    print(f"  cross-shard traffic  : {stats['comm_bytes']/1024:.1f} KiB "
+          f"({stats['comm_seconds']*1e6:.1f} us, alpha-beta model)")
+    print(f"  worst rel. residual  : {max(r.relative_residual for r in responses):.3e}")
+    print()
+    print("Every response is bit-identical to an unbatched solve with the same")
+    print("cached operator: fusing requests changes the schedule, not the math.")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,12 @@ The package is organised as:
 * :mod:`repro.distributed` -- block-row distributed sketching (Section 7).
 * :mod:`repro.workloads` -- the paper's problem generators.
 * :mod:`repro.harness` -- one entry point per paper table/figure.
+* :mod:`repro.serving` -- the request-serving layer: a
+  :class:`~repro.serving.server.SketchServer` that micro-batches same-matrix
+  ``solve(A, b)`` requests into fused multi-RHS solves, caches sketch
+  operators across requests (LRU, keyed on ``(kind, d, n, k, seed, dtype)``),
+  spreads batches over a pool of simulated GPU shards and reports
+  p50/p95/p99 latency and throughput.
 
 Quick start::
 
@@ -30,6 +36,16 @@ Quick start::
     sketch = count_gauss(d=A.shape[0], n=A.shape[1], seed=1)
     result = sketch_and_solve(A, b, sketch)
     print(result.relative_residual, result.total_seconds)
+
+Serving many right-hand sides against shared design matrices::
+
+    from repro import SketchServer
+
+    server = SketchServer(kind="multisketch", shards=2, max_batch=16)
+    for b in observations:
+        server.submit(A, b)
+    responses = server.flush()       # fused multi-RHS solves
+    print(server.stats()["requests_per_second"])
 """
 
 from repro.core import (
@@ -43,7 +59,7 @@ from repro.core import (
     count_gauss,
     default_embedding_dim,
 )
-from repro.gpu import DeviceSpec, GPUExecutor, H100_SXM5, A100_SXM4, get_device
+from repro.gpu import DeviceSpec, ExecutorPool, GPUExecutor, H100_SXM5, A100_SXM4, get_device
 from repro.linalg import (
     LeastSquaresResult,
     normal_equations,
@@ -52,8 +68,18 @@ from repro.linalg import (
     rand_cholqr_lstsq,
     sketch_and_solve,
 )
+from repro.serving import (
+    MicroBatcher,
+    OperatorCache,
+    ServerConfig,
+    ServingTelemetry,
+    ShardScheduler,
+    SketchServer,
+    SolveResponse,
+    naive_solve_loop,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CountSketch",
@@ -66,6 +92,7 @@ __all__ = [
     "count_gauss",
     "default_embedding_dim",
     "DeviceSpec",
+    "ExecutorPool",
     "GPUExecutor",
     "H100_SXM5",
     "A100_SXM4",
@@ -76,5 +103,13 @@ __all__ = [
     "rand_cholqr",
     "rand_cholqr_lstsq",
     "sketch_and_solve",
+    "MicroBatcher",
+    "OperatorCache",
+    "ServerConfig",
+    "ServingTelemetry",
+    "ShardScheduler",
+    "SketchServer",
+    "SolveResponse",
+    "naive_solve_loop",
     "__version__",
 ]

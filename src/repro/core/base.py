@@ -151,6 +151,38 @@ class SketchOperator(abc.ABC):
         return self._generated
 
     # ------------------------------------------------------------------
+    def cache_key(self) -> tuple:
+        """Stable identity of this operator's random state.
+
+        Two operators with equal cache keys produce bit-identical sketches:
+        the key captures the family, the dimensions, the seed, the dtype and
+        any family-specific configuration (via :meth:`_cache_key_extra`).
+        This is the contract that makes sketch state cheap to cache and share
+        across requests: an operator can always be rebuilt from its
+        parameters alone.  The serving layer's
+        :func:`repro.serving.cache.operator_cache_key` is the lookup-side
+        counterpart -- it is computed from request parameters *before* any
+        operator exists, and two operators built from one serving key always
+        have equal ``cache_key()``s (asserted in the serving tests).
+
+        Seedless operators draw from their executor's stream, so their state
+        is not reproducible from parameters; their key includes ``id(self)``
+        and therefore never aliases another instance.
+        """
+        seed_part = self._seed if self._seed is not None else ("unseeded", id(self))
+        return (
+            self.family,
+            self._d,
+            self._k,
+            seed_part,
+            self._dtype.str,
+        ) + self._cache_key_extra()
+
+    def _cache_key_extra(self) -> tuple:
+        """Subclass hook: extra configuration that changes the sketch state."""
+        return ()
+
+    # ------------------------------------------------------------------
     def generate(self) -> "SketchOperator":
         """Materialise the operator's random state (idempotent).
 

@@ -122,6 +122,9 @@ class CountSketch(SketchOperator):
         if ex.numeric and self.variant == "spmm":
             self._numeric_matrix = self._csr.matrix
 
+    def _cache_key_extra(self) -> tuple:
+        return (self.variant,)
+
     # ------------------------------------------------------------------
     @property
     def row_map(self) -> np.ndarray:

@@ -72,6 +72,9 @@ class MultiSketch(SketchOperator):
         self.stages = list(stages)
         self.transpose_trick = bool(transpose_trick)
 
+    def _cache_key_extra(self) -> tuple:
+        return tuple(stage.cache_key() for stage in self.stages) + (self.transpose_trick,)
+
     # ------------------------------------------------------------------
     def _generate_impl(self) -> None:
         for stage in self.stages:

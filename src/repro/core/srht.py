@@ -205,6 +205,11 @@ class BlockSRHT(SketchOperator):
         self._blocks: list[SRHT] = []
         self._block_slices: list[slice] = []
 
+    def _cache_key_extra(self) -> tuple:
+        # The block partition changes the sketch: same (d, k, seed) with a
+        # different n_blocks draws different per-block sign/sample state.
+        return (self.n_blocks,)
+
     def _generate_impl(self) -> None:
         bounds = np.linspace(0, self._d, self.n_blocks + 1, dtype=int)
         self._blocks = []

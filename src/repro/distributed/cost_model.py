@@ -27,7 +27,15 @@ from repro.distributed.comm import CommCostModel
 
 @dataclass(frozen=True)
 class DistributedCostEstimate:
-    """Analytic cost estimate for one sketch family on ``p`` processes."""
+    """Analytic cost estimate for one sketch family on ``p`` processes.
+
+    ``per_process_flops`` is the closed-form arithmetic each rank performs to
+    apply its local sketch (Table 1's per-sketch counts at ``d/p`` rows).
+    Unlike simulated wall-clock measurements -- which are launch-overhead
+    dominated and therefore noisy at small problem sizes -- this quantity is
+    deterministic, so Section 7's "the multisketch beats the Gaussian per
+    rank" conclusion can be asserted on it directly.
+    """
 
     method: str
     embedding_dim: int
@@ -35,6 +43,7 @@ class DistributedCostEstimate:
     broadcast_bytes: float
     comm_seconds: float
     per_process_read_write_bytes: float
+    per_process_flops: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -44,6 +53,7 @@ class DistributedCostEstimate:
             "broadcast_bytes": self.broadcast_bytes,
             "comm_seconds": self.comm_seconds,
             "per_process_read_write_bytes": self.per_process_read_write_bytes,
+            "per_process_flops": self.per_process_flops,
         }
 
 
@@ -73,30 +83,43 @@ def sketch_communication_volume(
     if method_l in ("gaussian", "gauss"):
         k = 2 * n
         message = float(k) * n * itemsize
+        # Dense GEMM: 2 (d/p) n k flops per rank (Table 1's O(d n^2)).
+        flops = 2.0 * rows_per_proc * n * k
         return DistributedCostEstimate(
-            "gaussian", k, message, 0.0, cost_model.reduce_time(message, p), 2.0 * local_stream
+            "gaussian", k, message, 0.0, cost_model.reduce_time(message, p), 2.0 * local_stream, flops
         )
     if method_l in ("countsketch", "count"):
         k = 2 * n * n
         message = float(k) * n * itemsize
+        # One signed add per entry of the local block (Algorithm 2).
+        flops = rows_per_proc * n
         return DistributedCostEstimate(
-            "countsketch", k, message, 0.0, cost_model.reduce_time(message, p), 2.0 * local_stream
+            "countsketch", k, message, 0.0, cost_model.reduce_time(message, p), 2.0 * local_stream, flops
         )
     if method_l in ("multisketch", "multi", "count_gauss"):
         k1, k2 = 2 * n * n, 2 * n
         message = float(k2) * n * itemsize
         broadcast = float(k2) * k1 * itemsize
         seconds = cost_model.reduce_time(message, p) + cost_model.broadcast_time(broadcast, p)
+        # CountSketch pass over the local block plus the small second-stage
+        # GEMM on the k1 x n intermediate: O(d n / p + n^4).  The clamp
+        # mirrors dist_sketch.distributed_multisketch, whose per-rank
+        # CountSketch embeds into local_k1 = min(k1, rows) (a sketch cannot
+        # expand its input), so the GEMM it runs is over that many rows.
+        flops = rows_per_proc * n + 2.0 * float(min(k1, rows_per_proc)) * n * k2
         return DistributedCostEstimate(
-            "multisketch", k2, message, broadcast, seconds, 2.0 * local_stream
+            "multisketch", k2, message, broadcast, seconds, 2.0 * local_stream, flops
         )
     if method_l in ("block_srht", "srht"):
         k = int(math.ceil(2 * n * max(math.log2(max(n, 2)), 1.0)))
         message = float(k) * n * itemsize
         # The per-block FWHT makes several passes over the local block.
         passes = max(math.log2(max(rows_per_proc, 2)) / 2.0, 1.0)
+        # Butterfly adds: (d/p) log2(d/p) per column, plus the sign flip.
+        flops = rows_per_proc * n * (max(math.log2(max(rows_per_proc, 2)), 1.0) + 1.0)
         return DistributedCostEstimate(
-            "block_srht", k, message, 0.0, cost_model.reduce_time(message, p), 2.0 * local_stream * passes
+            "block_srht", k, message, 0.0, cost_model.reduce_time(message, p),
+            2.0 * local_stream * passes, flops
         )
     raise ValueError(f"unknown method '{method}'")
 

@@ -23,6 +23,7 @@ from repro.gpu.memory import DeviceMemoryTracker, DeviceOutOfMemoryError
 from repro.gpu.timing import KernelTiming, TimeBreakdown, SimClock
 from repro.gpu.kernels import KernelCostModel, KernelClass
 from repro.gpu.executor import GPUExecutor
+from repro.gpu.pool import ExecutorPool
 
 __all__ = [
     "DeviceSpec",
@@ -37,4 +38,5 @@ __all__ = [
     "KernelCostModel",
     "KernelClass",
     "GPUExecutor",
+    "ExecutorPool",
 ]

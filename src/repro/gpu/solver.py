@@ -200,6 +200,48 @@ class SimSolver:
         return out
 
     # ------------------------------------------------------------------
+    def trsm_left(
+        self,
+        r: DeviceArray,
+        b: DeviceArray,
+        *,
+        lower: bool = False,
+        transpose: bool = False,
+        phase: str = "TRSM",
+        label: str = "trsm_left_out",
+    ) -> DeviceArray:
+        """Solve ``op(R) X = B`` for a block of right-hand sides.
+
+        The multi-RHS companion of :meth:`trsv`: ``R`` is ``n x n``
+        triangular and ``B`` is ``n x nrhs``.  This is the solve the serving
+        layer's fused micro-batches use -- one TRSM over the whole batch
+        instead of one TRSV per request.
+        """
+        n = r.shape[0]
+        if r.shape[0] != r.shape[1] or b.ndim != 2 or b.shape[0] != n:
+            raise ValueError("trsm_left expects square R and an n x nrhs block B")
+        nrhs = b.shape[1]
+        out = self._ex.empty((n, nrhs), dtype=b.dtype, order="F", label=label)
+
+        self._ex.launch(
+            KernelRequest(
+                name="trsm_left",
+                kclass=KernelClass.TRIANGULAR,
+                bytes_read=float(n * n / 2 + n * nrhs) * b.itemsize,
+                bytes_written=float(n * nrhs) * b.itemsize,
+                flops=float(n) * n * nrhs,
+                dtype_size=b.itemsize,
+                phase=phase,
+            )
+        )
+
+        if self._ex.numeric and r.is_numeric and b.is_numeric:
+            mat = r.data.T if transpose else r.data
+            is_lower = lower ^ transpose
+            out.data[...] = sla.solve_triangular(mat, b.data, lower=is_lower)
+        return out
+
+    # ------------------------------------------------------------------
     def trsm(
         self,
         a: DeviceArray,

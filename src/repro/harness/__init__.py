@@ -6,7 +6,8 @@
   sweep configuration object.
 * :mod:`repro.harness.experiments` -- one entry point per paper artefact
   (``table1``, ``figure2`` ... ``figure8``, ``headline_speedup``,
-  ``section7_distributed``).
+  ``section7_distributed``) plus ``serving_throughput`` for the serving
+  layer's batched-vs-naive comparison.
 * :mod:`repro.harness.report` -- plain-text renderers that print the same
   rows / series the paper's figures show.
 """
@@ -26,6 +27,7 @@ from repro.harness.experiments import (
     figure8,
     headline_speedup,
     section7_distributed,
+    serving_throughput,
 )
 from repro.harness.report import format_table, render_figure_rows, render_breakdown_rows
 
@@ -47,6 +49,7 @@ __all__ = [
     "figure8",
     "headline_speedup",
     "section7_distributed",
+    "serving_throughput",
     "format_table",
     "render_figure_rows",
     "render_breakdown_rows",

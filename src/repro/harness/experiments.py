@@ -418,6 +418,72 @@ def figure8(
 
 
 # ---------------------------------------------------------------------------
+# Serving: micro-batched sketch-and-solve under synthetic traffic
+# ---------------------------------------------------------------------------
+def serving_throughput(
+    d: int = 1 << 14,
+    n: int = 32,
+    *,
+    n_requests: int = 128,
+    n_matrices: int = 2,
+    kinds: Sequence[str] = ("multisketch", "countsketch", "gaussian"),
+    shards: int = 2,
+    max_batch: int = 8,
+    noise: float = 0.01,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Serving-layer experiment: batched server vs naive per-request loop.
+
+    Synthesises repeated-shape solve traffic (``n_requests`` right-hand sides
+    spread over ``n_matrices`` shared ``d x n`` design matrices), serves it
+    through a :class:`~repro.serving.server.SketchServer` per sketch kind,
+    and solves the same traffic with the one-request-at-a-time reference
+    loop.  One row per kind with throughput, speedup, latency percentiles
+    and operator-cache hit rate -- the serving analogue of the Figure-5
+    solver comparison.
+    """
+    from repro.serving import SketchServer, naive_solve_loop
+
+    rng = np.random.default_rng(seed)
+    matrices = [rng.standard_normal((d, n)) for _ in range(n_matrices)]
+    x_true = np.linspace(-1.0, 1.0, n)
+    traffic = []
+    for i in range(n_requests):
+        a = matrices[i % n_matrices]
+        b = a @ x_true + noise * rng.standard_normal(d)
+        traffic.append((a, b))
+
+    rows: List[Dict[str, float]] = []
+    for kind in kinds:
+        server = SketchServer(kind=kind, shards=shards, max_batch=max_batch, seed=seed)
+        for a, b in traffic:
+            server.submit(a, b)
+        responses = server.flush()
+        stats = server.stats()
+        naive = naive_solve_loop(traffic, kind=kind, seed=seed)
+        naive_rps = naive["requests_per_second"]
+        rows.append(
+            {
+                "kind": kind,
+                "d": d,
+                "n": n,
+                "requests": n_requests,
+                "batched_rps": stats["requests_per_second"],
+                "naive_rps": naive_rps,
+                "speedup": stats["requests_per_second"] / naive_rps if naive_rps > 0 else math.nan,
+                "cache_hit_rate": stats["cache_hit_rate"],
+                "mean_batch_size": stats["mean_batch_size"],
+                "p50_us": stats["p50_seconds"] * 1e6,
+                "p95_us": stats["p95_seconds"] * 1e6,
+                "p99_us": stats["p99_seconds"] * 1e6,
+                "comm_seconds": stats["comm_seconds"],
+                "worst_relative_residual": max(r.relative_residual for r in responses),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Section 7: distributed considerations
 # ---------------------------------------------------------------------------
 def section7_distributed(

@@ -54,6 +54,14 @@ class LeastSquaresResult:
     failed: bool = False
     failure_reason: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
+    column_residuals: Optional[np.ndarray] = None
+
+    @property
+    def nrhs(self) -> int:
+        """Number of right-hand sides solved (1 for a vector ``b``)."""
+        if self.x is not None and self.x.ndim == 2:
+            return self.x.shape[1]
+        return int(self.extra.get("nrhs", 1))
 
     def phase_seconds(self) -> Dict[str, float]:
         """Seconds per phase label (the Figure-5 bar segments)."""
@@ -80,14 +88,27 @@ def _to_device(executor: GPUExecutor, arr: ArrayLike, label: str, order: str = "
 def _residuals(
     executor: GPUExecutor, a: DeviceArray, b: DeviceArray, x: DeviceArray
 ) -> tuple:
-    """Host-side residual computation (not charged to the solver's clock)."""
+    """Host-side residual computation (not charged to the solver's clock).
+
+    Returns ``(residual_norm, relative_residual, x_host, column_residuals)``.
+    For a block of right-hand sides the scalar norms are Frobenius norms (the
+    aggregate over the batch) and ``column_residuals`` holds the per-column
+    relative residuals; for a vector ``b`` it is ``None``.  The residual
+    matrix is formed once and reused for both.
+    """
     if not (executor.numeric and a.is_numeric and b.is_numeric and x.is_numeric):
-        return float("nan"), float("nan"), None
+        return float("nan"), float("nan"), None, None
     x_host = x.to_host()
-    res = float(np.linalg.norm(b.data - a.data @ x_host))
+    resid = b.data - a.data @ x_host
+    res = float(np.linalg.norm(resid))
     nb = float(np.linalg.norm(b.data))
     rel = res / nb if nb > 0 else res
-    return res, rel, x_host
+    columns = None
+    if b.data.ndim == 2:
+        col_res = np.linalg.norm(resid, axis=0)
+        col_nb = np.linalg.norm(b.data, axis=0)
+        columns = np.where(col_nb > 0, col_res / np.where(col_nb > 0, col_nb, 1.0), col_res)
+    return res, rel, x_host, columns
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +160,7 @@ def normal_equations(
             failed=True,
             failure_reason=reason,
         )
-    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, _ = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method="normal_equations",
         x=x_host,
@@ -167,6 +188,13 @@ def sketch_and_solve(
     solve (GEQRF + ORMQR + TRSV), exactly as in the paper's implementation
     (GELS was avoided because it was significantly slower).
 
+    ``b`` may also be a ``d x m`` block of right-hand sides, in which case the
+    whole batch is solved against one sketch of ``A``: ``Z = S B`` is a single
+    matrix sketch, ORMQR applies the reflectors to the whole block and a TRSM
+    replaces the per-vector TRSVs.  This fused path is what the serving
+    layer's micro-batcher calls -- the expensive ``S A`` and GEQRF work is
+    paid once for the batch instead of once per request.
+
     The returned residual is measured against the *original* problem, so the
     O(1) distortion factor of the sketch shows up directly in
     ``relative_residual``.
@@ -178,17 +206,24 @@ def sketch_and_solve(
     a_dev = _to_device(executor, a, "A", order="C")
     b_dev = _to_device(executor, b, "b")
     solver = executor.solver
+    multi_rhs = b_dev.ndim == 2
 
     mark = executor.mark()
     sketch.generate()
     y = sketch.apply(a_dev, phase="Matrix sketch")
-    z = sketch.apply_vector(b_dev, phase="Vector sketch")
+    if multi_rhs:
+        z = sketch.apply(b_dev, phase="Vector sketch")
+    else:
+        z = sketch.apply_vector(b_dev, phase="Vector sketch")
     factors = solver.geqrf(y, phase="GEQRF")
     qtz = solver.ormqr(factors, z, phase="ORMQR")
-    x_dev = solver.trsv(factors.r, qtz, phase="TRSV", label="solution")
+    if multi_rhs:
+        x_dev = solver.trsm_left(factors.r, qtz, phase="TRSV", label="solution")
+    else:
+        x_dev = solver.trsv(factors.r, qtz, phase="TRSV", label="solution")
 
     breakdown = executor.breakdown_since(mark)
-    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, columns = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method=f"sketch_and_solve[{sketch.family}]",
         x=x_host,
@@ -196,7 +231,8 @@ def sketch_and_solve(
         relative_residual=rel,
         breakdown=breakdown,
         total_seconds=breakdown.total(),
-        extra={"sketch_dim": float(sketch.k)},
+        extra={"sketch_dim": float(sketch.k), "nrhs": float(z.shape[1]) if multi_rhs else 1.0},
+        column_residuals=columns,
     )
 
 
@@ -223,7 +259,7 @@ def qr_solve(
     mark = executor.mark()
     x_dev = executor.solver.householder_qr_solve(a_dev, b_dev)
     breakdown = executor.breakdown_since(mark)
-    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, _ = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method="qr",
         x=x_host,

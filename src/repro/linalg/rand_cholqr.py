@@ -92,6 +92,12 @@ def rand_cholqr_lstsq(
     then recover ``x = R0^{-1} w``, which is algebraically identical and
     keeps every triangular solve ``n x n``.
 
+    ``b`` may also be a ``d x m`` block of right-hand sides: the expensive
+    steps (sketch, GEQRF, the big TRSM over ``A``, the Gram matrix, POTRF)
+    are paid once, ``Z = A0^T B`` becomes a GEMM and the triangular solves
+    become TRSMs over the whole block -- the fused path the serving layer
+    uses for distortion-free micro-batched solves.
+
     The solution has *no* sketching distortion; stability holds for
     ``kappa(A) < u^{-1}``.
     """
@@ -102,6 +108,7 @@ def rand_cholqr_lstsq(
     a_dev = _to_device(executor, a, "A", order="C")
     b_dev = _to_device(executor, b, "b")
     blas, solver = executor.blas, executor.solver
+    multi_rhs = b_dev.ndim == 2
 
     mark = executor.mark()
     failed, reason = False, ""
@@ -112,12 +119,19 @@ def rand_cholqr_lstsq(
         factors = solver.geqrf(y, phase="GEQRF")
         a0 = solver.trsm(a_dev, factors.r, phase="TRSM", label="A_preconditioned")
         gram = blas.gram(a0, phase="Gram matrix")
-        z = blas.gemv(a0, b_dev, trans_a=True, phase="AT*b", label="A0Tb")
         r1 = solver.potrf(gram, phase="POTRF")
-        # Solve (R1^T R1) w = z, then x = R0^{-1} w.
-        w1 = solver.trsv(r1, z, transpose=True, phase="TRSV", label="forward_solve")
-        w = solver.trsv(r1, w1, transpose=False, phase="TRSV", label="preconditioned_solution")
-        x_dev = solver.trsv(factors.r, w, transpose=False, phase="TRSV", label="solution")
+        if multi_rhs:
+            z = blas.gemm(a0, b_dev, trans_a=True, phase="AT*b", label="A0TB")
+            # Solve (R1^T R1) W = Z, then X = R0^{-1} W, blockwise.
+            w1 = solver.trsm_left(r1, z, transpose=True, phase="TRSV", label="forward_solve")
+            w = solver.trsm_left(r1, w1, transpose=False, phase="TRSV", label="preconditioned_solution")
+            x_dev = solver.trsm_left(factors.r, w, transpose=False, phase="TRSV", label="solution")
+        else:
+            z = blas.gemv(a0, b_dev, trans_a=True, phase="AT*b", label="A0Tb")
+            # Solve (R1^T R1) w = z, then x = R0^{-1} w.
+            w1 = solver.trsv(r1, z, transpose=True, phase="TRSV", label="forward_solve")
+            w = solver.trsv(r1, w1, transpose=False, phase="TRSV", label="preconditioned_solution")
+            x_dev = solver.trsv(factors.r, w, transpose=False, phase="TRSV", label="solution")
     except np.linalg.LinAlgError as exc:
         failed, reason = True, f"rand_cholQR breakdown: {exc}"
 
@@ -133,7 +147,7 @@ def rand_cholqr_lstsq(
             failed=True,
             failure_reason=reason,
         )
-    res, rel, x_host = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, columns = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method=f"rand_cholqr[{sketch.family}]",
         x=x_host,
@@ -141,5 +155,6 @@ def rand_cholqr_lstsq(
         relative_residual=rel,
         breakdown=breakdown,
         total_seconds=breakdown.total(),
-        extra={"sketch_dim": float(sketch.k)},
+        extra={"sketch_dim": float(sketch.k), "nrhs": float(b_dev.shape[1]) if multi_rhs else 1.0},
+        column_residuals=columns,
     )

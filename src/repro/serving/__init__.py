@@ -1,0 +1,74 @@
+"""Serving layer: batched, cached, sharded sketch-and-solve under load.
+
+The ROADMAP's north star asks for a system that "serves heavy traffic from
+millions of users"; this package is the layer that turns the reproduction's
+sketch operators and solvers into such a service:
+
+* :class:`~repro.serving.server.SketchServer` -- the front end accepting
+  ``solve(A, b)`` and ``sketch(A)`` requests.
+* :class:`~repro.serving.batcher.MicroBatcher` -- coalesces same-matrix
+  least-squares requests into fused multi-RHS solves (one ``S A`` sketch and
+  one GEQRF per batch instead of per request).
+* :class:`~repro.serving.cache.OperatorCache` -- LRU cache of sketch
+  operators keyed on ``(kind, d, n, k, seed, dtype)``; sketch state is a pure
+  function of its key (hash-seeded, cf. the CSVec lineage), so it is cached
+  once and shared across every request with the same shape.
+* :class:`~repro.serving.scheduler.ShardScheduler` -- places batches on an
+  :class:`~repro.gpu.pool.ExecutorPool` of simulated GPU workers
+  (cache-affinity first, least-loaded otherwise) and charges cross-shard
+  traffic with the Section-7 alpha-beta model.
+* :class:`~repro.serving.telemetry.ServingTelemetry` -- p50/p95/p99 latency,
+  throughput, batch-size and hit-rate reporting.
+
+Quick start::
+
+    from repro.serving import SketchServer
+
+    server = SketchServer(kind="multisketch", shards=2, max_batch=16)
+    for b in observations:              # many RHS against one design matrix
+        server.submit(A, b)
+    responses = server.flush()          # fused into multi-RHS solves
+    print(server.stats()["requests_per_second"])
+"""
+
+from repro.serving.batcher import MicroBatch, MicroBatcher
+from repro.serving.cache import (
+    CacheEntry,
+    CacheStats,
+    OperatorCache,
+    build_operator,
+    operator_cache_key,
+    resolve_embedding_dim,
+)
+from repro.serving.requests import (
+    SketchResponse,
+    SolveRequest,
+    SolveResponse,
+    normalize_kind,
+    normalize_solver,
+)
+from repro.serving.scheduler import ShardScheduler
+from repro.serving.server import ServerConfig, SketchServer, naive_solve_loop
+from repro.serving.telemetry import LatencySummary, ServingTelemetry
+
+__all__ = [
+    "MicroBatch",
+    "MicroBatcher",
+    "CacheEntry",
+    "CacheStats",
+    "OperatorCache",
+    "build_operator",
+    "operator_cache_key",
+    "resolve_embedding_dim",
+    "SketchResponse",
+    "SolveRequest",
+    "SolveResponse",
+    "normalize_kind",
+    "normalize_solver",
+    "ShardScheduler",
+    "ServerConfig",
+    "SketchServer",
+    "naive_solve_loop",
+    "LatencySummary",
+    "ServingTelemetry",
+]

@@ -1,0 +1,223 @@
+"""LRU cache of sketch operators, keyed on the parameters that define them.
+
+The CSVec lineage of the CountSketch (hash-seeded row maps and signs) means a
+sketch operator's entire random state is a pure function of
+``(kind, d, n, k, seed, dtype)`` -- see
+:meth:`repro.core.base.SketchOperator.cache_key`.  A serving layer should
+therefore never regenerate an operator for a shape it has already seen: the
+planning work (CSR assembly for the SpMM CountSketch, the dense second-stage
+Gaussian of the multisketch, SRHT sign/sample vectors) is paid once and
+reused across every request that shares the key.
+
+The cache also remembers *where* each operator lives: operators are bound to
+the shard executor they were generated on, so the scheduler routes batches to
+the owning shard (cache-affinity scheduling) instead of rebuilding state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import SketchOperator, default_embedding_dim
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.gpu.executor import GPUExecutor
+from repro.serving.requests import normalize_kind
+
+
+def resolve_embedding_dim(kind: str, d: int, n: int) -> int:
+    """Embedding dimension the server uses for a ``d x n`` problem.
+
+    Follows the paper's Section 6.2 defaults (``2n`` for Gaussian / SRHT /
+    multisketch, ``2n^2`` clipped to ``d`` for the CountSketch).
+    """
+    kind = normalize_kind(kind)
+    if kind == "countsketch":
+        return min(default_embedding_dim("countsketch", n), d)
+    return default_embedding_dim(kind, n)
+
+
+def operator_cache_key(
+    kind: str, d: int, n: int, k: int, seed: Optional[int], dtype=np.float64
+) -> Tuple:
+    """The serving cache key: ``(kind, d, n, k, seed, dtype)``.
+
+    Two operators built from equal keys produce bit-identical sketches, so a
+    cached operator can stand in for a freshly built one on any request.
+    """
+    return (normalize_kind(kind), int(d), int(n), int(k), seed, np.dtype(dtype).str)
+
+
+def build_operator(
+    kind: str,
+    d: int,
+    n: int,
+    *,
+    executor: GPUExecutor,
+    seed: Optional[int] = 0,
+    k: Optional[int] = None,
+    dtype=np.float64,
+) -> SketchOperator:
+    """Construct (and eagerly generate) the operator a cache key describes."""
+    kind = normalize_kind(kind)
+    if k is None:
+        k = resolve_embedding_dim(kind, d, n)
+    if kind == "gaussian":
+        op: SketchOperator = GaussianSketch(d, k, executor=executor, seed=seed, dtype=dtype)
+    elif kind == "countsketch":
+        op = CountSketch(d, k, executor=executor, seed=seed, dtype=dtype)
+    elif kind == "srht":
+        op = SRHT(d, k, executor=executor, seed=seed, dtype=dtype)
+    else:  # multisketch
+        op = count_gauss(d, n, k2=k, executor=executor, seed=seed, dtype=dtype)
+    # Generate immediately so the one-off "Sketch gen" cost lands on the
+    # build (cache miss), not on the first request that uses the operator.
+    op.generate()
+    return op
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for the operator cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that found a cached operator (0 when idle)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """A cached operator, the shard it is bound to, and its replicas.
+
+    ``state_key`` is the operator's own identity
+    (:meth:`~repro.core.base.SketchOperator.cache_key`), recorded at build
+    time; two entries with equal state keys hold interchangeable operators
+    regardless of which serving key produced them.
+
+    ``replicas`` maps additional shard indices to same-state operators the
+    scheduler rebuilt there to spread a hot key across the pool (sketch
+    state is a pure function of the key, so a replica is a local rebuild
+    from the seed, not a state transfer).
+    """
+
+    operator: SketchOperator
+    shard: int
+    uses: int = 0
+    state_key: Tuple = ()
+    replicas: Dict[int, SketchOperator] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.state_key:
+            self.state_key = self.operator.cache_key()
+
+    def shard_set(self) -> Tuple[int, ...]:
+        """Every shard holding a copy of this operator (primary first)."""
+        return (self.shard,) + tuple(self.replicas)
+
+    def operator_for(self, shard: int) -> SketchOperator:
+        """The copy bound to ``shard`` (primary or replica)."""
+        if shard == self.shard:
+            return self.operator
+        return self.replicas[shard]
+
+    def add_replica(self, shard: int, operator: SketchOperator) -> None:
+        """Register a same-state copy living on another shard."""
+        if operator.cache_key() != self.state_key:
+            raise ValueError("replica state does not match the cached operator")
+        self.replicas[shard] = operator
+
+
+class OperatorCache:
+    """Bounded LRU cache mapping :func:`operator_cache_key` to operators.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live operators.  The oldest (least recently used)
+        entry is evicted when a new one would exceed the bound; eviction
+        only drops the handle -- a future request with the same key simply
+        rebuilds the state from the seed, which is cheap for the hash-seeded
+        families.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def keys(self):
+        """Cache keys from least to most recently used."""
+        return list(self._entries.keys())
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[CacheEntry]:
+        """Look up an operator; counts a hit or a miss and refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry.uses += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def peek(self, key: Tuple) -> Optional[CacheEntry]:
+        """Look up without touching the stats or the LRU order (for tests)."""
+        return self._entries.get(key)
+
+    def put(self, key: Tuple, entry: CacheEntry) -> CacheEntry:
+        """Insert an entry, evicting the least recently used one if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = entry
+            return entry
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        """Drop every cached operator (stats are kept)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OperatorCache(size={len(self)}/{self.capacity}, "
+            f"hit_rate={self.stats.hit_rate:.2%})"
+        )

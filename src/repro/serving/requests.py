@@ -1,0 +1,137 @@
+"""Request and response types for the sketch-and-solve serving layer.
+
+A request is a host-side problem (NumPy arrays) plus routing metadata; a
+response carries the solution, accuracy and accounting for exactly one
+request, even when the server fused many requests into one device batch.
+Everything here is a plain dataclass so responses can be logged, asserted on
+in tests, and rendered by the harness without touching device state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+def normalize_kind(kind: str) -> str:
+    """Canonical sketch-family name used in cache keys and reports."""
+    k = kind.lower()
+    if k in ("gaussian", "gauss"):
+        return "gaussian"
+    if k in ("countsketch", "count", "sparse"):
+        return "countsketch"
+    if k in ("srht",):
+        return "srht"
+    if k in ("multisketch", "multi", "count_gauss"):
+        return "multisketch"
+    raise ValueError(f"unknown sketch kind '{kind}'")
+
+
+_SOLVERS = ("sketch_and_solve", "rand_cholqr")
+
+
+def normalize_solver(solver: str) -> str:
+    """Canonical solver name (``sketch_and_solve`` or ``rand_cholqr``)."""
+    s = solver.lower()
+    if s not in _SOLVERS:
+        raise ValueError(f"solver must be one of {_SOLVERS}, got '{solver}'")
+    return s
+
+
+@dataclass
+class SolveRequest:
+    """One least-squares request ``min_x ||b - A x||`` awaiting service.
+
+    Attributes
+    ----------
+    request_id:
+        Server-assigned monotonically increasing id.
+    a / b:
+        Host arrays: ``A`` is ``d x n`` (tall), ``b`` is a length-``d`` vector.
+    kind:
+        Sketch family to solve with (canonical name).
+    solver:
+        ``"sketch_and_solve"`` (Algorithm 1, O(1) distortion) or
+        ``"rand_cholqr"`` (Algorithm 5, no distortion).
+    """
+
+    request_id: int
+    a: np.ndarray
+    b: np.ndarray
+    kind: str = "multisketch"
+    solver: str = "sketch_and_solve"
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a)
+        self.b = np.asarray(self.b)
+        if self.a.ndim != 2:
+            raise ValueError("A must be a 2-D matrix")
+        if self.a.shape[0] <= self.a.shape[1]:
+            raise ValueError("A must be tall (d > n)")
+        if self.b.ndim != 1 or self.b.shape[0] != self.a.shape[0]:
+            raise ValueError("b must be a vector with one entry per row of A")
+        self.kind = normalize_kind(self.kind)
+        self.solver = normalize_solver(self.solver)
+
+    @property
+    def d(self) -> int:
+        """Number of rows of the problem."""
+        return self.a.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of columns of the problem."""
+        return self.a.shape[1]
+
+    def group_key(self) -> Tuple:
+        """Micro-batching key: requests with equal keys fuse into one solve.
+
+        Fusing into a multi-RHS solve requires *the same coefficient matrix*,
+        so the key includes the identity of ``a`` (requests hold a reference,
+        which keeps ``id(a)`` stable while the request is pending) alongside
+        the shape/dtype and the routing parameters.
+        """
+        return (id(self.a), self.a.shape, self.a.dtype.str, self.kind, self.solver)
+
+
+@dataclass
+class SolveResponse:
+    """Outcome of one :class:`SolveRequest`.
+
+    ``simulated_seconds`` is the request's *latency*: the simulated device
+    time of the fused batch it rode in plus the cross-shard transfer time for
+    returning its slice of the result.  Requests fused into the same batch
+    therefore share a latency, which is exactly how a micro-batching server
+    behaves (a request pays for its whole batch).
+    """
+
+    request_id: int
+    x: Optional[np.ndarray]
+    relative_residual: float
+    simulated_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    shard: int
+    batch_size: int
+    cache_hit: bool
+    kind: str
+    solver: str
+    method: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SketchResponse:
+    """Outcome of a ``sketch(A)`` request: the sketched matrix ``S A``."""
+
+    request_id: int
+    sketch: Optional[np.ndarray]
+    k: int
+    simulated_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    shard: int
+    cache_hit: bool
+    kind: str

@@ -1,0 +1,117 @@
+"""Shard scheduling: spread micro-batches across a pool of GPU executors.
+
+The scheduler owns an :class:`~repro.gpu.pool.ExecutorPool` and decides which
+shard runs each micro-batch.  Two policies compose:
+
+* **cache affinity** -- a batch whose operator is already cached runs on the
+  shard that owns the operator (sketch state lives in device memory and is
+  bound to its executor; moving it would cost more than queueing behind it);
+* **least-loaded placement** -- a batch that needs a brand-new operator goes
+  to the shard with the least accumulated simulated time, balancing load
+  across distinct problem shapes.
+
+Cross-shard traffic (shipping a batch's solution back to the front end,
+replicating operator state) is charged with the same alpha-beta model the
+distributed layer uses (:class:`repro.distributed.comm.CommCostModel`) and
+recorded as :class:`repro.distributed.comm.CommRecord` entries, so serving
+experiments report communication with the exact accounting of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.distributed.comm import CommCostModel, CommRecord
+from repro.gpu.pool import ExecutorPool
+
+
+class ShardScheduler:
+    """Places work on an executor pool and accounts cross-shard traffic.
+
+    Parameters
+    ----------
+    pool:
+        The executor pool to schedule onto.
+    cost_model:
+        Alpha-beta communication model for front-end <-> shard transfers;
+        defaults to the distributed layer's defaults (10 us latency,
+        25 GB/s links).
+    """
+
+    def __init__(self, pool: ExecutorPool, cost_model: Optional[CommCostModel] = None) -> None:
+        self.pool = pool
+        self.cost_model = cost_model if cost_model is not None else CommCostModel()
+        self.records: List[CommRecord] = []
+        self._batches_per_shard: List[int] = [0] * pool.size
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, preferred: Optional[int] = None) -> int:
+        """Pick the shard for a batch.
+
+        ``preferred`` (cache affinity) wins when given; otherwise the least
+        loaded shard by simulated busy time is chosen.
+        """
+        if preferred is not None:
+            if not (0 <= preferred < self.pool.size):
+                raise ValueError(f"shard {preferred} out of range for pool of {self.pool.size}")
+            shard = preferred
+        else:
+            shard = self.pool.least_loaded()
+        self._batches_per_shard[shard] += 1
+        return shard
+
+    @property
+    def batches_per_shard(self) -> List[int]:
+        """Number of batches placed on each shard so far."""
+        return list(self._batches_per_shard)
+
+    # ------------------------------------------------------------------
+    # cross-shard traffic accounting
+    # ------------------------------------------------------------------
+    def charge_transfer(self, name: str, nbytes: float) -> float:
+        """Charge one front-end <-> shard point-to-point transfer.
+
+        Modelled as ``alpha + bytes / beta`` -- one message over one link --
+        and recorded so totals can be reported next to Section 7's numbers.
+        Returns the simulated seconds charged.
+        """
+        seconds = self.cost_model.latency + float(nbytes) / self.cost_model.bandwidth
+        self.records.append(CommRecord(name=name, bytes_moved=float(nbytes), seconds=seconds))
+        return seconds
+
+    def charge_replication(self, state_bytes: float, n_replicas: int) -> float:
+        """Charge broadcasting operator state to ``n_replicas`` shards."""
+        seconds = self.cost_model.broadcast_time(float(state_bytes), max(n_replicas, 1) + 1)
+        self.records.append(
+            CommRecord(name="operator_replication", bytes_moved=float(state_bytes), seconds=seconds)
+        )
+        return seconds
+
+    def comm_seconds(self) -> float:
+        """Total cross-shard communication seconds charged so far."""
+        return float(sum(r.seconds for r in self.records))
+
+    def comm_bytes(self) -> float:
+        """Total cross-shard bytes moved so far."""
+        return float(sum(r.bytes_moved for r in self.records))
+
+    def comm_by_name(self) -> Dict[str, float]:
+        """Seconds per transfer name."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        return out
+
+    # ------------------------------------------------------------------
+    def loads(self) -> List[float]:
+        """Per-shard simulated busy seconds (delegates to the pool)."""
+        return self.pool.loads()
+
+    def makespan(self) -> float:
+        """Busiest shard's accumulated simulated seconds."""
+        return self.pool.makespan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardScheduler(pool={self.pool!r}, comm_seconds={self.comm_seconds():.3e})"

@@ -1,0 +1,121 @@
+"""Serving telemetry: latency percentiles, throughput and counters.
+
+Latencies here are *simulated* seconds from the GPU cost model and the
+alpha-beta communication model, so the numbers are deterministic and the
+percentile report answers the question the ROADMAP's north star asks --
+what p99 would this serving configuration sustain on the paper's hardware --
+without a physical GPU in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of per-request latency (simulated seconds)."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+            "p99_seconds": self.p99,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+        }
+
+
+class ServingTelemetry:
+    """Accumulates per-request and per-batch measurements for one server."""
+
+    def __init__(self) -> None:
+        self._latencies: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._batch_seconds: List[float] = []
+        self.requests_served = 0
+        self.sketch_requests = 0
+        self.batches_executed = 0
+
+    # ------------------------------------------------------------------
+    def record_request(self, latency_seconds: float) -> None:
+        """Record one served solve request's latency."""
+        self._latencies.append(float(latency_seconds))
+        self.requests_served += 1
+
+    def record_sketch(self, latency_seconds: float) -> None:
+        """Record one served sketch request's latency."""
+        self._latencies.append(float(latency_seconds))
+        self.sketch_requests += 1
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        """Record one executed micro-batch."""
+        self._batch_sizes.append(int(size))
+        self._batch_seconds.append(float(seconds))
+        self.batches_executed += 1
+
+    # ------------------------------------------------------------------
+    def latency_summary(self) -> Optional[LatencySummary]:
+        """p50/p95/p99 latency over everything served so far (None when idle)."""
+        if not self._latencies:
+            return None
+        arr = np.asarray(self._latencies, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return LatencySummary(
+            count=arr.size,
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+            mean=float(arr.mean()),
+            max=float(arr.max()),
+        )
+
+    def mean_batch_size(self) -> float:
+        """Average fused batch size (0 when no batch ran)."""
+        if not self._batch_sizes:
+            return 0.0
+        return float(np.mean(self._batch_sizes))
+
+    def throughput(self, makespan_seconds: float) -> float:
+        """Requests per simulated second given the pool's makespan."""
+        total = self.requests_served + self.sketch_requests
+        if makespan_seconds <= 0.0:
+            return 0.0
+        return total / makespan_seconds
+
+    # ------------------------------------------------------------------
+    def snapshot(self, makespan_seconds: Optional[float] = None) -> Dict[str, float]:
+        """One flat dict with every headline number (for reports and tests)."""
+        out: Dict[str, float] = {
+            "requests_served": float(self.requests_served),
+            "sketch_requests": float(self.sketch_requests),
+            "batches_executed": float(self.batches_executed),
+            "mean_batch_size": self.mean_batch_size(),
+        }
+        summary = self.latency_summary()
+        if summary is not None:
+            out.update(summary.as_dict())
+        if makespan_seconds is not None:
+            out["makespan_seconds"] = float(makespan_seconds)
+            out["requests_per_second"] = self.throughput(makespan_seconds)
+        return out
+
+    def reset(self) -> None:
+        """Clear every measurement."""
+        self._latencies.clear()
+        self._batch_sizes.clear()
+        self._batch_seconds.clear()
+        self.requests_served = 0
+        self.sketch_requests = 0
+        self.batches_executed = 0

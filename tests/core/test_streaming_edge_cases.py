@@ -1,0 +1,113 @@
+"""Edge cases of the hash-based StreamingCountSketch.
+
+These pin down the contract the streaming example
+(``examples/streaming_frequent_directions.py``) relies on: batches may be
+ragged or even empty, and two sketches built from the same seed derive the
+*same* hashed row map and signs, so separately sketched features and targets
+stay aligned row for row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import StreamingCountSketch
+
+D, N, K = 1024, 8, 128
+
+
+def _stream(sketch: StreamingCountSketch, a: np.ndarray, batch: int) -> np.ndarray:
+    sketch.begin(a.shape[1])
+    for start in range(0, a.shape[0], batch):
+        idx = np.arange(start, min(start + batch, a.shape[0]))
+        sketch.update(idx, a[idx])
+    return sketch.result().to_host()
+
+
+class TestStreamingBatching:
+    def test_empty_batch_is_a_no_op(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=5)
+        sketch.begin(N)
+        sketch.update(np.arange(D), a)
+        before = sketch._accumulator.to_host()
+        sketch.update(np.array([], dtype=np.int64), np.zeros((0, N)))
+        after = sketch.result().to_host()
+        np.testing.assert_array_equal(before, after)
+
+    def test_stream_of_only_empty_batches_gives_zero_sketch(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=5)
+        sketch.begin(N)
+        for _ in range(3):
+            sketch.update(np.array([], dtype=np.int64), np.zeros((0, N)))
+        out = sketch.result().to_host()
+        assert out.shape == (K, N)
+        np.testing.assert_array_equal(out, np.zeros((K, N)))
+
+    def test_final_ragged_batch_matches_one_shot_apply(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        # 1024 rows in batches of 100 -> final batch has only 24 rows.
+        streamed = _stream(StreamingCountSketch(D, K, executor=executor, seed=9), a, batch=100)
+        one_shot = StreamingCountSketch(D, K, executor=executor, seed=9).sketch_host(a)
+        np.testing.assert_allclose(streamed, one_shot, rtol=0, atol=1e-12)
+
+    def test_batch_size_does_not_change_the_sketch(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        per_row = _stream(StreamingCountSketch(D, K, executor=executor, seed=3), a, batch=1)
+        big = _stream(StreamingCountSketch(D, K, executor=executor, seed=3), a, batch=D)
+        np.testing.assert_allclose(per_row, big, rtol=0, atol=1e-12)
+
+
+class TestSeedAlignment:
+    """Two same-seed sketches must map row i identically (the example's invariant)."""
+
+    def test_same_seed_same_row_map_and_signs(self, executor):
+        s1 = StreamingCountSketch(D, K, executor=executor, seed=42)
+        s2 = StreamingCountSketch(D, K, executor=executor, seed=42)
+        idx = np.arange(D)
+        rows1, signs1 = s1.row_map_and_signs(idx)
+        rows2, signs2 = s2.row_map_and_signs(idx)
+        np.testing.assert_array_equal(rows1, rows2)
+        np.testing.assert_array_equal(signs1, signs2)
+
+    def test_separately_sketched_features_and_targets_stay_aligned(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        x_true = rng.standard_normal(N)
+        b = a @ x_true
+        feat = StreamingCountSketch(D, K, executor=executor, seed=42)
+        targ = StreamingCountSketch(D, K, executor=executor, seed=42)
+        sa = _stream(feat, a, batch=200)
+        sb = _stream(targ, b.reshape(-1, 1), batch=200)[:, 0]
+        # Row alignment means S(A x) == (S A) x exactly: the exact solution
+        # of the sketched system is the exact solution of the original one.
+        np.testing.assert_allclose(sa @ x_true, sb, rtol=1e-10, atol=1e-10)
+
+    def test_different_seeds_are_not_aligned(self, executor):
+        s1 = StreamingCountSketch(D, K, executor=executor, seed=1)
+        s2 = StreamingCountSketch(D, K, executor=executor, seed=2)
+        rows1, _ = s1.row_map_and_signs(np.arange(D))
+        rows2, _ = s2.row_map_and_signs(np.arange(D))
+        assert not np.array_equal(rows1, rows2)
+
+
+class TestStreamingErrors:
+    def test_update_before_begin_raises(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=0)
+        with pytest.raises(RuntimeError):
+            sketch.update(np.arange(4), np.zeros((4, N)))
+
+    def test_out_of_range_indices_raise(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=0)
+        sketch.begin(N)
+        with pytest.raises(ValueError):
+            sketch.update(np.array([D]), np.zeros((1, N)))
+        with pytest.raises(ValueError):
+            sketch.update(np.array([-1]), np.zeros((1, N)))
+
+    def test_result_closes_the_pass(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=0)
+        sketch.begin(N)
+        sketch.result()
+        with pytest.raises(RuntimeError):
+            sketch.result()

@@ -1,0 +1,161 @@
+"""Multi-RHS (fused batch) paths of the least-squares solvers.
+
+The serving layer's micro-batcher relies on ``sketch_and_solve`` /
+``rand_cholqr_lstsq`` accepting a ``d x m`` block of right-hand sides and
+producing, column for column, the same solutions as ``m`` separate
+single-vector solves against the same sketch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.countsketch import CountSketch
+from repro.core.gaussian import GaussianSketch
+from repro.core.multisketch import count_gauss
+from repro.core.srht import SRHT
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.lstsq import sketch_and_solve
+from repro.linalg.rand_cholqr import rand_cholqr_lstsq
+
+D, N, M = 4096, 16, 5
+
+
+def _fresh(build, seed=3):
+    ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+    return build(ex, seed)
+
+
+_BUILDERS = {
+    "multisketch": lambda ex, s: count_gauss(D, N, executor=ex, seed=s),
+    "gaussian": lambda ex, s: GaussianSketch(D, 2 * N, executor=ex, seed=s),
+    "countsketch": lambda ex, s: CountSketch(D, 2 * N * N, executor=ex, seed=s),
+    "srht": lambda ex, s: SRHT(D, 2 * N, executor=ex, seed=s),
+}
+
+
+@pytest.fixture
+def block_problem(rng):
+    a = rng.standard_normal((D, N))
+    b = rng.standard_normal((D, M))
+    return a, b
+
+
+class TestSketchAndSolveBatched:
+    @pytest.mark.parametrize("kind", list(_BUILDERS))
+    def test_matches_columnwise_solves(self, block_problem, kind):
+        a, b = block_problem
+        batched = sketch_and_solve(a, b, _fresh(_BUILDERS[kind]))
+        reference = _fresh(_BUILDERS[kind])
+        cols = np.column_stack(
+            [sketch_and_solve(a, b[:, j], reference).x for j in range(M)]
+        )
+        assert batched.x.shape == (N, M)
+        np.testing.assert_allclose(batched.x, cols, rtol=1e-9, atol=1e-11)
+
+    def test_result_metadata(self, block_problem):
+        a, b = block_problem
+        result = sketch_and_solve(a, b, _fresh(_BUILDERS["multisketch"]))
+        assert result.nrhs == M
+        assert result.extra["nrhs"] == float(M)
+        assert result.column_residuals.shape == (M,)
+        # the aggregate (Frobenius) residual is bounded by the worst column
+        assert result.relative_residual <= result.column_residuals.max() + 1e-12
+
+    def test_single_rhs_unchanged(self, block_problem):
+        a, b = block_problem
+        result = sketch_and_solve(a, b[:, 0], _fresh(_BUILDERS["multisketch"]))
+        assert result.x.ndim == 1
+        assert result.nrhs == 1
+        assert result.column_residuals is None
+
+    def test_batch_amortises_simulated_time(self, block_problem):
+        """m fused RHS must cost far less than m separate solves."""
+        a, b = block_problem
+        batched = sketch_and_solve(a, b, _fresh(_BUILDERS["multisketch"]))
+        single = sketch_and_solve(a, b[:, 0], _fresh(_BUILDERS["multisketch"]))
+        assert batched.total_seconds < 0.75 * M * single.total_seconds
+
+
+class TestRandCholQRBatched:
+    def test_matches_columnwise_solves(self, block_problem):
+        a, b = block_problem
+        batched = rand_cholqr_lstsq(a, b, _fresh(_BUILDERS["multisketch"]))
+        reference = _fresh(_BUILDERS["multisketch"])
+        cols = np.column_stack(
+            [rand_cholqr_lstsq(a, b[:, j], reference).x for j in range(M)]
+        )
+        np.testing.assert_allclose(batched.x, cols, rtol=1e-9, atol=1e-11)
+
+    def test_no_distortion_on_consistent_block(self, rng):
+        a = rng.standard_normal((D, N))
+        x_true = rng.standard_normal((N, M))
+        b = a @ x_true
+        result = rand_cholqr_lstsq(a, b, _fresh(_BUILDERS["multisketch"]))
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-8, atol=1e-8)
+        assert result.column_residuals.max() < 1e-10
+
+
+class TestTrsmLeft:
+    def test_solves_upper_triangular_block(self, executor, rng):
+        n, m = 12, 4
+        r = np.triu(rng.standard_normal((n, n))) + 5.0 * np.eye(n)
+        b = rng.standard_normal((n, m))
+        r_dev = executor.to_device(r, label="R")
+        b_dev = executor.to_device(b, label="B")
+        x = executor.solver.trsm_left(r_dev, b_dev).to_host()
+        np.testing.assert_allclose(x, sla.solve_triangular(r, b), rtol=1e-12)
+
+    def test_transpose_flag(self, executor, rng):
+        n, m = 12, 4
+        r = np.triu(rng.standard_normal((n, n))) + 5.0 * np.eye(n)
+        b = rng.standard_normal((n, m))
+        r_dev = executor.to_device(r, label="R")
+        b_dev = executor.to_device(b, label="B")
+        x = executor.solver.trsm_left(r_dev, b_dev, transpose=True).to_host()
+        np.testing.assert_allclose(r.T @ x, b, rtol=1e-10, atol=1e-12)
+
+    def test_shape_validation(self, executor, rng):
+        r_dev = executor.to_device(np.eye(4), label="R")
+        with pytest.raises(ValueError):
+            executor.solver.trsm_left(r_dev, executor.to_device(np.zeros(4), label="v"))
+        with pytest.raises(ValueError):
+            executor.solver.trsm_left(r_dev, executor.to_device(np.zeros((5, 2)), label="B"))
+
+    def test_charges_triangular_kernel(self, analytic_executor):
+        r = analytic_executor.empty((8, 8), label="R")
+        b = analytic_executor.empty((8, 3), label="B")
+        before = analytic_executor.elapsed
+        analytic_executor.solver.trsm_left(r, b)
+        assert analytic_executor.elapsed > before
+
+
+class TestCacheKeys:
+    def test_same_seed_operators_share_cache_key(self):
+        op1 = _fresh(_BUILDERS["multisketch"], seed=3)
+        op2 = _fresh(_BUILDERS["multisketch"], seed=3)
+        assert op1.cache_key() == op2.cache_key()
+
+    def test_seed_and_variant_change_the_key(self):
+        base = _fresh(_BUILDERS["countsketch"], seed=3)
+        other_seed = _fresh(_BUILDERS["countsketch"], seed=4)
+        assert base.cache_key() != other_seed.cache_key()
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        spmm = CountSketch(D, 2 * N * N, variant="spmm", executor=ex, seed=3)
+        assert base.cache_key() != spmm.cache_key()
+
+    def test_unseeded_operator_key_is_unique(self):
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        op1 = GaussianSketch(D, 2 * N, executor=ex)
+        op2 = GaussianSketch(D, 2 * N, executor=ex)
+        assert op1.cache_key() != op2.cache_key()
+
+    def test_block_srht_key_includes_partition(self):
+        from repro.core.srht import BlockSRHT
+
+        ex = GPUExecutor(numeric=True, seed=0, track_memory=False)
+        two = BlockSRHT(1024, 16, n_blocks=2, executor=ex, seed=5)
+        four = BlockSRHT(1024, 16, n_blocks=4, executor=ex, seed=5)
+        assert two.cache_key() != four.cache_key()

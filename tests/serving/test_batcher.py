@@ -1,0 +1,110 @@
+"""Micro-batcher: fusion grouping, splitting, ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.batcher import MicroBatch, MicroBatcher
+from repro.serving.requests import SolveRequest
+
+D, N = 256, 4
+
+
+def _req(rid, a, rng, **kw):
+    return SolveRequest(request_id=rid, a=a, b=rng.standard_normal(D), **kw)
+
+
+@pytest.fixture
+def a1(rng):
+    return rng.standard_normal((D, N))
+
+
+@pytest.fixture
+def a2(rng):
+    return rng.standard_normal((D, N))
+
+
+class TestGrouping:
+    def test_same_matrix_requests_fuse(self, rng, a1):
+        batcher = MicroBatcher(max_batch=8)
+        for i in range(5):
+            batcher.add(_req(i, a1, rng))
+        batches = batcher.drain()
+        assert len(batches) == 1
+        assert batches[0].size == 5
+        assert batches[0].a is a1
+
+    def test_distinct_matrices_do_not_fuse(self, rng, a1, a2):
+        batcher = MicroBatcher(max_batch=8)
+        batcher.add(_req(0, a1, rng))
+        batcher.add(_req(1, a2, rng))
+        batches = batcher.drain()
+        assert len(batches) == 2
+
+    def test_kind_and_solver_split_groups(self, rng, a1):
+        batcher = MicroBatcher(max_batch=8)
+        batcher.add(_req(0, a1, rng, kind="multisketch"))
+        batcher.add(_req(1, a1, rng, kind="gaussian"))
+        batcher.add(_req(2, a1, rng, solver="rand_cholqr"))
+        assert len(batcher.drain()) == 3
+
+    def test_drain_clears_queue(self, rng, a1):
+        batcher = MicroBatcher(max_batch=8)
+        batcher.add(_req(0, a1, rng))
+        assert batcher.pending == 1
+        batcher.drain()
+        assert batcher.pending == 0
+        assert batcher.drain() == []
+
+
+class TestSplitting:
+    def test_oversize_group_splits_into_chunks(self, rng, a1):
+        batcher = MicroBatcher(max_batch=4)
+        for i in range(10):
+            batcher.add(_req(i, a1, rng))
+        batches = batcher.drain()
+        assert [b.size for b in batches] == [4, 4, 2]
+        # chunks preserve submission order
+        ids = [r.request_id for b in batches for r in b.requests]
+        assert ids == list(range(10))
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+
+
+class TestMicroBatch:
+    def test_rhs_block_stacks_in_request_order(self, rng, a1):
+        reqs = [_req(i, a1, rng) for i in range(3)]
+        batch = MicroBatch(reqs)
+        block = batch.rhs_block()
+        assert block.shape == (D, 3)
+        for j, r in enumerate(reqs):
+            np.testing.assert_array_equal(block[:, j], r.b)
+
+    def test_mixed_group_keys_rejected(self, rng, a1, a2):
+        with pytest.raises(ValueError):
+            MicroBatch([_req(0, a1, rng), _req(1, a2, rng)])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatch([])
+
+
+class TestRequestValidation:
+    def test_wide_matrix_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SolveRequest(request_id=0, a=rng.standard_normal((4, 8)), b=np.zeros(4))
+
+    def test_mismatched_rhs_rejected(self, rng, a1):
+        with pytest.raises(ValueError):
+            SolveRequest(request_id=0, a=a1, b=np.zeros(D + 1))
+
+    def test_unknown_kind_rejected(self, rng, a1):
+        with pytest.raises(ValueError):
+            SolveRequest(request_id=0, a=a1, b=np.zeros(D), kind="warp")
+
+    def test_unknown_solver_rejected(self, rng, a1):
+        with pytest.raises(ValueError):
+            SolveRequest(request_id=0, a=a1, b=np.zeros(D), solver="magic")

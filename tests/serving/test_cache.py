@@ -1,0 +1,97 @@
+"""Operator cache: keys, LRU behaviour, stats, and operator reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.cache import (
+    CacheEntry,
+    OperatorCache,
+    build_operator,
+    operator_cache_key,
+    resolve_embedding_dim,
+)
+
+D, N = 2048, 16
+
+
+class TestKeys:
+    def test_key_fields(self):
+        key = operator_cache_key("multi", D, N, 32, 7)
+        assert key == ("multisketch", D, N, 32, 7, "<f8")
+
+    def test_kind_aliases_normalise(self):
+        assert operator_cache_key("count_gauss", D, N, 32, 7) == operator_cache_key(
+            "multisketch", D, N, 32, 7
+        )
+        assert operator_cache_key("gauss", D, N, 32, 7) == operator_cache_key(
+            "gaussian", D, N, 32, 7
+        )
+
+    def test_distinct_on_every_field(self):
+        base = operator_cache_key("gaussian", D, N, 32, 7)
+        assert operator_cache_key("srht", D, N, 32, 7) != base
+        assert operator_cache_key("gaussian", 2 * D, N, 32, 7) != base
+        assert operator_cache_key("gaussian", D, N, 64, 7) != base
+        assert operator_cache_key("gaussian", D, N, 32, 8) != base
+
+    def test_resolve_embedding_dim_matches_paper_defaults(self):
+        assert resolve_embedding_dim("gaussian", D, N) == 2 * N
+        assert resolve_embedding_dim("srht", D, N) == 2 * N
+        assert resolve_embedding_dim("multisketch", D, N) == 2 * N
+        assert resolve_embedding_dim("countsketch", D, N) == min(2 * N * N, D)
+
+    def test_operator_cache_key_matches_operator_identity(self, executor):
+        """Operators rebuilt from equal keys produce identical sketches."""
+        op1 = build_operator("countsketch", D, N, executor=executor, seed=3)
+        op2 = build_operator("countsketch", D, N, executor=executor, seed=3)
+        assert op1.cache_key() == op2.cache_key()
+        a = np.random.default_rng(0).standard_normal((D, N))
+        np.testing.assert_array_equal(op1.sketch_host(a), op2.sketch_host(a))
+
+
+class TestLRU:
+    def _entry(self, executor, seed):
+        op = build_operator("gaussian", 64, 4, executor=executor, seed=seed)
+        return CacheEntry(operator=op, shard=0)
+
+    def test_hit_miss_and_stats(self, executor):
+        cache = OperatorCache(capacity=4)
+        key = operator_cache_key("gaussian", 64, 4, 8, 0)
+        assert cache.get(key) is None
+        cache.put(key, self._entry(executor, 0))
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self, executor):
+        cache = OperatorCache(capacity=2)
+        keys = [operator_cache_key("gaussian", 64, 4, 8, s) for s in range(3)]
+        cache.put(keys[0], self._entry(executor, 0))
+        cache.put(keys[1], self._entry(executor, 1))
+        cache.get(keys[0])  # refresh 0; 1 becomes LRU
+        cache.put(keys[2], self._entry(executor, 2))
+        assert cache.stats.evictions == 1
+        assert keys[1] not in cache
+        assert keys[0] in cache and keys[2] in cache
+
+    def test_capacity_bound_holds(self, executor):
+        cache = OperatorCache(capacity=3)
+        for s in range(10):
+            cache.put(operator_cache_key("gaussian", 64, 4, 8, s), self._entry(executor, s))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            OperatorCache(capacity=0)
+
+    def test_peek_does_not_touch_stats(self, executor):
+        cache = OperatorCache(capacity=2)
+        key = operator_cache_key("gaussian", 64, 4, 8, 0)
+        cache.put(key, self._entry(executor, 0))
+        cache.peek(key)
+        cache.peek(operator_cache_key("gaussian", 64, 4, 8, 1))
+        assert cache.stats.lookups == 0
