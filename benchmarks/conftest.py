@@ -21,12 +21,19 @@ from repro.harness.runner import SweepConfig
 _BENCH_DIR = pathlib.Path(__file__).parent.resolve()
 
 
+#: Module-name prefixes that carry the ``planner`` marker automatically
+#: (kept in sync with the marker description in pyproject.toml).
+_PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
+
+
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
 
     This is what lets the unit suite run in isolation with
     ``pytest -m "not benchmark"`` without repeating the marker in every
     module (modules can still add further markers such as ``serving``).
+    Registry / routing modules additionally get the ``planner`` marker so
+    ``-m planner`` runs the whole routing subset in one go.
     """
     for item in items:
         try:
@@ -35,6 +42,8 @@ def pytest_collection_modifyitems(items):
             continue
         if _BENCH_DIR in path.parents:
             item.add_marker(pytest.mark.benchmark)
+        if path.name.startswith(_PLANNER_PREFIXES):
+            item.add_marker(pytest.mark.planner)
 
 
 def accuracy_scale() -> str:

@@ -1,0 +1,130 @@
+"""Solver-routing benchmark: the adaptive planner vs fixed-solver serving.
+
+Acceptance criteria of the registry + planner refactor (ISSUE 2):
+
+* on the Figure-6/7-style easy+hard conditioning sweeps, the adaptive policy
+  matches the best fixed solver's accuracy (everything it serves meets the
+  accuracy target the best fixed solver meets) while being at least 1.5x
+  faster in simulated makespan than an always-QR server;
+* a hard-conditioned request that previously (fixed normal-equations
+  serving) returned ``failed=True`` now succeeds via the planner's
+  routing / fallback chain.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.harness import solver_policy
+from repro.linalg.conditioning import matrix_with_condition
+from repro.linalg.planner import SolvePlan, execute_plan
+from repro.serving import SketchServer
+
+pytestmark = [pytest.mark.serving, pytest.mark.planner]
+
+ACCURACY_TARGET = 1e-6
+
+
+@pytest.fixture(scope="module")
+def routing_rows():
+    return solver_policy(accuracy_target=ACCURACY_TARGET, seed=0)
+
+
+def _row(rows, policy, solver=None):
+    for r in rows:
+        if r["policy"] == policy and (solver is None or r["solver"] == solver):
+            return r
+    raise AssertionError(f"no row for policy={policy} solver={solver}")
+
+
+class TestAdaptiveRouting:
+    def test_adaptive_matches_best_fixed_accuracy(self, routing_rows):
+        adaptive = _row(routing_rows, "adaptive")
+        # Every regime the best fixed solver serves within the target, the
+        # adaptive policy serves within the target too.
+        assert adaptive["worst_easy_residual"] < ACCURACY_TARGET
+        assert adaptive["worst_hard_residual"] < ACCURACY_TARGET
+        best_fixed_hard = min(
+            r["worst_hard_residual"] for r in routing_rows if r["policy"] == "fixed"
+        )
+        assert adaptive["worst_hard_residual"] < 100 * best_fixed_hard
+
+    def test_adaptive_at_least_1_5x_faster_than_always_qr(self, routing_rows):
+        adaptive = _row(routing_rows, "adaptive")
+        always_qr = _row(routing_rows, "fixed", "qr")
+        speedup = always_qr["makespan_seconds"] / adaptive["makespan_seconds"]
+        assert speedup >= 1.5, f"adaptive only {speedup:.2f}x faster than always-QR"
+
+    def test_cheapest_accurate_beats_always_qr_too(self, routing_rows):
+        cheapest = _row(routing_rows, "cheapest_accurate")
+        always_qr = _row(routing_rows, "fixed", "qr")
+        assert cheapest["makespan_seconds"] < always_qr["makespan_seconds"]
+        assert cheapest["failed_requests"] == 0
+
+    def test_routing_uses_more_than_one_solver(self, routing_rows):
+        adaptive = _row(routing_rows, "adaptive")
+        assert "," in adaptive["executed_solvers"], (
+            "the sweep spans regimes with different cheapest-admissible "
+            f"solvers, got only {adaptive['executed_solvers']}"
+        )
+
+
+class TestHardRequestsRescued:
+    def test_fixed_normal_equations_fails_and_planner_succeeds(self, routing_rows):
+        fixed_ne = _row(routing_rows, "fixed", "normal_equations")
+        adaptive = _row(routing_rows, "adaptive")
+        assert fixed_ne["failed_requests"] > 0, "the hard sweep should break POTRF"
+        assert adaptive["failed_requests"] == 0
+        assert np.isinf(fixed_ne["worst_hard_residual"]) or (
+            fixed_ne["worst_hard_residual"] > 1e-2
+        )
+
+    def test_runtime_fallback_chain_rescues_a_potrf_breakdown(self):
+        """The literal failed=True -> fallback-chain -> success path.
+
+        A plan whose first link is the normal equations on a kappa=1e10
+        matrix (where POTRF must break) is executed end-to-end: the chain
+        walks to the preconditioned solvers, the result succeeds, and the
+        attempted chain plus the original failure reason survive on it.
+        """
+        d, n = 4096, 16
+        a = matrix_with_condition(d, n, 1e10, seed=3)
+        b = a @ np.ones(n)
+        plan_ = SolvePlan(
+            solver="normal_equations",
+            chain=("normal_equations", "rand_cholqr", "sketch_precond_lsqr"),
+            kind="multisketch",
+            embedding_dim=2 * n,
+            cond_estimate=1e10,
+            policy="cheapest_accurate",
+            costs={},
+        )
+        result = execute_plan(plan_, a, b)
+        assert not result.failed
+        assert result.relative_residual < 1e-8
+        assert result.attempted_solvers[0] == "normal_equations"
+        assert len(result.attempted_solvers) >= 2
+        assert "Cholesky" in result.failure_reason
+
+    def test_served_fallback_after_optimistic_conditioning_estimate(self):
+        """Serving-layer rescue: the probe is poisoned to look benign, the
+        planner routes to the normal equations, POTRF breaks at runtime and
+        the batch is rescued by the fallback chain instead of failing."""
+        d, n = 1 << 16, 64
+        a = matrix_with_condition(d, n, 1e10, seed=5) * np.sqrt(float(d) * n)
+        server = SketchServer(policy="cheapest_accurate", shards=1, seed=0,
+                              max_batch=8, accuracy_target=1e-2)
+        server._cond_cache[(id(a), a.shape)] = (weakref.ref(a), 100.0)  # deceive the probe
+        for _ in range(8):
+            server.submit(a, a @ np.ones(n))
+        responses = server.flush()
+        for resp in responses:
+            assert resp.extra["failed"] == 0.0
+            assert resp.fallbacks >= 1
+            assert resp.extra["attempted"].startswith("normal_equations->")
+            assert resp.executed_solver != "normal_equations"
+            assert resp.relative_residual < 1e-2
+        assert server.stats()["fallback_batches"] == 1.0

@@ -12,8 +12,12 @@ The package is organised as:
   multisketch, plus the hash-based streaming CountSketch).
 * :mod:`repro.gpu` -- the simulated-GPU substrate (roofline cost model,
   memory tracker, cuBLAS/cuSPARSE/cuSOLVER/cuRAND stand-ins).
-* :mod:`repro.linalg` -- sketch-and-solve, normal equations, QR and
-  rand_cholQR least-squares solvers.
+* :mod:`repro.linalg` -- sketch-and-solve, normal equations, QR,
+  rand_cholQR and sketch-preconditioned-LSQR least-squares solvers, all
+  registered behind one ``solve(spec)`` interface
+  (:mod:`repro.linalg.registry`) with an adaptive planner
+  (:mod:`repro.linalg.planner`) that routes each problem to the cheapest
+  solver meeting its accuracy target and executes fallback chains.
 * :mod:`repro.theory` -- embedding dimensions, distortion bounds, Table 1.
 * :mod:`repro.distributed` -- block-row distributed sketching (Section 7).
 * :mod:`repro.workloads` -- the paper's problem generators.
@@ -62,11 +66,17 @@ from repro.core import (
 from repro.gpu import DeviceSpec, ExecutorPool, GPUExecutor, H100_SXM5, A100_SXM4, get_device
 from repro.linalg import (
     LeastSquaresResult,
+    SolvePlan,
+    SolveSpec,
     normal_equations,
+    plan,
+    plan_and_execute,
     qr_solve,
     rand_cholqr,
     rand_cholqr_lstsq,
     sketch_and_solve,
+    sketch_precond_lsqr,
+    solve,
 )
 from repro.serving import (
     MicroBatcher,
@@ -79,7 +89,7 @@ from repro.serving import (
     naive_solve_loop,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CountSketch",
@@ -98,11 +108,17 @@ __all__ = [
     "A100_SXM4",
     "get_device",
     "LeastSquaresResult",
+    "SolvePlan",
+    "SolveSpec",
     "normal_equations",
+    "plan",
+    "plan_and_execute",
     "qr_solve",
     "rand_cholqr",
     "rand_cholqr_lstsq",
     "sketch_and_solve",
+    "sketch_precond_lsqr",
+    "solve",
     "MicroBatcher",
     "OperatorCache",
     "ServerConfig",

@@ -151,6 +151,36 @@ class SketchOperator(abc.ABC):
         return self._generated
 
     # ------------------------------------------------------------------
+    #: Whether the operator is an oblivious subspace embedding at its
+    #: configured ``k`` (Definition 1.1).  Solvers that *precondition* with
+    #: the sketch (rand_cholQR, sketch-preconditioned LSQR) require this;
+    #: plain sketch-and-solve merely degrades without it.  Subclasses that
+    #: sample rather than embed should override with ``False``.
+    subspace_embedding = True
+
+    def capabilities(self) -> dict:
+        """Capability descriptor consumed by the solver registry and planner.
+
+        Keys:
+
+        * ``family`` -- the operator family name.
+        * ``subspace_embedding`` -- whether the operator satisfies the
+          embedding property solvers rely on for preconditioning.
+        * ``reproducible`` -- whether the state is a pure function of the
+          constructor parameters (seeded), i.e. cacheable / replicable by
+          the serving layer.
+        * ``supports_multi_rhs`` -- whether :meth:`apply` accepts a block of
+          columns (all operators here do; the hook exists so the registry
+          can gate fused batches on it uniformly).
+        """
+        return {
+            "family": self.family,
+            "subspace_embedding": bool(self.subspace_embedding),
+            "reproducible": self._seed is not None,
+            "supports_multi_rhs": True,
+        }
+
+    # ------------------------------------------------------------------
     def cache_key(self) -> tuple:
         """Stable identity of this operator's random state.
 

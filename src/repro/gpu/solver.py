@@ -291,7 +291,12 @@ class SimSolver:
         This is the reference "QR" solver of Figures 6-8.  It is accurate and
         stable but far slower than every other method at the paper's sizes,
         which is why the paper omits it from the timing plots.
+
+        ``b`` may be a block of right-hand sides; ORMQR already applies the
+        reflectors to the whole block and the final solve becomes a TRSM.
         """
         factors = self.geqrf(a, phase=f"{phase_prefix}GEQRF")
         qtb = self.ormqr(factors, b, phase=f"{phase_prefix}ORMQR")
+        if qtb.ndim == 2:
+            return self.trsm_left(factors.r, qtb, phase=f"{phase_prefix}TRSV", label="qr_solution")
         return self.trsv(factors.r, qtb, phase=f"{phase_prefix}TRSV", label="qr_solution")

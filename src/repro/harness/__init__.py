@@ -28,6 +28,7 @@ from repro.harness.experiments import (
     headline_speedup,
     section7_distributed,
     serving_throughput,
+    solver_policy,
 )
 from repro.harness.report import format_table, render_figure_rows, render_breakdown_rows
 
@@ -50,6 +51,7 @@ __all__ = [
     "headline_speedup",
     "section7_distributed",
     "serving_throughput",
+    "solver_policy",
     "format_table",
     "render_figure_rows",
     "render_breakdown_rows",

@@ -484,6 +484,107 @@ def serving_throughput(
 
 
 # ---------------------------------------------------------------------------
+# Solver routing: fixed vs adaptive policies over a conditioning sweep
+# ---------------------------------------------------------------------------
+def solver_policy(
+    d: int = 1 << 16,
+    n: int = 64,
+    *,
+    easy_conds: Sequence[float] = (1e2, 1e3, 1e4),
+    hard_conds: Sequence[float] = (1e10, 1e12),
+    rhs_per_matrix: int = 8,
+    policies: Sequence[str] = ("fixed", "cheapest_accurate", "adaptive"),
+    fixed_solvers: Sequence[str] = ("normal_equations", "sketch_and_solve", "qr"),
+    kind: str = "multisketch",
+    accuracy_target: float = 1e-6,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Routing experiment: fixed-solver servers vs the adaptive planner.
+
+    Synthesises the Figure-6/7-style conditioning sweep as serving traffic
+    (``rhs_per_matrix`` right-hand sides against one design matrix per
+    condition number, spanning the easy ``kappa ~ 1e2`` regime and the hard
+    ``kappa >= 1e10`` regime where the normal equations fail), then serves
+    the *same* traffic through one :class:`~repro.serving.server.SketchServer`
+    per policy:
+
+    * ``policy="fixed"`` with each solver in ``fixed_solvers`` -- the
+      pre-registry behaviour (one row per solver);
+    * the adaptive policies -- the planner probes each matrix's conditioning
+      and routes per batch, with fallback chains.
+
+    Returns one row per served configuration with the worst relative
+    residual split by regime, failure counts, makespan and throughput --
+    the input to ``benchmarks/test_solver_routing.py``'s acceptance checks.
+    """
+    from repro.linalg.conditioning import matrix_with_condition
+    from repro.serving import SketchServer
+
+    rng = np.random.default_rng(seed)
+    scale = np.sqrt(float(d) * n)
+    problems = []
+    for cond in list(easy_conds) + list(hard_conds):
+        a = matrix_with_condition(d, n, float(cond), seed=seed + int(math.log10(cond)))
+        a = a * scale
+        x_true = np.ones(n)
+        bs = [
+            a @ x_true + (noise * rng.standard_normal(d) if noise > 0 else 0.0)
+            for _ in range(rhs_per_matrix)
+        ]
+        problems.append((float(cond), a, bs))
+
+    def serve(policy: str, solver: str) -> Dict[str, float]:
+        server = SketchServer(
+            kind=kind,
+            solver=solver,
+            policy=policy,
+            accuracy_target=accuracy_target,
+            shards=1,
+            max_batch=rhs_per_matrix,
+            seed=seed,
+        )
+        responses = {}
+        for cond, a, bs in problems:
+            ids = [server.submit(a, b) for b in bs]
+            for rid, resp in zip(ids, server.flush()):
+                responses.setdefault(cond, []).append(resp)
+        easy_set = set(float(c) for c in easy_conds)
+        worst_easy = max(
+            r.relative_residual for c, rs in responses.items() if c in easy_set for r in rs
+        )
+        hard_rs = [r for c, rs in responses.items() if c not in easy_set for r in rs]
+        failed = sum(1 for rs in responses.values() for r in rs if r.extra["failed"])
+        finite_hard = [r.relative_residual for r in hard_rs if math.isfinite(r.relative_residual)]
+        stats = server.stats()
+        return {
+            "policy": policy,
+            "solver": solver if policy == "fixed" else "(planned)",
+            "d": d,
+            "n": n,
+            "requests": sum(len(rs) for rs in responses.values()),
+            "worst_easy_residual": worst_easy,
+            "worst_hard_residual": max(finite_hard) if finite_hard else math.inf,
+            "failed_requests": failed,
+            "fallback_batches": stats["fallback_batches"],
+            "makespan_seconds": stats["makespan_seconds"],
+            "requests_per_second": stats["requests_per_second"],
+            "executed_solvers": ",".join(
+                sorted({r.executed_solver for rs in responses.values() for r in rs})
+            ),
+        }
+
+    rows: List[Dict[str, float]] = []
+    for policy in policies:
+        if policy == "fixed":
+            for solver in fixed_solvers:
+                rows.append(serve("fixed", solver))
+        else:
+            rows.append(serve(policy, "sketch_and_solve"))
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Section 7: distributed considerations
 # ---------------------------------------------------------------------------
 def section7_distributed(

@@ -14,6 +14,13 @@ Implements every solver the paper's Section 6.3 compares:
 
 plus the problem generators with prescribed condition numbers used by
 Figure 8 (:mod:`repro.linalg.conditioning`).
+
+All five solvers are also registered behind one uniform interface in
+:mod:`repro.linalg.registry` (``SolveSpec`` / ``Solver`` protocol /
+``solve``), and :mod:`repro.linalg.planner` routes a problem to the cheapest
+solver whose declared stability floor meets the request's accuracy target,
+executing fallback chains (e.g. normal-equations POTRF failure ->
+rand_cholQR -> preconditioned LSQR) instead of returning ``failed=True``.
 """
 
 from repro.linalg.lstsq import (
@@ -25,8 +32,36 @@ from repro.linalg.lstsq import (
 )
 from repro.linalg.cholqr import cholesky_qr, cholesky_qr2
 from repro.linalg.rand_cholqr import rand_cholqr, rand_cholqr_lstsq
-from repro.linalg.conditioning import matrix_with_condition, condition_number
-from repro.linalg.iterative import sketch_preconditioned_lsqr, IterativeSolveInfo
+from repro.linalg.conditioning import (
+    matrix_with_condition,
+    condition_number,
+    estimate_condition,
+)
+from repro.linalg.iterative import (
+    sketch_preconditioned_lsqr,
+    sketch_precond_lsqr,
+    IterativeSolveInfo,
+)
+from repro.linalg.registry import (
+    RegisteredSolver,
+    SolveSpec,
+    SolverCapabilities,
+    available_solvers,
+    canonical_solver_name,
+    get_solver,
+    register_solver,
+    resolve_embedding_dim,
+    solve,
+    solver_capabilities,
+)
+from repro.linalg.planner import (
+    POLICIES,
+    SolvePlan,
+    execute_plan,
+    normalize_policy,
+    plan,
+    plan_and_execute,
+)
 
 __all__ = [
     "LeastSquaresResult",
@@ -40,6 +75,24 @@ __all__ = [
     "rand_cholqr_lstsq",
     "matrix_with_condition",
     "condition_number",
+    "estimate_condition",
     "sketch_preconditioned_lsqr",
+    "sketch_precond_lsqr",
     "IterativeSolveInfo",
+    "RegisteredSolver",
+    "SolveSpec",
+    "SolverCapabilities",
+    "available_solvers",
+    "canonical_solver_name",
+    "get_solver",
+    "register_solver",
+    "resolve_embedding_dim",
+    "solve",
+    "solver_capabilities",
+    "POLICIES",
+    "SolvePlan",
+    "execute_plan",
+    "normalize_policy",
+    "plan",
+    "plan_and_execute",
 ]

@@ -89,6 +89,47 @@ def condition_number(a: np.ndarray) -> float:
     return float(svals.max() / smin)
 
 
+def estimate_condition(
+    a: np.ndarray,
+    *,
+    oversampling: float = 2.0,
+    seed: Optional[int] = 0,
+) -> float:
+    """Cheap sketched estimate of ``kappa_2(A)`` for a tall ``d x n`` matrix.
+
+    By the subspace-embedding property (Definition 1.1), every singular value
+    of ``S A`` lies within ``(1 +/- eps)`` of the corresponding singular value
+    of ``A``, so ``kappa(S A)`` estimates ``kappa(A)`` up to a constant
+    factor -- at the cost of one pass over ``A`` plus an SVD of the tiny
+    ``k x n`` sketch, instead of an SVD of the full matrix.  This is the
+    condition probe :func:`repro.linalg.planner.plan` uses to route a problem
+    to the cheapest solver that is still stable for it.
+
+    The sketch here is a host-side CountSketch (one pass, ``O(d n)`` work,
+    no simulated-device involvement): planning must stay off the accounted
+    clock, exactly like the residual checks in :mod:`repro.linalg.lstsq`.
+    Estimates saturate around ``u^{-1} ~ 1e16`` -- beyond that the sketch
+    itself is rank-deficient in floating point, which the planner treats as
+    "worse than every solver's stability limit" anyway.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] < a.shape[1]:
+        raise ValueError("estimate_condition expects a tall d x n matrix")
+    d, n = a.shape
+    # A CountSketch is an embedding at k ~ n^2 rows (Table 1), so the probe
+    # uses k = 2 * oversampling * n^2 clipped to d -- the same one-pass /
+    # O(d n + n^4)-work budget as the multisketch's first stage.
+    k = min(d, max(int(np.ceil(2.0 * oversampling * n * n)), n + 4))
+    if k >= d:
+        return condition_number(a)
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, k, size=d)
+    signs = rng.integers(0, 2, size=d).astype(np.float64) * 2.0 - 1.0
+    sa = np.zeros((k, n))
+    np.add.at(sa, rows, a * signs[:, None])
+    return condition_number(sa)
+
+
 def well_conditioned_matrix(
     d: int,
     n: int,

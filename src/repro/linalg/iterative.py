@@ -22,7 +22,9 @@ Accuracy note: this is a plain LSQR recurrence without reorthogonalisation or
 iterative refinement, so the attainable relative residual has a floor that
 scales like ``u * kappa(A)`` -- still orders of magnitude beyond where the
 normal equations break down, but short of the fully refined Blendenpik of
-[Avron et al. 2010].
+[Avron et al. 2010].  That floor is exactly what the solver declares on its
+registry entry (:mod:`repro.linalg.registry`, name ``"sketch_precond_lsqr"``),
+making it the planner's last sketch-based fallback before Householder QR.
 """
 
 from __future__ import annotations
@@ -55,20 +57,108 @@ class IterativeSolveInfo:
         return self.residual_history[-1] if self.residual_history else float("nan")
 
 
-def _charge_matvec(executor: GPUExecutor, d: int, n: int, phase: str) -> None:
-    """Charge one pass over A (a d x n GEMV) to the simulated clock."""
+def _charge_matvec(executor: GPUExecutor, d: int, n: int, phase: str, nrhs: int = 1) -> None:
+    """Charge one pass over A (a d x n GEMV, or a GEMM for a block of RHS).
+
+    The fused multi-RHS path reads the ``d x n`` matrix *once* per pass no
+    matter how many right-hand sides ride along -- that single-read
+    amortisation is where the serving layer's batched iterative solves get
+    their speedup, exactly as in the direct solvers' TRSM paths.
+    """
     itemsize = 8
     executor.launch(
         KernelRequest(
-            name="lsqr_matvec",
-            kclass=KernelClass.STREAM,
-            bytes_read=float(d) * n * itemsize,
-            bytes_written=float(max(d, n)) * itemsize,
-            flops=2.0 * d * n,
+            name="lsqr_matvec" if nrhs == 1 else "lsqr_matmat",
+            kclass=KernelClass.STREAM if nrhs == 1 else KernelClass.GEMM,
+            bytes_read=(float(d) * n + float(min(d, n)) * nrhs) * itemsize,
+            bytes_written=float(max(d, n)) * nrhs * itemsize,
+            flops=2.0 * d * n * nrhs,
             dtype_size=itemsize,
             phase=phase,
         )
     )
+
+
+def _lsqr_block(
+    executor: GPUExecutor,
+    a_np: np.ndarray,
+    b_np: np.ndarray,
+    r_np: np.ndarray,
+    *,
+    tol: float,
+    max_iterations: int,
+) -> tuple:
+    """Fused multi-RHS preconditioned LSQR (Golub-Kahan per column, vectorised).
+
+    Each column of ``B`` follows exactly the recurrence of the single-vector
+    path -- the bidiagonalisation scalars become per-column vectors -- but
+    every pass over ``A`` is a single GEMM shared by all still-active
+    columns.  A column that meets the tolerance is *frozen* (its iterate
+    stops updating), so the returned solutions match ``m`` independent
+    single-vector solves column for column while late-converging columns
+    keep iterating.
+
+    Returns ``(X, iterations, converged)`` with per-column iteration counts
+    and convergence flags.
+    """
+    d, n = a_np.shape
+    m = b_np.shape[1]
+
+    def apply_pre(v: np.ndarray) -> np.ndarray:
+        _charge_matvec(executor, d, n, "LSQR", nrhs=v.shape[1])
+        return a_np @ sla.solve_triangular(r_np, v, lower=False)
+
+    def apply_pre_t(u: np.ndarray) -> np.ndarray:
+        _charge_matvec(executor, d, n, "LSQR", nrhs=u.shape[1])
+        return sla.solve_triangular(r_np, a_np.T @ u, lower=False, trans="T")
+
+    def normalise(block: np.ndarray) -> tuple:
+        norms = np.linalg.norm(block, axis=0)
+        return block / np.where(norms > 0, norms, 1.0), norms
+
+    u, beta = normalise(b_np.copy())
+    v, alpha = normalise(apply_pre_t(u))
+    w = v.copy()
+    y_sol = np.zeros((n, m))
+    phi_bar, rho_bar = beta.copy(), alpha.copy()
+    norm_atb = np.where(alpha * beta > 0, alpha * beta, 1.0)
+
+    # A column with (A R^{-1})^T b = 0 (e.g. an all-zero right-hand side) is
+    # already at its minimiser y = 0; iterating it would divide 0/0 in the
+    # Givens rotation, so it starts converged instead.
+    active = alpha * beta > 0
+    iterations = np.zeros(m, dtype=np.int64)
+    converged = ~active.copy()
+
+    for it in range(1, max_iterations + 1):
+        if not active.any():
+            break
+        idx = np.flatnonzero(active)
+        ua, beta_a = normalise(apply_pre(v[:, idx]) - alpha[idx] * u[:, idx])
+        va, alpha_a = normalise(apply_pre_t(ua) - beta_a * v[:, idx])
+
+        rho = np.hypot(rho_bar[idx], beta_a)
+        rho = np.where(rho > 0, rho, 1.0)  # exactly-converged column: c=s=0
+        c, s = rho_bar[idx] / rho, beta_a / rho
+        theta = s * alpha_a
+        rho_bar[idx] = -c * alpha_a
+        phi = c * phi_bar[idx]
+        phi_bar[idx] = s * phi_bar[idx]
+
+        wa = w[:, idx]
+        y_sol[:, idx] += (phi / rho) * wa
+        w[:, idx] = va - (theta / rho) * wa
+        u[:, idx], v[:, idx] = ua, va
+        alpha[idx], beta[idx] = alpha_a, beta_a
+        iterations[idx] = it
+
+        done = np.abs(phi_bar[idx] * alpha_a * c) / norm_atb[idx] <= tol
+        if done.any():
+            converged[idx[done]] = True
+            active[idx[done]] = False
+
+    x = sla.solve_triangular(r_np, y_sol, lower=False)
+    return x, iterations, converged
 
 
 def sketch_preconditioned_lsqr(
@@ -85,7 +175,14 @@ def sketch_preconditioned_lsqr(
     Parameters
     ----------
     a, b:
-        The overdetermined problem ``min_x ||b - A x||_2``.
+        The overdetermined problem ``min_x ||b - A x||_2``.  ``b`` may also
+        be a ``d x m`` block of right-hand sides: the sketch and the GEQRF
+        are paid once, each LSQR pass over ``A`` becomes a single GEMM
+        shared by every still-active column, and per-column convergence is
+        tracked independently -- the fused path the serving layer's
+        micro-batcher uses for iterative solves (the same contract as the
+        direct solvers' multi-RHS paths; see
+        :func:`repro.linalg.lstsq.sketch_and_solve`).
     sketch:
         Any sketch operator with ``k >= n`` rows (the multisketch with
         ``k2 = 2n`` is the natural choice).
@@ -112,6 +209,8 @@ def sketch_preconditioned_lsqr(
     a_dev = _to_device(executor, a, "A", order="C")
     b_dev = _to_device(executor, b, "b")
     d, n = a_dev.shape
+    multi_rhs = b_dev.ndim == 2
+    nrhs = b_dev.shape[1] if multi_rhs else 1
     solver = executor.solver
 
     mark = executor.mark()
@@ -126,8 +225,8 @@ def sketch_preconditioned_lsqr(
         # Analytic mode: charge a representative number of iterations.
         representative_iters = 30
         for _ in range(representative_iters):
-            _charge_matvec(executor, d, n, "LSQR")
-            _charge_matvec(executor, d, n, "LSQR")
+            _charge_matvec(executor, d, n, "LSQR", nrhs=nrhs)
+            _charge_matvec(executor, d, n, "LSQR", nrhs=nrhs)
         breakdown = executor.breakdown_since(mark)
         return LeastSquaresResult(
             method=f"blendenpik[{sketch.family}]",
@@ -136,12 +235,42 @@ def sketch_preconditioned_lsqr(
             relative_residual=float("nan"),
             breakdown=breakdown,
             total_seconds=breakdown.total(),
-            extra={"iterations": float(representative_iters), "converged": 1.0},
+            extra={
+                "iterations": float(representative_iters),
+                "converged": 1.0,
+                "nrhs": float(nrhs),
+            },
         )
 
     a_np = a_dev.data
     b_np = b_dev.data
     r_np = factors.r.require_data()
+
+    if multi_rhs:
+        x_np, per_col_iters, per_col_conv = _lsqr_block(
+            executor, a_np, b_np, r_np, tol=tol, max_iterations=max_iterations
+        )
+        breakdown = executor.breakdown_since(mark)
+        resid = b_np - a_np @ x_np
+        res = float(np.linalg.norm(resid))
+        nb = float(np.linalg.norm(b_np))
+        col_res = np.linalg.norm(resid, axis=0)
+        col_nb = np.linalg.norm(b_np, axis=0)
+        columns = np.where(col_nb > 0, col_res / np.where(col_nb > 0, col_nb, 1.0), col_res)
+        return LeastSquaresResult(
+            method=f"blendenpik[{sketch.family}]",
+            x=x_np,
+            residual_norm=res,
+            relative_residual=res / nb if nb > 0 else res,
+            breakdown=breakdown,
+            total_seconds=breakdown.total(),
+            extra={
+                "iterations": float(per_col_iters.max(initial=0)),
+                "converged": float(bool(per_col_conv.all())),
+                "nrhs": float(nrhs),
+            },
+            column_residuals=columns,
+        )
 
     def apply_pre(v: np.ndarray) -> np.ndarray:
         """Compute (A R^{-1}) v."""
@@ -170,6 +299,11 @@ def sketch_preconditioned_lsqr(
     norm_atb = alpha * beta if alpha * beta > 0 else 1.0
 
     iterations = 0
+    if alpha * beta == 0.0:
+        # (A R^{-1})^T b = 0: y = 0 is already the minimiser (e.g. b = 0);
+        # iterating would divide 0/0 in the first Givens rotation.
+        converged = True
+        max_iterations = 0
     for iterations in range(1, max_iterations + 1):
         u = apply_pre(v) - alpha * u
         beta = float(np.linalg.norm(u))
@@ -213,3 +347,8 @@ def sketch_preconditioned_lsqr(
         total_seconds=breakdown.total(),
         extra={"iterations": float(iterations), "converged": float(converged)},
     )
+
+
+#: Short alias used by the solver registry (:mod:`repro.linalg.registry`),
+#: where the solver is registered as ``"sketch_precond_lsqr"``.
+sketch_precond_lsqr = sketch_preconditioned_lsqr

@@ -7,6 +7,12 @@ arrays or device handles, runs on a simulated GPU executor, and returns a
 residual, and the per-phase simulated time breakdown -- exactly the
 decomposition plotted in Figure 5 (Gram matrix / AT*b / Sketch gen / Matrix
 sketch / Vector sketch / POTRF / GEQRF / ORMQR / TRSV / TRSM).
+
+Every solver here is also registered behind the uniform
+``solve(spec) -> LeastSquaresResult`` interface of
+:mod:`repro.linalg.registry` (names ``"normal_equations"``,
+``"sketch_and_solve"``, ``"qr"``), which is how the adaptive planner and the
+serving layer dispatch to them.
 """
 
 from __future__ import annotations
@@ -42,7 +48,12 @@ class LeastSquaresResult:
         Convenience copy of ``breakdown.total()``.
     failed / failure_reason:
         Set when the solver broke down (e.g. Cholesky failure on an
-        ill-conditioned Gram matrix), in which case ``x`` is ``None``.
+        ill-conditioned Gram matrix), in which case ``x`` is ``None``.  When
+        the solve went through the planner's fallback chain
+        (:func:`repro.linalg.planner.execute_plan`), the last failure reason
+        is preserved here even when ``failed`` is False -- a rescued solve
+        still says what broke -- and ``extra["attempted"]`` records the full
+        ``"solver1->solver2"`` chain that was tried.
     """
 
     method: str
@@ -53,8 +64,37 @@ class LeastSquaresResult:
     total_seconds: float
     failed: bool = False
     failure_reason: str = ""
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
     column_residuals: Optional[np.ndarray] = None
+
+    @property
+    def attempted_solvers(self) -> tuple:
+        """Solver names tried for this result, in order (``(method,)`` when
+        the solve never went through a fallback chain)."""
+        attempted = self.extra.get("attempted")
+        if isinstance(attempted, str) and attempted:
+            return tuple(attempted.split("->"))
+        return (self.method,)
+
+    def record_attempt_chain(self, attempts, reasons) -> "LeastSquaresResult":
+        """Stamp a planner fallback history onto this result (returns self).
+
+        ``attempts`` is the ordered solver-name chain (this result's own
+        solver last); ``reasons`` the failure reason of each *unsuccessful*
+        attempt.  The chain lands in ``extra["attempted"]`` /
+        ``extra["fallbacks"]``, and -- so that failures are never silently
+        swallowed -- the last failure reason is kept in ``failure_reason``
+        even when this result itself succeeded.
+        """
+        attempts = tuple(attempts)
+        reasons = tuple(r for r in reasons if r)
+        self.extra["attempted"] = "->".join(attempts)
+        self.extra["fallbacks"] = float(max(len(attempts) - 1, 0))
+        if reasons:
+            self.extra["fallback_reasons"] = "; ".join(reasons)
+            if not self.failure_reason:
+                self.failure_reason = reasons[-1]
+        return self
 
     @property
     def nrhs(self) -> int:
@@ -128,23 +168,37 @@ def normal_equations(
 
     This is the fastest deterministic direct solver but squares the condition
     number: it fails (Cholesky breakdown or garbage solution) once
-    ``kappa(A)`` exceeds about ``u^{-1/2} ~ 1e8``; Figure 8 shows this.
+    ``kappa(A)`` exceeds about ``u^{-1/2} ~ 1e8``; Figure 8 shows this.  The
+    planner (:mod:`repro.linalg.planner`) therefore only routes requests here
+    when the estimated conditioning is benign, with rand_cholQR / LSQR as the
+    registered fallback chain.
+
+    ``b`` may be a ``d x m`` block of right-hand sides: the Gram matrix and
+    POTRF are paid once, ``A^T B`` becomes a GEMM and the triangular solves
+    become TRSMs, matching the fused contract of the other registry solvers.
     """
     if executor is None:
         executor = GPUExecutor(numeric=True, track_memory=False)
     a_dev = _to_device(executor, a, "A", order="F")
     b_dev = _to_device(executor, b, "b")
     blas, solver = executor.blas, executor.solver
+    multi_rhs = b_dev.ndim == 2
 
     mark = executor.mark()
     failed, reason = False, ""
     x_dev: Optional[DeviceArray] = None
     try:
         gram = blas.gram(a_dev, phase="Gram matrix")
-        atb = blas.gemv(a_dev, b_dev, trans_a=True, phase="AT*b", label="ATb")
-        r = solver.potrf(gram, phase="POTRF")
-        y = solver.trsv(r, atb, transpose=True, phase="TRSV", label="forward_solve")
-        x_dev = solver.trsv(r, y, transpose=False, phase="TRSV", label="solution")
+        if multi_rhs:
+            atb = blas.gemm(a_dev, b_dev, trans_a=True, phase="AT*b", label="ATB")
+            r = solver.potrf(gram, phase="POTRF")
+            y = solver.trsm_left(r, atb, transpose=True, phase="TRSV", label="forward_solve")
+            x_dev = solver.trsm_left(r, y, transpose=False, phase="TRSV", label="solution")
+        else:
+            atb = blas.gemv(a_dev, b_dev, trans_a=True, phase="AT*b", label="ATb")
+            r = solver.potrf(gram, phase="POTRF")
+            y = solver.trsv(r, atb, transpose=True, phase="TRSV", label="forward_solve")
+            x_dev = solver.trsv(r, y, transpose=False, phase="TRSV", label="solution")
     except np.linalg.LinAlgError as exc:
         failed, reason = True, f"Cholesky factorization failed: {exc}"
 
@@ -160,7 +214,7 @@ def normal_equations(
             failed=True,
             failure_reason=reason,
         )
-    res, rel, x_host, _ = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, columns = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method="normal_equations",
         x=x_host,
@@ -168,6 +222,8 @@ def normal_equations(
         relative_residual=rel,
         breakdown=breakdown,
         total_seconds=breakdown.total(),
+        extra={"nrhs": float(b_dev.shape[1])} if multi_rhs else {},
+        column_residuals=columns,
     )
 
 
@@ -197,7 +253,10 @@ def sketch_and_solve(
 
     The returned residual is measured against the *original* problem, so the
     O(1) distortion factor of the sketch shows up directly in
-    ``relative_residual``.
+    ``relative_residual``.  That distortion is declared on the solver's
+    registry entry (:mod:`repro.linalg.registry`, name
+    ``"sketch_and_solve"``), which is how the planner knows to exclude this
+    solver when a request cannot tolerate a suboptimal residual.
     """
     if executor is None:
         executor = sketch.executor
@@ -249,17 +308,24 @@ def qr_solve(
 
     Numerically the gold standard (stable for ``kappa(A) < u^{-1}`` with no
     distortion), but far slower than every other method at the paper's sizes,
-    which is why Figure 5 omits it; Figures 6-8 include its accuracy.
+    which is why Figure 5 omits it; Figures 6-8 include its accuracy.  In the
+    solver registry (:mod:`repro.linalg.registry`) it is the last link of
+    every fallback chain: the solver of record when everything cheaper is
+    outside its stability envelope.
+
+    ``b`` may be a ``d x m`` block of right-hand sides (one GEQRF, block
+    ORMQR, one TRSM).
     """
     if executor is None:
         executor = GPUExecutor(numeric=True, track_memory=False)
     a_dev = _to_device(executor, a, "A", order="F")
     b_dev = _to_device(executor, b, "b")
+    multi_rhs = b_dev.ndim == 2
 
     mark = executor.mark()
     x_dev = executor.solver.householder_qr_solve(a_dev, b_dev)
     breakdown = executor.breakdown_since(mark)
-    res, rel, x_host, _ = _residuals(executor, a_dev, b_dev, x_dev)
+    res, rel, x_host, columns = _residuals(executor, a_dev, b_dev, x_dev)
     return LeastSquaresResult(
         method="qr",
         x=x_host,
@@ -267,4 +333,6 @@ def qr_solve(
         relative_residual=rel,
         breakdown=breakdown,
         total_seconds=breakdown.total(),
+        extra={"nrhs": float(b_dev.shape[1])} if multi_rhs else {},
+        column_residuals=columns,
     )

@@ -1,0 +1,340 @@
+"""Adaptive solve planning: route each problem to the cheapest safe solver.
+
+The registry (:mod:`repro.linalg.registry`) says what each solver *can* do;
+this module decides what each request *should* use:
+
+1. probe the conditioning with one cheap sketched estimate
+   (:func:`repro.linalg.conditioning.estimate_condition` -- one pass over
+   ``A`` plus a tiny SVD, off the simulated clock like every other planning
+   step);
+2. keep the solvers whose declared stability floor and distortion meet the
+   spec's accuracy target at that conditioning;
+3. rank them by expected simulated seconds
+   (:meth:`~repro.linalg.registry.RegisteredSolver.estimate_seconds`: a
+   memoised analytic dry-run on the device model, so the ranking input is
+   exactly what each solver would be charged;
+   :func:`repro.theory.complexity.solver_complexity` is the corresponding
+   closed-form Table-1 reference) and pick per policy;
+4. execute the resulting :class:`SolvePlan`, walking its fallback chain when
+   a solver breaks down (POTRF failure on an ill-conditioned Gram matrix,
+   rand_cholQR breakdown, ...) instead of returning ``failed=True``.
+
+Policies
+--------
+``"fixed"``
+    Use exactly the requested solver, no probing, no fallback -- the
+    pre-registry behaviour, and the baseline the routing benchmark compares
+    against.
+``"cheapest_accurate"``
+    Cheapest admissible solver at the estimated conditioning; remaining
+    admissible solvers form the fallback chain in increasing cost order.
+``"adaptive"``
+    Like ``cheapest_accurate`` but latency-budget aware: among solvers that
+    fit ``spec.latency_budget`` it prefers the *most robust* (lowest
+    accuracy floor), degrading to cheapest-admissible when nothing fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import SketchOperator
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.device import DeviceSpec, H100_SXM5
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.conditioning import estimate_condition
+from repro.linalg.lstsq import LeastSquaresResult
+from repro.linalg.registry import (
+    SolveSpec,
+    available_solvers,
+    canonical_solver_name,
+    get_solver,
+)
+
+ArrayLike = Union[np.ndarray, DeviceArray]
+
+#: Recognised planning policies (also normalised by the serving layer).
+POLICIES = ("fixed", "adaptive", "cheapest_accurate")
+
+#: Chain order used to break cost ties and to append last-resort solvers:
+#: most robust last (QR is the solver of record when everything else fails).
+_ROBUSTNESS_ORDER = (
+    "normal_equations",
+    "sketch_and_solve",
+    "rand_cholqr",
+    "sketch_precond_lsqr",
+    "qr",
+)
+
+
+def normalize_policy(policy: str) -> str:
+    """Canonical policy name, or ``ValueError`` for unknown policies."""
+    p = policy.lower()
+    if p in POLICIES:
+        return p
+    raise ValueError(f"policy must be one of {POLICIES}, got '{policy}'")
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """The planner's decision for one request.
+
+    Attributes
+    ----------
+    solver:
+        Canonical name of the solver to run first.
+    chain:
+        Full execution order: ``chain[0] == solver``, the rest are fallbacks
+        tried in order when a solver reports ``failed``.
+    kind / embedding_dim:
+        Sketch family and output dimension for the sketch-based links.
+    cond_estimate:
+        The conditioning estimate the decision was based on.
+    policy:
+        Policy that produced this plan.
+    costs:
+        Estimated simulated seconds per considered solver (planner's own
+        ranking input; useful for telemetry and tests).
+    reason:
+        One-line human-readable justification.
+    """
+
+    solver: str
+    chain: Tuple[str, ...]
+    kind: str
+    embedding_dim: int
+    cond_estimate: float
+    policy: str
+    costs: Dict[str, float]
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.chain or self.chain[0] != self.solver:
+            raise ValueError("plan chain must start with the chosen solver")
+
+
+def _probe_condition(a: Optional[ArrayLike], spec: SolveSpec) -> float:
+    """Conditioning for planning: the spec's estimate, else a sketched probe."""
+    if spec.cond_estimate is not None:
+        return float(spec.cond_estimate)
+    if a is None:
+        return 1.0  # optimistic: shape-only planning
+    a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+    if a_np is None:  # analytic-mode device handle: nothing to probe
+        return 1.0
+    return estimate_condition(a_np, oversampling=spec.oversampling, seed=spec.seed)
+
+
+def plan(
+    a: Optional[ArrayLike] = None,
+    spec: Optional[SolveSpec] = None,
+    *,
+    policy: str = "cheapest_accurate",
+    solver: Optional[str] = None,
+    device: DeviceSpec = H100_SXM5,
+    **spec_overrides,
+) -> SolvePlan:
+    """Build a :class:`SolvePlan` for one problem.
+
+    Parameters
+    ----------
+    a:
+        The coefficient matrix (host or device).  Optional when ``spec``
+        already carries a ``cond_estimate`` or under the ``"fixed"`` policy.
+    spec:
+        The request; built via :meth:`SolveSpec.from_problem` from ``a`` and
+        ``spec_overrides`` when omitted.
+    policy:
+        One of :data:`POLICIES`.
+    solver:
+        Required for ``"fixed"``; otherwise an optional preference that
+        seeds the ranking (the planner may still fall back from it).
+    device:
+        Roofline used to convert flop estimates into seconds.
+    """
+    policy = normalize_policy(policy)
+    if spec is None:
+        if a is None:
+            raise ValueError("plan() needs a matrix or an explicit SolveSpec")
+        a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+        spec = SolveSpec.from_problem(a_np, **spec_overrides)
+    elif spec_overrides:
+        spec = replace(spec, **spec_overrides)
+
+    if policy == "fixed":
+        if solver is None:
+            raise ValueError("the 'fixed' policy needs an explicit solver")
+        name = canonical_solver_name(solver)
+        return SolvePlan(
+            solver=name,
+            chain=(name,),
+            kind=spec.kind,
+            embedding_dim=spec.embedding_dim,
+            cond_estimate=spec.cond_estimate if spec.cond_estimate is not None else float("nan"),
+            policy=policy,
+            costs={name: get_solver(name).estimate_seconds(spec, device)},
+            reason=f"fixed routing to {name}",
+        )
+
+    cond = _probe_condition(a, spec)
+    spec = replace(spec, cond_estimate=cond)
+
+    candidates = {}
+    for name in available_solvers():
+        registered = get_solver(name)
+        caps = registered.capabilities
+        candidates[name] = {
+            "caps": caps,
+            "cost": registered.estimate_seconds(spec, device),
+            "admissible": caps.admissible(spec, cond),
+        }
+    admissible = [n for n, c in candidates.items() if c["admissible"]]
+    costs = {n: c["cost"] for n, c in candidates.items()}
+
+    if not admissible:
+        # Nothing meets the target (e.g. kappa beyond every floor): serve
+        # best-effort with the most robust solvers rather than refusing.
+        chain = tuple(
+            n for n in _ROBUSTNESS_ORDER if n in candidates and candidates[n]["caps"].distortion == 1.0
+        )[::-1]
+        chain = chain or tuple(candidates)
+        return SolvePlan(
+            solver=chain[0],
+            chain=chain,
+            kind=spec.kind,
+            embedding_dim=spec.embedding_dim,
+            cond_estimate=cond,
+            policy=policy,
+            costs=costs,
+            reason=(
+                f"no solver meets target {spec.accuracy_target:.1e} at "
+                f"kappa~{cond:.1e}; serving best-effort, most robust first"
+            ),
+        )
+
+    by_cost = sorted(admissible, key=lambda n: (costs[n], _ROBUSTNESS_ORDER.index(n)))
+    chosen = by_cost[0]
+    reason = f"cheapest admissible at kappa~{cond:.1e}"
+    if solver is not None:
+        preferred = canonical_solver_name(solver)
+        if preferred in admissible:
+            chosen = preferred
+            reason = f"requested solver admissible at kappa~{cond:.1e}"
+
+    if policy == "adaptive" and spec.latency_budget is not None:
+        within = [n for n in admissible if costs[n] <= spec.latency_budget]
+        if within:
+            # Most robust (lowest floor, no distortion) that fits the budget.
+            chosen = min(
+                within,
+                key=lambda n: (
+                    candidates[n]["caps"].accuracy_floor(cond),
+                    candidates[n]["caps"].distortion,
+                    costs[n],
+                ),
+            )
+            reason = f"most robust within {spec.latency_budget:.2e}s budget"
+        else:
+            chosen = by_cost[0]
+            reason = "nothing fits the latency budget; degraded to cheapest admissible"
+
+    # Fallback chain: remaining *distortion-free* admissible solvers by
+    # cost, then the last-resort robust solvers (QR last).  A fallback runs
+    # because a breakdown just disproved the conditioning estimate, so
+    # solvers whose admissibility leaned on that estimate's optimism (the
+    # distortion-bearing sketch-and-solve chief among them) are skipped --
+    # matching the POTRF failure -> rand_cholQR -> LSQR chain of the issue.
+    chain = [chosen] + [
+        n
+        for n in by_cost
+        if n != chosen and candidates[n]["caps"].distortion == 1.0
+    ]
+    for name in ("rand_cholqr", "sketch_precond_lsqr", "qr"):
+        if name in candidates and name not in chain:
+            chain.append(name)
+    return SolvePlan(
+        solver=chosen,
+        chain=tuple(chain),
+        kind=spec.kind,
+        embedding_dim=spec.embedding_dim,
+        cond_estimate=cond,
+        policy=policy,
+        costs=costs,
+        reason=reason,
+    )
+
+
+def execute_plan(
+    plan_: SolvePlan,
+    a: ArrayLike,
+    b: ArrayLike,
+    spec: Optional[SolveSpec] = None,
+    *,
+    executor: Optional[GPUExecutor] = None,
+    operators: Optional[Dict[str, SketchOperator]] = None,
+    operator_provider=None,
+) -> LeastSquaresResult:
+    """Run a plan, walking the fallback chain on solver breakdown.
+
+    ``operators`` maps solver names to pre-built sketch operators (the
+    serving layer passes its cached ones); ``operator_provider`` is a
+    callable ``(solver_name) -> SketchOperator`` consulted next, and solvers
+    without either build their own from the spec.  Every attempted solver
+    and every failure reason is recorded on the returned result via
+    :meth:`~repro.linalg.lstsq.LeastSquaresResult.record_attempt_chain`, so
+    a rescued solve still reports what broke and a failed solve carries the
+    last reason instead of swallowing it.
+    """
+    if spec is None:
+        a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+        b_np = b.data if isinstance(b, DeviceArray) else np.asarray(b)
+        spec = SolveSpec.from_problem(a_np, b_np, kind=plan_.kind)
+    attempts = []
+    reasons = []
+    last_result: Optional[LeastSquaresResult] = None
+    for name in plan_.chain:
+        solver = get_solver(name)
+        operator = None
+        if solver.capabilities.needs_sketch:
+            if operators and name in operators:
+                operator = operators[name]
+            elif operator_provider is not None:
+                operator = operator_provider(name)
+        attempts.append(name)
+        try:
+            result = solver.solve(a, b, spec, operator=operator, executor=executor)
+        except np.linalg.LinAlgError as exc:  # defensive: adapters usually catch
+            reasons.append(f"{name}: {exc}")
+            continue
+        if not result.failed:
+            return result.record_attempt_chain(attempts, reasons)
+        reasons.append(f"{name}: {result.failure_reason}" if result.failure_reason else name)
+        last_result = result
+    if last_result is None:  # pragma: no cover - chain is never empty
+        raise RuntimeError("solve plan had no executable links")
+    return last_result.record_attempt_chain(attempts, reasons)
+
+
+def plan_and_execute(
+    a: ArrayLike,
+    b: ArrayLike,
+    spec: Optional[SolveSpec] = None,
+    *,
+    policy: str = "cheapest_accurate",
+    solver: Optional[str] = None,
+    executor: Optional[GPUExecutor] = None,
+    device: DeviceSpec = H100_SXM5,
+    **spec_overrides,
+) -> LeastSquaresResult:
+    """Convenience: :func:`plan` then :func:`execute_plan` in one call."""
+    if spec is None:
+        a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+        b_np = b.data if isinstance(b, DeviceArray) else np.asarray(b)
+        spec = SolveSpec.from_problem(a_np, b_np, **spec_overrides)
+    elif spec_overrides:
+        spec = replace(spec, **spec_overrides)
+    plan_ = plan(a, spec, policy=policy, solver=solver, device=device)
+    return execute_plan(plan_, a, b, spec, executor=executor)

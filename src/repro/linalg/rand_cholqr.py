@@ -99,7 +99,10 @@ def rand_cholqr_lstsq(
     uses for distortion-free micro-batched solves.
 
     The solution has *no* sketching distortion; stability holds for
-    ``kappa(A) < u^{-1}``.
+    ``kappa(A) < u^{-1}``.  Registered as ``"rand_cholqr"`` in
+    :mod:`repro.linalg.registry`; the planner uses it as the workhorse for
+    ill-conditioned traffic (distortion-free, flat accuracy floor) and as
+    the first fallback after a normal-equations POTRF breakdown.
     """
     if executor is None:
         executor = sketch.executor

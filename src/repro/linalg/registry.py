@@ -1,0 +1,556 @@
+"""Unified solver registry: one ``solve(spec)`` interface over every solver.
+
+The paper's central comparison (Sections 6-7) is between solver *families* --
+normal equations, sketch-and-solve (Algorithm 1), Householder QR,
+rand_cholQR (Algorithm 5) and sketch-preconditioned LSQR -- yet each family
+historically had its own free function with its own signature.  This module
+puts all five behind one uniform interface so callers (the planner, the
+serving layer, the harness) can treat "which solver" as data:
+
+* :class:`SolveSpec` -- the request: problem shape, number of fused
+  right-hand sides, conditioning estimate, accuracy target, latency budget,
+  sketch family and oversampling.
+* :class:`SolverCapabilities` -- what a registered solver declares about
+  itself: batched-RHS support, whether it needs a sketch operator, its
+  stability floor (``u * kappa(A)`` vs ``u * kappa(A)^2``), its residual
+  distortion, and a cost model grounded in
+  :func:`repro.theory.complexity.solver_complexity`.
+* :class:`RegisteredSolver` -- capabilities plus the adapter callable, with
+  ``solve(a, b, spec)`` dispatching to the underlying implementation and a
+  column-loop shim for any solver without a fused multi-RHS path.
+* :func:`register_solver` / :func:`get_solver` / :func:`available_solvers` --
+  the registry itself.
+
+The planner (:mod:`repro.linalg.planner`) builds a
+:class:`~repro.linalg.planner.SolvePlan` on top of these declarations; the
+serving layer (:mod:`repro.serving.server`) executes plans per micro-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import SketchOperator, default_embedding_dim
+from repro.gpu.arrays import DeviceArray
+from repro.gpu.device import DeviceSpec, H100_SXM5
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.iterative import sketch_preconditioned_lsqr
+from repro.linalg.lstsq import (
+    LeastSquaresResult,
+    normal_equations,
+    qr_solve,
+    sketch_and_solve,
+)
+from repro.linalg.rand_cholqr import rand_cholqr_lstsq
+from repro.theory.complexity import solver_complexity
+
+ArrayLike = Union[np.ndarray, DeviceArray]
+
+#: Double-precision unit roundoff, the ``u`` of the paper's stability bounds.
+UNIT_ROUNDOFF = float(np.finfo(np.float64).eps)
+
+#: Default safety constant in front of the ``u * kappa^e`` stability floors;
+#: absorbs the dimension-dependent polynomials of the formal bounds.
+STABILITY_SAFETY = 10.0
+
+
+def resolve_embedding_dim(kind: str, d: int, n: int, oversampling: float = 2.0) -> int:
+    """Embedding dimension for a ``d x n`` problem, oversampling included.
+
+    The paper's Section-6.2 defaults with a configurable constant: ``c * n``
+    for the subspace-embedding families (Gaussian / SRHT / multisketch) and
+    ``c * n^2`` clipped to ``d`` for the CountSketch, with ``c`` =
+    ``oversampling`` (2 in the paper).  This is the single resolution point
+    the serving layer and the planner both go through, so changing the
+    oversampling on a :class:`~repro.serving.server.ServerConfig` changes
+    every operator the server builds.
+    """
+    if oversampling <= 1.0:
+        raise ValueError("oversampling must exceed 1 for the sketch to embed")
+    return min(default_embedding_dim(kind, n, oversampling), d)
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """One least-squares request, as the planner and registry see it.
+
+    Attributes
+    ----------
+    d, n:
+        Problem shape (``A`` is tall, ``d > n``).
+    nrhs:
+        Number of fused right-hand sides (1 for a vector ``b``).
+    cond_estimate:
+        Estimated ``kappa(A)`` (e.g. from
+        :func:`repro.linalg.conditioning.estimate_condition`); ``None`` means
+        unknown, which the planner treats conservatively.
+    accuracy_target:
+        Worst acceptable relative residual attributable to the *solver* on a
+        near-consistent system -- the quantity Figure 8 sweeps.  A solver is
+        admissible only if its stability floor ``C u kappa^e`` stays below
+        this.
+    max_distortion:
+        Largest acceptable multiplicative residual suboptimality.  Exact
+        solvers have distortion 1; sketch-and-solve declares the paper's
+        ``(1 + eps)`` factor and is excluded when the request cannot
+        tolerate it.
+    latency_budget:
+        Optional cap on estimated simulated seconds; the planner prefers
+        solvers that fit, and degrades to the cheapest admissible one
+        otherwise.
+    kind:
+        Sketch family for the sketch-based solvers.
+    oversampling:
+        Embedding-dimension constant threaded through to
+        :func:`resolve_embedding_dim`.
+    seed:
+        Seed for operators the registry builds on the caller's behalf.
+    """
+
+    d: int
+    n: int
+    nrhs: int = 1
+    cond_estimate: Optional[float] = None
+    accuracy_target: float = 1e-6
+    max_distortion: float = float("inf")
+    latency_budget: Optional[float] = None
+    kind: str = "multisketch"
+    oversampling: float = 2.0
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.d <= self.n:
+            raise ValueError("SolveSpec describes tall problems (d > n)")
+        if self.nrhs <= 0:
+            raise ValueError("nrhs must be positive")
+        if self.accuracy_target <= 0.0:
+            raise ValueError("accuracy_target must be positive")
+
+    @classmethod
+    def from_problem(
+        cls,
+        a: np.ndarray,
+        b: Optional[np.ndarray] = None,
+        **overrides,
+    ) -> "SolveSpec":
+        """Build a spec from concrete arrays (shape and nrhs are inferred)."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError("A must be a 2-D matrix")
+        nrhs = 1
+        if b is not None:
+            b = np.asarray(b)
+            nrhs = b.shape[1] if b.ndim == 2 else 1
+        overrides.setdefault("nrhs", nrhs)
+        return cls(d=a.shape[0], n=a.shape[1], **overrides)
+
+    @property
+    def embedding_dim(self) -> int:
+        """Sketch output dimension this spec resolves to."""
+        return resolve_embedding_dim(self.kind, self.d, self.n, self.oversampling)
+
+    def with_nrhs(self, nrhs: int) -> "SolveSpec":
+        """Copy of this spec for a different batch width."""
+        return replace(self, nrhs=int(nrhs))
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver declares about itself.
+
+    ``stability_exponent`` encodes the accuracy floor: the best relative
+    residual the solver can reach on a near-consistent system scales like
+    ``safety * u * kappa(A) ** stability_exponent`` -- 2 for the normal
+    equations (the Figure-8 breakdown mechanism), 1 for the un-refined
+    preconditioned LSQR and for sketch-and-solve's reduced QR, and 0 (a flat
+    ``O(u)`` floor up to hard breakdown) for Householder QR and rand_cholQR,
+    matching both the paper's Figure 8 and the measured behaviour of this
+    repository's implementations.  ``distortion`` is the multiplicative
+    residual suboptimality on noisy systems (1.0 for exact solvers,
+    ``1 + eps`` for sketch-and-solve).  ``max_stable_cond`` is the hard
+    breakdown point beyond which the solver is expected to fail outright
+    rather than merely lose accuracy.
+    """
+
+    name: str
+    batched_rhs: bool
+    needs_sketch: bool
+    stability_exponent: int
+    distortion: float = 1.0
+    max_stable_cond: float = 1.0 / UNIT_ROUNDOFF
+    safety: float = STABILITY_SAFETY
+    iterative: bool = False
+    description: str = ""
+
+    def accuracy_floor(self, cond: float) -> float:
+        """Best relative residual expected at condition number ``cond``."""
+        return self.safety * UNIT_ROUNDOFF * float(cond) ** self.stability_exponent
+
+    def admissible(self, spec: SolveSpec, cond: Optional[float] = None) -> bool:
+        """Whether this solver can meet the spec at the given conditioning.
+
+        Unknown conditioning (``None``) is treated optimistically here; the
+        planner substitutes its sketched estimate before asking.
+        """
+        if self.distortion > spec.max_distortion:
+            return False
+        if cond is None:
+            cond = spec.cond_estimate
+        if cond is None:
+            return True
+        if cond >= self.max_stable_cond:
+            return False
+        return self.accuracy_floor(cond) <= spec.accuracy_target
+
+    def flop_estimate(self, spec: SolveSpec) -> Dict[str, float]:
+        """Leading-order arithmetic/traffic from the Table-1 cost model.
+
+        This (and :meth:`cost_estimate`) is the closed-form *a-priori*
+        reference for documentation, tests and asymptotic reasoning; the
+        planner's live ranking uses
+        :meth:`RegisteredSolver.estimate_seconds`, an analytic dry-run that
+        additionally captures kernel-class efficiencies and launch
+        overheads.
+        """
+        return solver_complexity(
+            self.name,
+            spec.d,
+            spec.n,
+            nrhs=spec.nrhs,
+            embedding_dim=spec.embedding_dim if self.needs_sketch else None,
+            sketch_kind=spec.kind,
+        )
+
+    def cost_estimate(self, spec: SolveSpec, device: DeviceSpec = H100_SXM5) -> float:
+        """Estimated simulated seconds on ``device`` (roofline of the flops)."""
+        cost = self.flop_estimate(spec)
+        compute = cost["arithmetic"] / device.peak_flops(8)
+        traffic = cost["read_writes"] * 8.0 / device.memory_bandwidth
+        return max(compute, traffic)
+
+
+#: Adapter signature: ``(a, b, spec, operator, executor) -> LeastSquaresResult``.
+SolverAdapter = Callable[..., LeastSquaresResult]
+
+
+@dataclass(frozen=True)
+class RegisteredSolver:
+    """A solver behind the uniform interface: capabilities + adapter."""
+
+    capabilities: SolverCapabilities
+    adapter: SolverAdapter
+
+    @property
+    def name(self) -> str:
+        """Registry name of the solver."""
+        return self.capabilities.name
+
+    def solve(
+        self,
+        a: ArrayLike,
+        b: ArrayLike,
+        spec: Optional[SolveSpec] = None,
+        *,
+        operator: Optional[SketchOperator] = None,
+        executor: Optional[GPUExecutor] = None,
+    ) -> LeastSquaresResult:
+        """Run the solver on ``(a, b)`` under ``spec``.
+
+        Sketch-based solvers receive ``operator`` (or build one from the
+        spec); direct solvers ignore it.  A block ``b`` against a solver
+        without a fused path falls back to a column loop, so every
+        registered solver honours the same multi-RHS contract.
+        """
+        if spec is None:
+            spec = SolveSpec.from_problem(np.asarray(a) if not isinstance(a, DeviceArray) else a)
+        b_arr = b.data if isinstance(b, DeviceArray) else np.asarray(b)
+        multi = b_arr is not None and b_arr.ndim == 2
+        if multi and not self.capabilities.batched_rhs:
+            return self._solve_columns(a, b, spec, operator=operator, executor=executor)
+        return self.adapter(a, b, spec, operator=operator, executor=executor)
+
+    def _solve_columns(
+        self,
+        a: ArrayLike,
+        b: ArrayLike,
+        spec: SolveSpec,
+        *,
+        operator: Optional[SketchOperator],
+        executor: Optional[GPUExecutor],
+    ) -> LeastSquaresResult:
+        """Column-by-column shim for solvers without a fused multi-RHS path."""
+        b_np = b.data if isinstance(b, DeviceArray) else np.asarray(b)
+        results = [
+            self.adapter(a, b_np[:, j], spec.with_nrhs(1), operator=operator, executor=executor)
+            for j in range(b_np.shape[1])
+        ]
+        merged = results[0].breakdown
+        for r in results[1:]:
+            merged.extend(r.breakdown.records)
+        xs = [r.x for r in results]
+        columns = np.asarray([r.relative_residual for r in results])
+        failed = any(r.failed for r in results)
+        reasons = "; ".join(r.failure_reason for r in results if r.failure_reason)
+        return LeastSquaresResult(
+            method=results[0].method,
+            x=None if failed or any(x is None for x in xs) else np.column_stack(xs),
+            residual_norm=float(np.linalg.norm([r.residual_norm for r in results])),
+            relative_residual=float(columns.max(initial=0.0)),
+            breakdown=merged,
+            total_seconds=merged.total(),
+            failed=failed,
+            failure_reason=reasons,
+            extra={"nrhs": float(len(results)), "column_loop": 1.0},
+            column_residuals=columns,
+        )
+
+    def estimate_seconds(self, spec: SolveSpec, device: DeviceSpec = H100_SXM5) -> float:
+        """Expected simulated seconds for one solve under ``spec``.
+
+        Runs the adapter once in *analytic* mode (shape-only device arrays,
+        ``numeric=False``), so the estimate is exactly what the real solve
+        will be charged by the roofline cost model -- kernel-class
+        efficiencies and launch overheads included, operator generation
+        excluded (the serving layer amortises it through the operator
+        cache).  Results are memoised per ``(solver, shape, batch, sketch)``
+        so the planner can be consulted per micro-batch for free.
+        """
+        key = (
+            self.name,
+            spec.d,
+            spec.n,
+            spec.nrhs,
+            spec.kind if self.capabilities.needs_sketch else "",
+            spec.embedding_dim if self.capabilities.needs_sketch else 0,
+            id(device),
+        )
+        cached = _DRYRUN_COSTS.get(key)
+        if cached is not None:
+            return cached
+        ex = GPUExecutor(device, numeric=False, seed=spec.seed, track_memory=False)
+        a = ex.empty((spec.d, spec.n), label="A_plan")
+        b = ex.empty((spec.d, spec.nrhs) if spec.nrhs > 1 else (spec.d,), label="b_plan")
+        operator = self.build_operator(spec, executor=ex) if self.capabilities.needs_sketch else None
+        result = self.adapter(a, b, spec, operator=operator, executor=ex)
+        _DRYRUN_COSTS[key] = result.total_seconds
+        return result.total_seconds
+
+    def build_operator(
+        self, spec: SolveSpec, executor: Optional[GPUExecutor] = None
+    ) -> SketchOperator:
+        """Construct the sketch operator this solver would use for ``spec``."""
+        from repro.serving.cache import build_operator as _build  # local: avoid cycle
+
+        if executor is None:
+            executor = GPUExecutor(numeric=True, seed=spec.seed, track_memory=False)
+        return _build(
+            spec.kind,
+            spec.d,
+            spec.n,
+            executor=executor,
+            seed=spec.seed,
+            k=spec.embedding_dim,
+        )
+
+
+_REGISTRY: Dict[str, RegisteredSolver] = {}
+
+#: Memoised analytic dry-run costs (see :meth:`RegisteredSolver.estimate_seconds`).
+_DRYRUN_COSTS: Dict[Tuple, float] = {}
+
+#: Accepted spellings for each canonical registry name.
+_ALIASES = {
+    "normal_equations": ("normal_equations", "normal", "normal_eq", "cholesky"),
+    "sketch_and_solve": ("sketch_and_solve", "sketch-and-solve", "sas"),
+    "qr": ("qr", "qr_solve", "householder_qr"),
+    "rand_cholqr": ("rand_cholqr", "rand_cholqr_lstsq", "randcholqr"),
+    "sketch_precond_lsqr": (
+        "sketch_precond_lsqr",
+        "sketch_preconditioned_lsqr",
+        "lsqr",
+        "blendenpik",
+    ),
+}
+
+
+def canonical_solver_name(name: str) -> str:
+    """Map any accepted spelling to the canonical registry name."""
+    low = name.lower()
+    for canonical, spellings in _ALIASES.items():
+        if low in spellings:
+            return canonical
+    raise ValueError(
+        f"unknown solver '{name}'; registered: {sorted(_REGISTRY) or list(_ALIASES)}"
+    )
+
+
+def register_solver(solver: RegisteredSolver) -> RegisteredSolver:
+    """Add (or replace) a solver in the registry; returns it for chaining."""
+    _REGISTRY[solver.name] = solver
+    return solver
+
+
+def get_solver(name: str) -> RegisteredSolver:
+    """Look up a registered solver by any accepted spelling."""
+    return _REGISTRY[canonical_solver_name(name)]
+
+
+def available_solvers() -> Tuple[str, ...]:
+    """Canonical names of every registered solver, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def solver_capabilities() -> Dict[str, SolverCapabilities]:
+    """Name -> capability table (the planner's routing input)."""
+    return {name: solver.capabilities for name, solver in _REGISTRY.items()}
+
+
+# ---------------------------------------------------------------------------
+# Adapters for the five paper solvers
+# ---------------------------------------------------------------------------
+def _ensure_operator(
+    solver: RegisteredSolver,
+    a: ArrayLike,
+    spec: SolveSpec,
+    operator: Optional[SketchOperator],
+    executor: Optional[GPUExecutor],
+) -> SketchOperator:
+    if operator is not None:
+        caps = operator.capabilities()
+        if not caps["subspace_embedding"] and solver.name in (
+            "rand_cholqr",
+            "sketch_precond_lsqr",
+        ):
+            raise ValueError(
+                f"{solver.name} preconditions with the sketch and requires a "
+                f"subspace-embedding operator; {caps['family']} is not one"
+            )
+        return operator
+    if executor is None and isinstance(a, DeviceArray):
+        executor = getattr(a, "_executor", None)
+    return solver.build_operator(spec, executor=executor)
+
+
+def _adapt_normal_equations(a, b, spec, *, operator=None, executor=None):
+    return normal_equations(a, b, executor=executor)
+
+
+def _adapt_qr(a, b, spec, *, operator=None, executor=None):
+    return qr_solve(a, b, executor=executor)
+
+
+def _adapt_sketch_and_solve(a, b, spec, *, operator=None, executor=None):
+    op = _ensure_operator(get_solver("sketch_and_solve"), a, spec, operator, executor)
+    return sketch_and_solve(a, b, op, executor=op.executor)
+
+
+def _adapt_rand_cholqr(a, b, spec, *, operator=None, executor=None):
+    op = _ensure_operator(get_solver("rand_cholqr"), a, spec, operator, executor)
+    return rand_cholqr_lstsq(a, b, op, executor=op.executor)
+
+
+def _adapt_sketch_precond_lsqr(a, b, spec, *, operator=None, executor=None):
+    op = _ensure_operator(get_solver("sketch_precond_lsqr"), a, spec, operator, executor)
+    return sketch_preconditioned_lsqr(a, b, op, executor=op.executor)
+
+
+register_solver(
+    RegisteredSolver(
+        SolverCapabilities(
+            name="normal_equations",
+            batched_rhs=True,
+            needs_sketch=False,
+            stability_exponent=2,
+            max_stable_cond=1.0 / np.sqrt(UNIT_ROUNDOFF),
+            description="Gram matrix + POTRF; fastest direct solver, floor u*kappa^2",
+        ),
+        _adapt_normal_equations,
+    )
+)
+register_solver(
+    RegisteredSolver(
+        SolverCapabilities(
+            name="sketch_and_solve",
+            batched_rhs=True,
+            needs_sketch=True,
+            stability_exponent=1,
+            distortion=1.0 + 1.0 / np.sqrt(2.0),
+            description="Algorithm 1; cheapest sketch solver, O(1) residual distortion",
+        ),
+        _adapt_sketch_and_solve,
+    )
+)
+register_solver(
+    RegisteredSolver(
+        SolverCapabilities(
+            name="qr",
+            batched_rhs=True,
+            needs_sketch=False,
+            stability_exponent=0,
+            description="Householder QR on A; gold standard, slowest",
+        ),
+        _adapt_qr,
+    )
+)
+register_solver(
+    RegisteredSolver(
+        SolverCapabilities(
+            name="rand_cholqr",
+            batched_rhs=True,
+            needs_sketch=True,
+            stability_exponent=0,
+            max_stable_cond=0.1 / UNIT_ROUNDOFF,
+            description="Algorithm 5; distortion-free, stable for kappa < 1/u",
+        ),
+        _adapt_rand_cholqr,
+    )
+)
+register_solver(
+    RegisteredSolver(
+        SolverCapabilities(
+            name="sketch_precond_lsqr",
+            batched_rhs=True,
+            needs_sketch=True,
+            stability_exponent=1,
+            safety=1.0,
+            iterative=True,
+            description="Blendenpik-style preconditioned LSQR; kappa-independent iterations",
+        ),
+        _adapt_sketch_precond_lsqr,
+    )
+)
+
+
+def solve(
+    a: ArrayLike,
+    b: ArrayLike,
+    spec: Optional[SolveSpec] = None,
+    *,
+    solver: Optional[str] = None,
+    operator: Optional[SketchOperator] = None,
+    executor: Optional[GPUExecutor] = None,
+    **spec_overrides,
+) -> LeastSquaresResult:
+    """One entry point over the whole registry.
+
+    With ``solver`` given, dispatches straight to that registered solver;
+    otherwise delegates to the planner
+    (:func:`repro.linalg.planner.plan_and_execute`) which estimates the
+    conditioning, picks the cheapest admissible solver and runs its fallback
+    chain.  ``spec_overrides`` (``accuracy_target=...``, ``kind=...``, ...)
+    are forwarded to :meth:`SolveSpec.from_problem` when ``spec`` is None.
+    """
+    if spec is None:
+        a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+        b_np = b.data if isinstance(b, DeviceArray) else np.asarray(b)
+        spec = SolveSpec.from_problem(a_np, b_np, **spec_overrides)
+    elif spec_overrides:
+        spec = replace(spec, **spec_overrides)
+    if solver is not None:
+        return get_solver(solver).solve(a, b, spec, operator=operator, executor=executor)
+    from repro.linalg.planner import plan_and_execute  # local: planner imports registry
+
+    return plan_and_execute(a, b, spec, executor=executor)

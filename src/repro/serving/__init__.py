@@ -18,13 +18,22 @@ sketch operators and solvers into such a service:
   (cache-affinity first, least-loaded otherwise) and charges cross-shard
   traffic with the Section-7 alpha-beta model.
 * :class:`~repro.serving.telemetry.ServingTelemetry` -- p50/p95/p99 latency,
-  throughput, batch-size and hit-rate reporting.
+  throughput, batch-size, hit-rate, per-solver histogram and fallback-count
+  reporting.
+
+Every batch dispatches through the solver registry
+(:mod:`repro.linalg.registry`): ``ServerConfig(policy=...)`` selects
+``"fixed"`` (run the requested solver as-is), ``"cheapest_accurate"`` or
+``"adaptive"`` -- the latter two probe each matrix's conditioning and route
+to the cheapest registered solver whose stability floor meets the request's
+accuracy target, walking the planner's fallback chain on breakdown.
 
 Quick start::
 
     from repro.serving import SketchServer
 
-    server = SketchServer(kind="multisketch", shards=2, max_batch=16)
+    server = SketchServer(kind="multisketch", shards=2, max_batch=16,
+                          policy="cheapest_accurate", accuracy_target=1e-8)
     for b in observations:              # many RHS against one design matrix
         server.submit(A, b)
     responses = server.flush()          # fused into multi-RHS solves
@@ -45,6 +54,7 @@ from repro.serving.requests import (
     SolveRequest,
     SolveResponse,
     normalize_kind,
+    normalize_policy,
     normalize_solver,
 )
 from repro.serving.scheduler import ShardScheduler
@@ -64,6 +74,7 @@ __all__ = [
     "SolveRequest",
     "SolveResponse",
     "normalize_kind",
+    "normalize_policy",
     "normalize_solver",
     "ShardScheduler",
     "ServerConfig",

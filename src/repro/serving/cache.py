@@ -22,36 +22,56 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import SketchOperator, default_embedding_dim
+from repro.core.base import SketchOperator
 from repro.core.countsketch import CountSketch
 from repro.core.gaussian import GaussianSketch
 from repro.core.multisketch import count_gauss
 from repro.core.srht import SRHT
 from repro.gpu.executor import GPUExecutor
+from repro.linalg.registry import resolve_embedding_dim as _registry_embedding_dim
 from repro.serving.requests import normalize_kind
 
 
-def resolve_embedding_dim(kind: str, d: int, n: int) -> int:
+def resolve_embedding_dim(kind: str, d: int, n: int, oversampling: float = 2.0) -> int:
     """Embedding dimension the server uses for a ``d x n`` problem.
 
-    Follows the paper's Section 6.2 defaults (``2n`` for Gaussian / SRHT /
-    multisketch, ``2n^2`` clipped to ``d`` for the CountSketch).
+    Follows the paper's Section 6.2 defaults (``c n`` for Gaussian / SRHT /
+    multisketch, ``c n^2`` clipped to ``d`` for the CountSketch) with the
+    constant ``c`` configurable end-to-end: a
+    :class:`~repro.serving.server.ServerConfig` forwards its ``oversampling``
+    here, and this delegates to the registry's single resolution point
+    (:func:`repro.linalg.registry.resolve_embedding_dim`).
     """
-    kind = normalize_kind(kind)
-    if kind == "countsketch":
-        return min(default_embedding_dim("countsketch", n), d)
-    return default_embedding_dim(kind, n)
+    return _registry_embedding_dim(normalize_kind(kind), d, n, oversampling)
 
 
 def operator_cache_key(
-    kind: str, d: int, n: int, k: int, seed: Optional[int], dtype=np.float64
+    kind: str,
+    d: int,
+    n: int,
+    k: int,
+    seed: Optional[int],
+    dtype=np.float64,
+    solver: str = "",
 ) -> Tuple:
-    """The serving cache key: ``(kind, d, n, k, seed, dtype)``.
+    """The serving cache key: ``(kind, d, n, k, seed, dtype, solver)``.
 
     Two operators built from equal keys produce bit-identical sketches, so a
     cached operator can stand in for a freshly built one on any request.
+    ``solver`` is the *planned solver family* the operator serves: distinct
+    families keep distinct entries (and therefore distinct shard bindings),
+    so e.g. a hot sketch-and-solve operator and the rand_cholQR
+    preconditioner for the same shape scale independently across the pool.
     """
-    return (normalize_kind(kind), int(d), int(n), int(k), seed, np.dtype(dtype).str)
+    return (
+        normalize_kind(kind),
+        int(d),
+        int(n),
+        int(k),
+        seed,
+        np.dtype(dtype).str,
+        solver,
+    )
 
 
 def build_operator(
@@ -63,11 +83,12 @@ def build_operator(
     seed: Optional[int] = 0,
     k: Optional[int] = None,
     dtype=np.float64,
+    oversampling: float = 2.0,
 ) -> SketchOperator:
     """Construct (and eagerly generate) the operator a cache key describes."""
     kind = normalize_kind(kind)
     if k is None:
-        k = resolve_embedding_dim(kind, d, n)
+        k = resolve_embedding_dim(kind, d, n, oversampling)
     if kind == "gaussian":
         op: SketchOperator = GaussianSketch(d, k, executor=executor, seed=seed, dtype=dtype)
     elif kind == "countsketch":

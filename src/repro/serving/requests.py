@@ -14,6 +14,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.linalg.planner import normalize_policy
+from repro.linalg.registry import canonical_solver_name
+
+__all__ = [
+    "SketchResponse",
+    "SolveRequest",
+    "SolveResponse",
+    "normalize_kind",
+    "normalize_policy",
+    "normalize_solver",
+]
+
 
 def normalize_kind(kind: str) -> str:
     """Canonical sketch-family name used in cache keys and reports."""
@@ -29,15 +41,14 @@ def normalize_kind(kind: str) -> str:
     raise ValueError(f"unknown sketch kind '{kind}'")
 
 
-_SOLVERS = ("sketch_and_solve", "rand_cholqr")
-
-
 def normalize_solver(solver: str) -> str:
-    """Canonical solver name (``sketch_and_solve`` or ``rand_cholqr``)."""
-    s = solver.lower()
-    if s not in _SOLVERS:
-        raise ValueError(f"solver must be one of {_SOLVERS}, got '{solver}'")
-    return s
+    """Canonical registry name of a solver.
+
+    Every solver registered in :mod:`repro.linalg.registry` is servable:
+    ``normal_equations``, ``sketch_and_solve``, ``qr``, ``rand_cholqr`` and
+    ``sketch_precond_lsqr`` (plus their accepted spellings).
+    """
+    return canonical_solver_name(solver)
 
 
 @dataclass
@@ -53,8 +64,16 @@ class SolveRequest:
     kind:
         Sketch family to solve with (canonical name).
     solver:
-        ``"sketch_and_solve"`` (Algorithm 1, O(1) distortion) or
-        ``"rand_cholqr"`` (Algorithm 5, no distortion).
+        Registered solver name (see :mod:`repro.linalg.registry`).  Under a
+        ``"fixed"`` server policy this is the solver that runs; under the
+        adaptive policies it is advisory and the planner routes.
+    accuracy_target:
+        Worst acceptable relative residual for this request (``None`` means
+        the server's configured default).  Feeds the planner's admissibility
+        check.
+    latency_budget:
+        Optional cap on estimated simulated seconds for this request, used
+        by the ``"adaptive"`` policy.
     """
 
     request_id: int
@@ -62,6 +81,8 @@ class SolveRequest:
     b: np.ndarray
     kind: str = "multisketch"
     solver: str = "sketch_and_solve"
+    accuracy_target: Optional[float] = None
+    latency_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.a = np.asarray(self.a)
@@ -91,9 +112,19 @@ class SolveRequest:
         Fusing into a multi-RHS solve requires *the same coefficient matrix*,
         so the key includes the identity of ``a`` (requests hold a reference,
         which keeps ``id(a)`` stable while the request is pending) alongside
-        the shape/dtype and the routing parameters.
+        the shape/dtype and the routing parameters -- including the accuracy
+        target and latency budget, because the planner routes a fused batch
+        as a unit and must not average away one rider's requirements.
         """
-        return (id(self.a), self.a.shape, self.a.dtype.str, self.kind, self.solver)
+        return (
+            id(self.a),
+            self.a.shape,
+            self.a.dtype.str,
+            self.kind,
+            self.solver,
+            self.accuracy_target,
+            self.latency_budget,
+        )
 
 
 @dataclass
@@ -119,7 +150,14 @@ class SolveResponse:
     kind: str
     solver: str
     method: str = ""
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
+    #: Server policy that routed this request ("fixed" unless configured).
+    policy: str = "fixed"
+    #: Solver the planner executed (may differ from ``solver`` under
+    #: adaptive routing or after a fallback rescue).
+    executed_solver: str = ""
+    #: Number of fallback hops the batch took before succeeding.
+    fallbacks: int = 0
 
 
 @dataclass

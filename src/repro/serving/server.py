@@ -24,6 +24,7 @@ same traffic solved one request at a time with no batching and no caching.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -33,8 +34,9 @@ from repro.distributed.comm import CommCostModel
 from repro.gpu.device import DeviceSpec, H100_SXM5
 from repro.gpu.executor import GPUExecutor
 from repro.gpu.pool import ExecutorPool
-from repro.linalg.lstsq import LeastSquaresResult, sketch_and_solve
-from repro.linalg.rand_cholqr import rand_cholqr_lstsq
+from repro.linalg.lstsq import LeastSquaresResult
+from repro.linalg.planner import SolvePlan, execute_plan, normalize_policy, plan
+from repro.linalg.registry import SolveSpec, get_solver
 from repro.serving.batcher import MicroBatch, MicroBatcher
 from repro.serving.cache import (
     CacheEntry,
@@ -63,7 +65,25 @@ class ServerConfig:
     kind:
         Default sketch family for requests that do not specify one.
     solver:
-        Default solver (``"sketch_and_solve"`` or ``"rand_cholqr"``).
+        Default solver (any name registered in
+        :mod:`repro.linalg.registry`).  Under the ``"fixed"`` policy this is
+        what runs; under the adaptive policies the planner routes and this
+        is only the naming default recorded on requests.
+    policy:
+        Routing policy: ``"fixed"`` (pre-registry behaviour: run the
+        requested solver, no probing, no fallback), ``"cheapest_accurate"``
+        (cheapest solver whose stability floor meets the accuracy target at
+        the probed conditioning, with a fallback chain), or ``"adaptive"``
+        (additionally latency-budget aware).  See
+        :mod:`repro.linalg.planner`.
+    accuracy_target:
+        Default per-request accuracy target the planner routes against.
+    latency_budget:
+        Default per-request estimated-seconds cap for ``"adaptive"``.
+    oversampling:
+        Embedding-dimension constant (2.0 in the paper), threaded through
+        :func:`~repro.serving.cache.resolve_embedding_dim` into every
+        operator the server builds.
     shards:
         Number of simulated GPU workers in the executor pool.
     cache_capacity:
@@ -87,6 +107,10 @@ class ServerConfig:
 
     kind: str = "multisketch"
     solver: str = "sketch_and_solve"
+    policy: str = "fixed"
+    accuracy_target: float = 1e-6
+    latency_budget: Optional[float] = None
+    oversampling: float = 2.0
     shards: int = 2
     cache_capacity: int = 64
     max_batch: int = 32
@@ -99,8 +123,13 @@ class ServerConfig:
     def __post_init__(self) -> None:
         self.kind = normalize_kind(self.kind)
         self.solver = normalize_solver(self.solver)
+        self.policy = normalize_policy(self.policy)
         if self.shards <= 0:
             raise ValueError("shards must be positive")
+        if self.oversampling <= 1.0:
+            raise ValueError("oversampling must exceed 1")
+        if self.accuracy_target <= 0.0:
+            raise ValueError("accuracy_target must be positive")
 
 
 class SketchServer:
@@ -124,6 +153,10 @@ class SketchServer:
         self.telemetry = ServingTelemetry()
         self._batcher = MicroBatcher(max_batch=config.max_batch)
         self._next_id = 0
+        # Conditioning probes are pure functions of the matrix; memoise them
+        # per live matrix object (weakly referenced -- see _cond_estimate)
+        # so hot same-matrix traffic plans for free.
+        self._cond_cache: Dict[Tuple, Tuple] = {}
 
     # ------------------------------------------------------------------
     # request intake
@@ -135,6 +168,8 @@ class SketchServer:
         *,
         kind: Optional[str] = None,
         solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
     ) -> int:
         """Enqueue one ``min_x ||b - A x||`` request; returns its request id."""
         request = SolveRequest(
@@ -143,6 +178,8 @@ class SketchServer:
             b=b,
             kind=kind if kind is not None else self.config.kind,
             solver=solver if solver is not None else self.config.solver,
+            accuracy_target=accuracy_target,
+            latency_budget=latency_budget,
         )
         self._next_id += 1
         self._batcher.add(request)
@@ -160,13 +197,22 @@ class SketchServer:
         *,
         kind: Optional[str] = None,
         solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
     ) -> SolveResponse:
         """Convenience: submit one request and flush immediately.
 
         Anything else pending is flushed too (and fused where possible); only
         this request's response is returned.
         """
-        request_id = self.submit(a, b, kind=kind, solver=solver)
+        request_id = self.submit(
+            a,
+            b,
+            kind=kind,
+            solver=solver,
+            accuracy_target=accuracy_target,
+            latency_budget=latency_budget,
+        )
         responses = self.flush()
         for resp in responses:
             if resp.request_id == request_id:
@@ -187,16 +233,21 @@ class SketchServer:
         responses.sort(key=lambda r: r.request_id)
         return responses
 
-    def _resolve_operator(self, kind: str, a: np.ndarray) -> Tuple[CacheEntry, bool]:
+    def _resolve_operator(
+        self, kind: str, a: np.ndarray, *, k: Optional[int] = None, solver: str = ""
+    ) -> Tuple[CacheEntry, bool]:
         """Find or build the operator for a problem; returns (entry, built).
 
         One cache lookup is counted per *batch* -- the cache is consulted
         once per fused solve, so the reported hit rate measures genuine
-        cross-batch operator reuse, not batch ridership.
+        cross-batch operator reuse, not batch ridership.  ``solver`` is the
+        planned solver family: it is part of the cache key, so operators
+        serving different solver families scale independently.
         """
         d, n = a.shape
-        k = resolve_embedding_dim(kind, d, n)
-        key = operator_cache_key(kind, d, n, k, self.config.seed, a.dtype)
+        if k is None:
+            k = resolve_embedding_dim(kind, d, n, self.config.oversampling)
+        key = operator_cache_key(kind, d, n, k, self.config.seed, a.dtype, solver=solver)
         entry = self.cache.get(key)
         if entry is not None:
             return entry, False
@@ -206,7 +257,9 @@ class SketchServer:
         )
         return self.cache.put(key, CacheEntry(operator=operator, shard=shard)), True
 
-    def _place_warm_batch(self, entry: CacheEntry, kind: str, a: np.ndarray) -> int:
+    def _place_warm_batch(
+        self, entry: CacheEntry, kind: str, a: np.ndarray, *, k: Optional[int] = None
+    ) -> int:
         """Pick the shard for a cache-hit batch, replicating hot operators.
 
         Affinity alone would serialise all same-shape traffic behind the
@@ -230,7 +283,7 @@ class SketchServer:
                 kind,
                 d,
                 n,
-                k=resolve_embedding_dim(kind, d, n),
+                k=k if k is not None else resolve_embedding_dim(kind, d, n, self.config.oversampling),
                 executor=self.pool[least],
                 seed=self.config.seed,
                 dtype=a.dtype,
@@ -244,21 +297,142 @@ class SketchServer:
         self.scheduler.place(preferred=shard)
         return shard
 
-    def _execute_batch(self, batch: MicroBatch) -> List[SolveResponse]:
-        """Run one fused micro-batch on its shard and fan out the responses."""
-        entry, built = self._resolve_operator(batch.kind, batch.a)
-        cache_hit = not built
-        if built:
-            shard = entry.shard
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _cond_estimate(self, a: np.ndarray) -> Optional[float]:
+        """Cached sketched conditioning probe for a live request matrix.
+
+        Entries hold a weak reference to the probed array: ``id()`` values
+        are reused by the allocator once a matrix dies, so a hit counts only
+        when the stored reference still points at *this* array -- a fresh
+        matrix that happens to inherit a dead one's id is re-probed, never
+        served a stale estimate.
+        """
+        if not self.config.numeric:
+            return None  # analytic traffic carries no numeric state to probe
+        key = (id(a), a.shape)
+        entry = self._cond_cache.get(key)
+        if entry is not None:
+            ref, value = entry
+            if ref() is a:
+                return value
+        from repro.linalg.conditioning import estimate_condition
+
+        value = estimate_condition(
+            a, oversampling=self.config.oversampling, seed=self.config.seed
+        )
+        if len(self._cond_cache) >= 256:
+            self._cond_cache.clear()
+        self._cond_cache[key] = (weakref.ref(a), value)
+        return value
+
+    def _plan_batch(self, batch: MicroBatch) -> Tuple[SolvePlan, SolveSpec]:
+        """Build the batch's SolveSpec and route it per the server policy."""
+        d, n = batch.a.shape
+        first = batch.requests[0]
+        cond = None if self.config.policy == "fixed" else self._cond_estimate(batch.a)
+        spec = SolveSpec(
+            d=d,
+            n=n,
+            nrhs=batch.size,
+            cond_estimate=cond,
+            accuracy_target=(
+                first.accuracy_target
+                if first.accuracy_target is not None
+                else self.config.accuracy_target
+            ),
+            latency_budget=(
+                first.latency_budget
+                if first.latency_budget is not None
+                else self.config.latency_budget
+            ),
+            kind=batch.kind,
+            oversampling=self.config.oversampling,
+            seed=self.config.seed,
+        )
+        if self.config.policy == "fixed":
+            return plan(None, spec, policy="fixed", solver=batch.solver, device=self.config.device), spec
+        # An analytic server has no numeric state to probe (cond is None):
+        # pass no matrix so the planner ranks optimistically on cost alone
+        # instead of re-probing per batch outside the memoised cache.
+        matrix = batch.a if cond is not None else None
+        return plan(matrix, spec, policy=self.config.policy, device=self.config.device), spec
+
+    def _shard_operator(
+        self, solver_name: str, kind: str, a: np.ndarray, shard: int, k: int
+    ) -> "SketchOperator":
+        """Operator for a fallback-chain link, bound to the batch's shard.
+
+        Consults the cache under the link's own solver-family key (via
+        :meth:`~repro.serving.cache.OperatorCache.peek`, so fallback lookups
+        do not distort the per-batch hit-rate statistics), replicates seeded
+        operators onto the shard when they live elsewhere, and builds fresh
+        otherwise.
+        """
+        d, n = a.shape
+        key = operator_cache_key(
+            kind, d, n, k, self.config.seed, a.dtype, solver=normalize_solver(solver_name)
+        )
+        entry = self.cache.peek(key)
+        if entry is not None and shard in entry.shard_set():
+            return entry.operator_for(shard)
+        operator = build_operator(
+            kind, d, n, k=k, executor=self.pool[shard], seed=self.config.seed, dtype=a.dtype
+        )
+        if self.config.seed is None:
+            return operator  # unseeded state is not shareable; use it once
+        if entry is not None:
+            entry.add_replica(shard, operator)
         else:
-            shard = self._place_warm_batch(entry, batch.kind, batch.a)
-        operator = entry.operator_for(shard)
+            self.cache.put(key, CacheEntry(operator=operator, shard=shard))
+        return operator
+
+    def _execute_batch(self, batch: MicroBatch) -> List[SolveResponse]:
+        """Plan, place and run one fused micro-batch; fan out the responses.
+
+        The planned solver decides operator resolution (sketch-based
+        families go through the cache under their own family key; direct
+        solvers skip it) and the plan's fallback chain runs on the chosen
+        shard, so a POTRF breakdown mid-batch is rescued instead of fanning
+        ``failed=True`` out to every rider.
+        """
+        plan_, spec = self._plan_batch(batch)
+        needs_sketch = get_solver(plan_.solver).capabilities.needs_sketch
+        entry: Optional[CacheEntry] = None
+        cache_hit = False
+        if needs_sketch:
+            entry, built = self._resolve_operator(
+                batch.kind, batch.a, k=plan_.embedding_dim, solver=plan_.solver
+            )
+            cache_hit = not built
+            if built:
+                shard = entry.shard
+            else:
+                shard = self._place_warm_batch(entry, batch.kind, batch.a, k=plan_.embedding_dim)
+        else:
+            shard = self.scheduler.place()
+        executor = self.pool[shard]
 
         rhs = batch.rhs_block() if batch.size > 1 else batch.requests[0].b
-        if batch.solver == "rand_cholqr":
-            result = rand_cholqr_lstsq(batch.a, rhs, operator)
-        else:
-            result = sketch_and_solve(batch.a, rhs, operator)
+        operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
+        result = execute_plan(
+            plan_,
+            batch.a,
+            rhs,
+            spec,
+            executor=executor,
+            operators=operators,
+            operator_provider=lambda name: self._shard_operator(
+                name, batch.kind, batch.a, shard, plan_.embedding_dim
+            ),
+        )
+        executed = result.attempted_solvers[-1]
+        fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
+        if fallbacks:
+            self.telemetry.record_fallback(plan_.solver, executed)
+        if result.failed:
+            self.telemetry.record_failure(batch.size)
         compute_seconds = result.total_seconds
 
         # Cross-shard traffic: the batch's solution block travels back from
@@ -271,7 +445,7 @@ class SketchServer:
         self.telemetry.record_batch(batch.size, compute_seconds)
         responses = []
         for j, req in enumerate(batch.requests):
-            self.telemetry.record_request(latency)
+            self.telemetry.record_request(latency, solver=executed)
             responses.append(
                 SolveResponse(
                     request_id=req.request_id,
@@ -286,7 +460,15 @@ class SketchServer:
                     kind=batch.kind,
                     solver=batch.solver,
                     method=result.method,
-                    extra={"failed": float(result.failed)},
+                    extra={
+                        "failed": float(result.failed),
+                        "attempted": result.extra.get("attempted", executed),
+                        "planned": plan_.solver,
+                        "cond_estimate": plan_.cond_estimate,
+                    },
+                    policy=self.config.policy,
+                    executed_solver=executed,
+                    fallbacks=fallbacks,
                 )
             )
         return responses
@@ -382,18 +564,18 @@ def naive_solve_loop(
     """
     kind = normalize_kind(kind)
     solver = normalize_solver(solver)
+    registered = get_solver(solver)
     executor = GPUExecutor(device, numeric=numeric, seed=seed, track_memory=False)
     results: List[LeastSquaresResult] = []
     for a, b in traffic:
         a = np.asarray(a)
-        operator = build_operator(
-            kind, a.shape[0], a.shape[1], executor=executor, seed=seed, dtype=a.dtype
-        )
-        if solver == "rand_cholqr":
-            result = rand_cholqr_lstsq(a, b, operator)
-        else:
-            result = sketch_and_solve(a, b, operator)
-        results.append(result)
+        spec = SolveSpec.from_problem(a, np.asarray(b), kind=kind, seed=seed)
+        operator = None
+        if registered.capabilities.needs_sketch:
+            operator = build_operator(
+                kind, a.shape[0], a.shape[1], executor=executor, seed=seed, dtype=a.dtype
+            )
+        results.append(registered.solve(a, b, spec, operator=operator, executor=executor))
     # The loop is sequential on one device: its clock (operator generation
     # included) is the end-to-end simulated time for the whole traffic.
     total = executor.elapsed

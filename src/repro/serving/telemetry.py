@@ -37,6 +37,22 @@ class LatencySummary:
         }
 
 
+def _summarise(latencies: List[float]) -> Optional[LatencySummary]:
+    """Percentile summary of a latency list (None when empty)."""
+    if not latencies:
+        return None
+    arr = np.asarray(latencies, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return LatencySummary(
+        count=arr.size,
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        mean=float(arr.mean()),
+        max=float(arr.max()),
+    )
+
+
 class ServingTelemetry:
     """Accumulates per-request and per-batch measurements for one server."""
 
@@ -44,15 +60,38 @@ class ServingTelemetry:
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
         self._batch_seconds: List[float] = []
+        self._solver_latencies: Dict[str, List[float]] = {}
+        self._fallback_hops: Dict[str, int] = {}
         self.requests_served = 0
         self.sketch_requests = 0
         self.batches_executed = 0
+        self.fallback_batches = 0
+        self.failed_requests = 0
 
     # ------------------------------------------------------------------
-    def record_request(self, latency_seconds: float) -> None:
-        """Record one served solve request's latency."""
+    def record_request(self, latency_seconds: float, solver: Optional[str] = None) -> None:
+        """Record one served solve request's latency.
+
+        ``solver`` (the solver that actually executed, after any planner
+        fallback) additionally lands the latency in that solver's own
+        histogram, so the per-solver p50/p99 the planner's routing produces
+        are directly observable.
+        """
         self._latencies.append(float(latency_seconds))
         self.requests_served += 1
+        if solver:
+            self._solver_latencies.setdefault(solver, []).append(float(latency_seconds))
+
+    def record_fallback(self, from_solver: str, to_solver: str) -> None:
+        """Record one fallback hop a batch took (planned -> executed)."""
+        self._fallback_hops[f"{from_solver}->{to_solver}"] = (
+            self._fallback_hops.get(f"{from_solver}->{to_solver}", 0) + 1
+        )
+        self.fallback_batches += 1
+
+    def record_failure(self, count: int = 1) -> None:
+        """Record requests whose whole fallback chain failed."""
+        self.failed_requests += int(count)
 
     def record_sketch(self, latency_seconds: float) -> None:
         """Record one served sketch request's latency."""
@@ -68,18 +107,19 @@ class ServingTelemetry:
     # ------------------------------------------------------------------
     def latency_summary(self) -> Optional[LatencySummary]:
         """p50/p95/p99 latency over everything served so far (None when idle)."""
-        if not self._latencies:
-            return None
-        arr = np.asarray(self._latencies, dtype=np.float64)
-        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-        return LatencySummary(
-            count=arr.size,
-            p50=float(p50),
-            p95=float(p95),
-            p99=float(p99),
-            mean=float(arr.mean()),
-            max=float(arr.max()),
-        )
+        return _summarise(self._latencies)
+
+    def solver_latency_summary(self, solver: str) -> Optional[LatencySummary]:
+        """Latency percentiles for one executed solver (None if never used)."""
+        return _summarise(self._solver_latencies.get(solver, []))
+
+    def solvers_seen(self) -> List[str]:
+        """Executed-solver names with at least one recorded request."""
+        return list(self._solver_latencies)
+
+    def fallback_counts(self) -> Dict[str, int]:
+        """``"from->to"`` fallback-hop counters."""
+        return dict(self._fallback_hops)
 
     def mean_batch_size(self) -> float:
         """Average fused batch size (0 when no batch ran)."""
@@ -106,6 +146,15 @@ class ServingTelemetry:
         summary = self.latency_summary()
         if summary is not None:
             out.update(summary.as_dict())
+        out["fallback_batches"] = float(self.fallback_batches)
+        out["failed_requests"] = float(self.failed_requests)
+        for solver in self.solvers_seen():
+            s = self.solver_latency_summary(solver)
+            if s is None:
+                continue
+            out[f"solver_{solver}_requests"] = float(s.count)
+            out[f"solver_{solver}_p50_seconds"] = s.p50
+            out[f"solver_{solver}_p99_seconds"] = s.p99
         if makespan_seconds is not None:
             out["makespan_seconds"] = float(makespan_seconds)
             out["requests_per_second"] = self.throughput(makespan_seconds)
@@ -116,6 +165,10 @@ class ServingTelemetry:
         self._latencies.clear()
         self._batch_sizes.clear()
         self._batch_seconds.clear()
+        self._solver_latencies.clear()
+        self._fallback_hops.clear()
         self.requests_served = 0
         self.sketch_requests = 0
         self.batches_executed = 0
+        self.fallback_batches = 0
+        self.failed_requests = 0

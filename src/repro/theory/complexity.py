@@ -110,6 +110,103 @@ def complexity_table(
     return [sketch_complexity(m, d, n, eps) for m in methods]
 
 
+# ---------------------------------------------------------------------------
+# Solver-level cost estimates (used by the planner in repro.linalg.planner)
+# ---------------------------------------------------------------------------
+def solver_complexity(
+    solver: str,
+    d: int,
+    n: int,
+    *,
+    nrhs: int = 1,
+    embedding_dim: Optional[int] = None,
+    sketch_kind: str = "multisketch",
+    iterations: int = 30,
+) -> Dict[str, float]:
+    """Leading-order arithmetic and memory traffic of one least-squares solve.
+
+    This is the planner's a-priori cost model: it combines the Table-1
+    sketching costs with the standard LAPACK flop counts of the dense phases
+    so :func:`repro.linalg.planner.plan` can rank solvers without running
+    them.  Costs are returned as ``{"arithmetic", "read_writes"}`` in flops
+    and scalar loads/stores; the registry converts them to simulated seconds
+    with the device's roofline when an executor is available.
+
+    Parameters
+    ----------
+    solver:
+        One of ``"normal_equations"``, ``"sketch_and_solve"``, ``"qr"``,
+        ``"rand_cholqr"``, ``"sketch_precond_lsqr"``.
+    d, n:
+        Problem dimensions (``A`` is ``d x n``, tall).
+    nrhs:
+        Number of fused right-hand sides.
+    embedding_dim:
+        Sketch output dimension ``k`` (defaults to ``2 n``, the paper's
+        Section-6.2 choice for the subspace-embedding families).
+    sketch_kind:
+        Sketch family used by the sketch-based solvers (affects the
+        ``S A`` application cost via Table 1).
+    iterations:
+        Expected LSQR iteration count for ``sketch_precond_lsqr`` (a few
+        tens, independent of ``kappa(A)``, by the embedding property).
+    """
+    if d <= 0 or n <= 0 or nrhs <= 0:
+        raise ValueError("dimensions and nrhs must be positive")
+    k = float(embedding_dim if embedding_dim is not None else 2 * n)
+    dn = float(d) * n
+    solver_l = solver.lower()
+
+    def sketch_apply_cost() -> float:
+        kind = sketch_kind.lower()
+        if kind in ("countsketch", "count"):
+            return dn  # one pass over A
+        if kind in ("multisketch", "multi", "count_gauss"):
+            return dn + float(n) ** 4  # CountSketch pass + dense second stage
+        if kind == "srht":
+            return dn * max(math.log2(max(n, 2)), 1.0)
+        return 2.0 * dn * k  # dense Gaussian GEMM: (k x d) @ (d x n)
+
+    if solver_l == "normal_equations":
+        arithmetic = 2.0 * dn * n + 2.0 * dn * nrhs + n**3 / 3.0 + 2.0 * float(n) * n * nrhs
+        traffic = dn + float(n) * n + float(d) * nrhs
+    elif solver_l in ("sketch_and_solve", "sketch-and-solve"):
+        arithmetic = (
+            sketch_apply_cost()  # Y = S A
+            + float(d) * nrhs  # z = S b (stream of the RHS block)
+            + 2.0 * k * n * n  # GEQRF on the k x n sketch
+            + 2.0 * k * n * nrhs  # ORMQR on the sketched RHS
+            + float(n) * n * nrhs  # TRSM
+        )
+        traffic = dn + k * n + float(d) * nrhs
+    elif solver_l in ("qr", "qr_solve", "householder_qr"):
+        arithmetic = 2.0 * dn * n + 4.0 * dn * nrhs + float(n) * n * nrhs
+        # Householder QR streams the d x n matrix O(n) times at these shapes
+        # (blocked panel updates), which is what makes it the slow reference.
+        traffic = dn * max(n / 32.0, 1.0) + float(d) * nrhs
+    elif solver_l in ("rand_cholqr", "rand_cholqr_lstsq"):
+        arithmetic = (
+            sketch_apply_cost()
+            + 2.0 * k * n * n  # GEQRF on the sketch
+            + dn * n  # TRSM: A0 = A R0^{-1}
+            + 2.0 * dn * n  # Gram matrix of A0
+            + n**3 / 3.0  # POTRF
+            + 2.0 * dn * nrhs  # Z = A0^T B
+            + 3.0 * float(n) * n * nrhs  # three triangular block solves
+        )
+        traffic = 3.0 * dn + k * n + float(d) * nrhs
+    elif solver_l in ("sketch_precond_lsqr", "sketch_preconditioned_lsqr", "blendenpik", "lsqr"):
+        arithmetic = (
+            sketch_apply_cost()
+            + 2.0 * k * n * n  # GEQRF on the sketch
+            + 4.0 * dn * nrhs * iterations  # two passes over A per iteration
+        )
+        traffic = dn + k * n + 2.0 * dn * iterations
+    else:
+        raise ValueError(f"unknown solver '{solver}'")
+    return {"arithmetic": float(arithmetic), "read_writes": float(traffic)}
+
+
 def gram_matrix_cost(d: int, n: int) -> Dict[str, float]:
     """Arithmetic and traffic of the Gram matrix ``A^T A`` (the paper's baseline)."""
     return {

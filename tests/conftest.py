@@ -8,11 +8,29 @@ setup in every module.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.gpu.device import TEST_DEVICE, H100_SXM5
 from repro.gpu.executor import GPUExecutor
+
+#: Module-name prefixes auto-marked ``planner`` (see pyproject.toml markers);
+#: mirrors the hook in benchmarks/conftest.py so the whole routing subset --
+#: unit and benchmark alike -- runs with ``pytest -m planner``.
+_PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-apply the ``planner`` marker to registry/planner test modules."""
+    for item in items:
+        try:
+            name = pathlib.Path(str(item.fspath)).name
+        except OSError:  # pragma: no cover - defensive
+            continue
+        if name.startswith(_PLANNER_PREFIXES):
+            item.add_marker(pytest.mark.planner)
 
 
 @pytest.fixture

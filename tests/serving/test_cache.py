@@ -19,7 +19,13 @@ D, N = 2048, 16
 class TestKeys:
     def test_key_fields(self):
         key = operator_cache_key("multi", D, N, 32, 7)
-        assert key == ("multisketch", D, N, 32, 7, "<f8")
+        assert key == ("multisketch", D, N, 32, 7, "<f8", "")
+
+    def test_solver_family_partitions_keys(self):
+        base = operator_cache_key("multi", D, N, 32, 7)
+        sas = operator_cache_key("multi", D, N, 32, 7, solver="sketch_and_solve")
+        rcq = operator_cache_key("multi", D, N, 32, 7, solver="rand_cholqr")
+        assert len({base, sas, rcq}) == 3
 
     def test_kind_aliases_normalise(self):
         assert operator_cache_key("count_gauss", D, N, 32, 7) == operator_cache_key(

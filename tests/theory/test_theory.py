@@ -13,6 +13,7 @@ from repro.theory.complexity import (
     crossover_n,
     gram_matrix_cost,
     sketch_complexity,
+    solver_complexity,
 )
 from repro.theory.distortion import (
     measure_pairwise_distortion,
@@ -184,3 +185,41 @@ class TestTable1:
             sketch_complexity("warp", 10, 10)
         with pytest.raises(ValueError):
             crossover_n(eps=0.0)
+
+
+class TestSolverComplexity:
+    """The planner's a-priori cost model (one entry per registered solver)."""
+
+    SOLVERS = ("normal_equations", "sketch_and_solve", "qr", "rand_cholqr",
+               "sketch_precond_lsqr")
+
+    def test_every_registered_solver_has_a_row(self):
+        for solver in self.SOLVERS:
+            cost = solver_complexity(solver, 1 << 17, 64, nrhs=8)
+            assert cost["arithmetic"] > 0 and cost["read_writes"] > 0
+
+    def test_qr_dominates_at_paper_scale(self):
+        d, n = 1 << 22, 256
+        qr = solver_complexity("qr", d, n)
+        sas = solver_complexity("sketch_and_solve", d, n, sketch_kind="multisketch")
+        assert qr["read_writes"] > 5 * sas["read_writes"]
+
+    def test_batched_rhs_amortises_the_factorisation(self):
+        d, n, m = 1 << 20, 128, 16
+        fused = solver_complexity("sketch_and_solve", d, n, nrhs=m)["arithmetic"]
+        single = solver_complexity("sketch_and_solve", d, n, nrhs=1)["arithmetic"]
+        assert fused < 0.5 * m * single
+
+    def test_lsqr_cost_scales_with_iterations(self):
+        base = solver_complexity("sketch_precond_lsqr", 1 << 17, 64, iterations=10)
+        more = solver_complexity("sketch_precond_lsqr", 1 << 17, 64, iterations=100)
+        assert more["arithmetic"] > 5 * base["arithmetic"]
+
+    def test_aliases_and_validation(self):
+        assert solver_complexity("blendenpik", 4096, 16) == solver_complexity(
+            "sketch_precond_lsqr", 4096, 16
+        )
+        with pytest.raises(ValueError):
+            solver_complexity("conjugate_gradient", 4096, 16)
+        with pytest.raises(ValueError):
+            solver_complexity("qr", 4096, 16, nrhs=0)
