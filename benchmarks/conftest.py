@@ -25,6 +25,9 @@ _BENCH_DIR = pathlib.Path(__file__).parent.resolve()
 #: (kept in sync with the marker description in pyproject.toml).
 _PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
 
+#: Module-name prefixes that carry the ``streaming`` marker automatically.
+_STREAMING_PREFIXES = ("test_streaming",)
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -32,8 +35,9 @@ def pytest_collection_modifyitems(items):
     This is what lets the unit suite run in isolation with
     ``pytest -m "not benchmark"`` without repeating the marker in every
     module (modules can still add further markers such as ``serving``).
-    Registry / routing modules additionally get the ``planner`` marker so
-    ``-m planner`` runs the whole routing subset in one go.
+    Registry / routing modules additionally get the ``planner`` marker and
+    online-engine modules the ``streaming`` marker, so ``-m planner`` /
+    ``-m streaming`` each run their whole subset in one go.
     """
     for item in items:
         try:
@@ -44,6 +48,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.benchmark)
         if path.name.startswith(_PLANNER_PREFIXES):
             item.add_marker(pytest.mark.planner)
+        if path.name.startswith(_STREAMING_PREFIXES):
+            item.add_marker(pytest.mark.streaming)
 
 
 def accuracy_scale() -> str:

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Online sketch-and-solve under drift: ingest, detect, reset, recover.
+
+A regression model is kept fresh over a row stream whose ground-truth
+coefficients jump halfway through (a piecewise-stationary stream).  The
+StreamingSolver never stores the stream -- only the hashed-CountSketch
+summary of its window -- yet:
+
+* each arriving batch costs O(batch * n) to fold in, independent of how
+  many rows have streamed past;
+* the drift detector notices the shift from the batches' out-of-sample
+  residuals, resets the window, and re-solves through the adaptive planner;
+* queries between re-solves are free (the solution is cached until the
+  window changes).
+
+Run:  PYTHONPATH=src python examples/streaming_drift.py
+"""
+
+import numpy as np
+
+from repro.streaming import StreamingSolver
+from repro.workloads.streams import piecewise_stationary_stream
+
+N = 16          # features
+BATCH = 256     # rows per arriving batch
+SEGMENT = 4096  # rows per stationary regime
+
+
+def main() -> None:
+    stream = piecewise_stationary_stream(
+        N, rows_per_segment=SEGMENT, n_segments=2, batch_size=BATCH,
+        noise_std=0.05, seed=7,
+    )
+    x_before, x_after = stream.segment_truths
+    print(f"stream: {stream.total_rows} rows, coefficient shift at row "
+          f"{stream.change_points[0]} (|x_new - x_old| = "
+          f"{np.linalg.norm(x_after - x_before):.2f})")
+    print()
+
+    engine = StreamingSolver(N, mode="landmark", policy="cheapest_accurate", seed=0)
+    for i, batch in enumerate(stream):
+        report = engine.ingest(batch.rows, batch.targets)
+        marker = ""
+        if report.drift is not None:
+            marker = f"  <-- DRIFT ({report.drift.kind}): window reset + re-solve"
+        if i % 4 == 0 or report.drift is not None:
+            resid = report.batch_residual
+            shown = f"{resid:.3f}" if np.isfinite(resid) else "  n/a"
+            print(f"  batch {i:2d} (segment {batch.segment}): "
+                  f"out-of-sample residual {shown}{marker}")
+
+    sol = engine.solution()
+    err = np.linalg.norm(sol.x - x_after) / np.linalg.norm(x_after)
+    stats = engine.stats()
+    print()
+    print(f"final model (served by '{sol.executed_solver}', "
+          f"planned '{sol.planned_solver}', chain {'->'.join(sol.attempted)}):")
+    print(f"  coefficient error vs post-shift truth : {err:.3e}")
+    print(f"  window residual                       : {sol.relative_residual:.3e}")
+    print(f"  drift events / re-solves              : "
+          f"{int(stats['drift_events'])} / {int(stats['resolve_count'])}")
+    print(f"  simulated ingest rate                 : "
+          f"{stats['ingest_rows_per_second']:.2e} rows/s (H100 cost model)")
+    print()
+    print("The stream was never materialised: every batch was folded into the")
+    print("k x (n+1) window sketch, the detector caught the regime change from")
+    print("residual energy alone, and the re-solve routed through the planner.")
+
+
+if __name__ == "__main__":
+    main()

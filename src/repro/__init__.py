@@ -28,6 +28,12 @@ The package is organised as:
   operators across requests (LRU, keyed on ``(kind, d, n, k, seed, dtype)``),
   spreads batches over a pool of simulated GPU shards and reports
   p50/p95/p99 latency and throughput.
+* :mod:`repro.streaming` -- the online engine: a
+  :class:`~repro.streaming.solver.StreamingSolver` maintains the hashed
+  CountSketch of a sliding / landmark / decayed window over a row stream,
+  detects drift from residual energy and condition probes, and lazily
+  re-solves the window through the planner; ``SketchServer.open_stream``
+  serves it.
 
 Quick start::
 
@@ -79,6 +85,7 @@ from repro.linalg import (
     solve,
 )
 from repro.serving import (
+    IngestReport,
     MicroBatcher,
     OperatorCache,
     ServerConfig,
@@ -86,10 +93,18 @@ from repro.serving import (
     ShardScheduler,
     SketchServer,
     SolveResponse,
+    StreamSolutionResponse,
     naive_solve_loop,
 )
+from repro.streaming import (
+    DriftDetector,
+    DriftDetectorConfig,
+    DriftEvent,
+    StreamingSolution,
+    StreamingSolver,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CountSketch",
@@ -126,6 +141,13 @@ __all__ = [
     "ShardScheduler",
     "SketchServer",
     "SolveResponse",
+    "IngestReport",
+    "StreamSolutionResponse",
     "naive_solve_loop",
+    "DriftDetector",
+    "DriftDetectorConfig",
+    "DriftEvent",
+    "StreamingSolution",
+    "StreamingSolver",
     "__version__",
 ]

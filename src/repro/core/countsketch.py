@@ -282,15 +282,21 @@ class StreamingCountSketch(SketchOperator):
         """Consume a batch of rows ``A[row_indices, :]`` from the stream.
 
         ``rows`` may be ``None`` in analytic mode; otherwise it must have one
-        row per index.
+        row per index.  An empty batch is a clean no-op: nothing is hashed
+        and no kernel is launched.
         """
         if self._accumulator is None:
             raise RuntimeError("call begin() before update()")
-        idx = np.asarray(list(row_indices), dtype=np.int64)
+        if isinstance(row_indices, np.ndarray):
+            idx = row_indices.astype(np.int64, copy=False).ravel()
+        else:
+            idx = np.fromiter(row_indices, dtype=np.int64)
+        batch = idx.shape[0]
+        if batch == 0:
+            return
         if np.any(idx < 0) or np.any(idx >= self._d):
             raise ValueError("row indices out of range")
         n = self._accumulator.shape[1]
-        batch = idx.shape[0]
         self._rows_seen += batch
 
         if self._ex.numeric and rows is not None and self._accumulator.is_numeric:
@@ -314,12 +320,97 @@ class StreamingCountSketch(SketchOperator):
             )
         )
 
+    @property
+    def rows_seen(self) -> int:
+        """Rows consumed by the current pass (0 outside a pass)."""
+        return self._rows_seen
+
+    def merge_from(self, other: "StreamingCountSketch") -> None:
+        """Fold another in-progress pass into this one (sketch linearity).
+
+        The hashed row map and signs are pure functions of the global row
+        index and the seed, so for two passes over *disjoint* row sets the
+        sum of their accumulators is exactly the sketch of the union.  This
+        is the merge hook the sliding-window streaming engine uses to
+        combine its ring of sub-sketches on demand; one pass over both
+        ``k x n`` accumulators is charged.
+        """
+        if self._accumulator is None or other._accumulator is None:
+            raise RuntimeError("both sketches must be mid-pass to merge")
+        if (self._k, self._hash_seed, self._dtype) != (
+            other._k,
+            other._hash_seed,
+            other._dtype,
+        ):
+            raise ValueError("can only merge sketches with identical hashed state")
+        if self._accumulator.shape != other._accumulator.shape:
+            raise ValueError("can only merge sketches with equal column counts")
+        if self._accumulator.is_numeric != other._accumulator.is_numeric:
+            # Adding rows_seen without adding data (or vice versa) would
+            # leave a sketch that claims rows it does not contain.
+            raise ValueError("cannot merge numeric and analytic sketch passes")
+        if self._accumulator.is_numeric:
+            self._accumulator.data += other._accumulator.data
+        self._rows_seen += other._rows_seen
+        k, n = self._accumulator.shape
+        itemsize = self._dtype.itemsize
+        self._ex.launch(
+            KernelRequest(
+                name="countsketch_stream_merge",
+                kclass=KernelClass.STREAM,
+                bytes_read=2.0 * k * n * itemsize,
+                bytes_written=float(k) * n * itemsize,
+                flops=float(k) * n,
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
+    def scale(self, alpha: float) -> None:
+        """Scale the accumulated sketch in place (exponential-decay hook).
+
+        ``S`` is linear, so scaling the accumulator is the same as scaling
+        every row consumed so far -- which is how the decay-weighted
+        streaming engine down-weights history before folding a new batch in.
+        """
+        if self._accumulator is None:
+            raise RuntimeError("call begin() before scale()")
+        if self._ex.numeric and self._accumulator.is_numeric:
+            self._accumulator.data *= float(alpha)
+        k, n = self._accumulator.shape
+        itemsize = self._dtype.itemsize
+        self._ex.launch(
+            KernelRequest(
+                name="countsketch_stream_scale",
+                kclass=KernelClass.STREAM,
+                bytes_read=float(k) * n * itemsize,
+                bytes_written=float(k) * n * itemsize,
+                flops=float(k) * n,
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
+    def snapshot(self) -> Optional[np.ndarray]:
+        """Host copy of the accumulator without closing the pass.
+
+        Returns ``None`` in analytic mode (there is no numeric state).  The
+        streaming engine reads this at every lazy re-solve; the pass keeps
+        accepting :meth:`update` calls afterwards.
+        """
+        if self._accumulator is None:
+            raise RuntimeError("no streaming pass in progress")
+        if not (self._ex.numeric and self._accumulator.is_numeric):
+            return None
+        return self._accumulator.to_host()
+
     def result(self) -> DeviceArray:
         """Finish the streaming pass and return the accumulated sketch."""
         if self._accumulator is None:
             raise RuntimeError("no streaming pass in progress")
         out = self._accumulator
         self._accumulator = None
+        self._rows_seen = 0
         return out
 
     # ------------------------------------------------------------------

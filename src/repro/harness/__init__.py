@@ -29,6 +29,7 @@ from repro.harness.experiments import (
     section7_distributed,
     serving_throughput,
     solver_policy,
+    streaming_drift,
 )
 from repro.harness.report import format_table, render_figure_rows, render_breakdown_rows
 
@@ -52,6 +53,7 @@ __all__ = [
     "section7_distributed",
     "serving_throughput",
     "solver_policy",
+    "streaming_drift",
     "format_table",
     "render_figure_rows",
     "render_breakdown_rows",

@@ -28,7 +28,12 @@ from repro.gpu.executor import GPUExecutor
 from repro.gpu.memory import DeviceOutOfMemoryError
 from repro.harness.metrics import percent_of_peak_bandwidth, percent_of_peak_flops, speedup
 from repro.harness.runner import SweepConfig, average_breakdowns
-from repro.linalg.lstsq import normal_equations, qr_solve, sketch_and_solve
+from repro.linalg.lstsq import (
+    normal_equations,
+    qr_solve,
+    relative_residual,
+    sketch_and_solve,
+)
 from repro.linalg.rand_cholqr import rand_cholqr_lstsq
 from repro.theory.complexity import complexity_table
 from repro.workloads.least_squares import (
@@ -582,6 +587,92 @@ def solver_policy(
         else:
             rows.append(serve(policy, "sketch_and_solve"))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Streaming: drift detection + re-solve vs an open-loop baseline
+# ---------------------------------------------------------------------------
+def streaming_drift(
+    n: int = 16,
+    *,
+    rows_per_segment: int = 4096,
+    batch_size: int = 256,
+    noise_std: float = 0.05,
+    shift_scale: float = 2.0,
+    mode: str = "landmark",
+    policy: str = "cheapest_accurate",
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Streaming experiment: does drift detection keep the model fresh?
+
+    One piecewise-stationary stream (two segments, abrupt coefficient shift
+    at the boundary) is ingested twice through
+    :class:`~repro.streaming.solver.StreamingSolver`:
+
+    * ``"detector"`` -- drift detection on: a residual-energy firing resets
+      the window and eagerly re-solves, so the post-shift model reflects the
+      new regime;
+    * ``"baseline"`` -- detection off: the landmark window keeps
+      accumulating both regimes and the solution degrades.
+
+    Both engines are scored out-of-sample: every batch is first tested
+    against the engine's *current* solution (refreshed by a lazy query each
+    batch), then ingested.  Returns one row per configuration with mean
+    pre-/post-shift batch residuals, re-solve and drift counts, and the
+    simulated ingest rate -- the input to
+    ``benchmarks/test_streaming.py``'s recovery assertions.
+    """
+    from repro.streaming import StreamingSolver
+    from repro.workloads.streams import piecewise_stationary_stream
+
+    stream = piecewise_stationary_stream(
+        n,
+        rows_per_segment=rows_per_segment,
+        n_segments=2,
+        batch_size=batch_size,
+        noise_std=noise_std,
+        shift_scale=shift_scale,
+        seed=seed,
+    )
+
+    def run(detector: bool) -> Dict[str, float]:
+        engine = StreamingSolver(
+            n, mode=mode, policy=policy, seed=seed, detector=detector
+        )
+        pre_shift: List[float] = []
+        post_shift: List[float] = []
+        query_every = 4  # a consumer polling the model at a fixed cadence
+        for i, batch in enumerate(stream):
+            # ingest() scores each batch out-of-sample against the solution
+            # being served *before* folding it in -- the freshness metric.
+            report = engine.ingest(batch.rows, batch.targets)
+            if np.isfinite(report.batch_residual):
+                (post_shift if batch.segment > 0 else pre_shift).append(
+                    float(report.batch_residual)
+                )
+            if (i + 1) % query_every == 0:
+                engine.solution()
+        final = engine.solution()
+        stats = engine.stats()
+        # Recovery: the final model scored on the last (post-shift) batch.
+        last = stream.batches[-1]
+        final_resid = relative_residual(last.rows, last.targets, final.x)
+        return {
+            "config": "detector" if detector else "baseline",
+            "n": n,
+            "batches": len(stream),
+            "mean_pre_shift_residual": float(np.mean(pre_shift)) if pre_shift else math.nan,
+            "mean_post_shift_residual": float(np.mean(post_shift)) if post_shift else math.nan,
+            "final_residual": final_resid,
+            "resolves": stats["resolve_count"],
+            "drift_events": stats["drift_events"],
+            "drift_resolves": stats["drift_resolves"],
+            "ingest_rows_per_second": stats["ingest_rows_per_second"],
+            "executed_solver": final.executed_solver,
+            "attempted": "->".join(final.attempted),
+        }
+
+    return [run(True), run(False)]
 
 
 # ---------------------------------------------------------------------------

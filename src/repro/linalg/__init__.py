@@ -37,6 +37,7 @@ from repro.linalg.conditioning import (
     condition_number,
     estimate_condition,
 )
+from repro.linalg.incremental import OperatorRefresher
 from repro.linalg.iterative import (
     sketch_preconditioned_lsqr,
     sketch_precond_lsqr,
@@ -76,6 +77,7 @@ __all__ = [
     "matrix_with_condition",
     "condition_number",
     "estimate_condition",
+    "OperatorRefresher",
     "sketch_preconditioned_lsqr",
     "sketch_precond_lsqr",
     "IterativeSolveInfo",

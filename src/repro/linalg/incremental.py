@@ -1,0 +1,92 @@
+"""Incremental refresh of sketched solver factors across repeated solves.
+
+A one-shot solve builds its sketch operator, uses it, and lets it go; an
+*online* solver re-solves the same-shaped window over and over, and
+rebuilding the operator each time re-pays "Sketch gen" (the dense Gaussian
+second stage of a multisketch, the SRHT sign/sample vectors, CSR assembly)
+for state that is a pure function of ``(kind, d, n, k, seed, dtype)``.
+
+:class:`OperatorRefresher` is the fix at the linalg layer: a tiny
+version-free cache that hands :func:`repro.linalg.planner.execute_plan` an
+``operator_provider`` whose operators persist across re-solves on one
+executor.  A refresh happens exactly when the requested factor identity
+changes (different solver family, window shape, embedding dimension or
+seed); otherwise the cached operator -- generated state and all -- is
+reused, so consecutive re-solves of a streaming window charge the sketch
+application but never the generation again.
+
+This is the streaming counterpart of the serving layer's
+:class:`~repro.serving.cache.OperatorCache`: same key contract
+(:meth:`repro.core.base.SketchOperator.cache_key`), but scoped to one
+engine and one executor instead of a sharded pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.base import SketchOperator
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.registry import SolveSpec, get_solver
+
+__all__ = ["OperatorRefresher"]
+
+
+class OperatorRefresher:
+    """Per-engine cache of the sketch operators repeated solves need.
+
+    Parameters
+    ----------
+    executor:
+        The executor every cached operator is bound to (the streaming
+        engine's shard executor).  Operators built here charge their
+        generation to this executor exactly once.
+    """
+
+    def __init__(self, executor: GPUExecutor) -> None:
+        self._executor = executor
+        self._operators: Dict[Tuple, SketchOperator] = {}
+        self.refreshes = 0
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def _key(self, solver_name: str, spec: SolveSpec) -> Tuple:
+        return (
+            solver_name,
+            spec.kind,
+            spec.d,
+            spec.n,
+            spec.embedding_dim,
+            spec.seed,
+        )
+
+    def operator_for(self, solver_name: str, spec: SolveSpec) -> Optional[SketchOperator]:
+        """The (cached or freshly built) operator ``solver_name`` needs for ``spec``.
+
+        Returns ``None`` for solvers that declare no sketch (QR, normal
+        equations), so the result can be passed straight through a plan's
+        fallback chain.
+        """
+        registered = get_solver(solver_name)
+        if not registered.capabilities.needs_sketch:
+            return None
+        key = self._key(registered.name, spec)
+        operator = self._operators.get(key)
+        if operator is not None:
+            self.reuses += 1
+            return operator
+        operator = registered.build_operator(spec, executor=self._executor)
+        operator.generate()
+        self._operators[key] = operator
+        self.refreshes += 1
+        return operator
+
+    def provider(self, spec: SolveSpec):
+        """An ``operator_provider`` for :func:`repro.linalg.planner.execute_plan`."""
+        return lambda solver_name: self.operator_for(solver_name, spec)
+
+    def invalidate(self) -> None:
+        """Drop every cached operator (e.g. after a window-geometry change)."""
+        self._operators.clear()

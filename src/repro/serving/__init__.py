@@ -18,8 +18,13 @@ sketch operators and solvers into such a service:
   (cache-affinity first, least-loaded otherwise) and charges cross-shard
   traffic with the Section-7 alpha-beta model.
 * :class:`~repro.serving.telemetry.ServingTelemetry` -- p50/p95/p99 latency,
-  throughput, batch-size, hit-rate, per-solver histogram and fallback-count
-  reporting.
+  throughput, batch-size, hit-rate, per-solver histogram, fallback-count and
+  streaming-session reporting.
+* :mod:`repro.serving.streaming` -- streaming sessions
+  (``SketchServer.open_stream`` / ``append_rows`` / ``query_solution`` /
+  ``close_stream``): a :class:`~repro.streaming.solver.StreamingSolver` per
+  session, pinned to a shard, its window-sketch operator session-keyed in
+  the operator cache, with per-session ingest/staleness/re-solve telemetry.
 
 Every batch dispatches through the solver registry
 (:mod:`repro.linalg.registry`): ``ServerConfig(policy=...)`` selects
@@ -59,6 +64,13 @@ from repro.serving.requests import (
 )
 from repro.serving.scheduler import ShardScheduler
 from repro.serving.server import ServerConfig, SketchServer, naive_solve_loop
+from repro.serving.streaming import (
+    IngestReport,
+    StreamSession,
+    StreamSolutionResponse,
+    StreamingSessionManager,
+    stream_session_cache_key,
+)
 from repro.serving.telemetry import LatencySummary, ServingTelemetry
 
 __all__ = [
@@ -80,6 +92,11 @@ __all__ = [
     "ServerConfig",
     "SketchServer",
     "naive_solve_loop",
+    "IngestReport",
+    "StreamSession",
+    "StreamSolutionResponse",
+    "StreamingSessionManager",
+    "stream_session_cache_key",
     "LatencySummary",
     "ServingTelemetry",
 ]

@@ -221,6 +221,19 @@ class OperatorCache:
         """Look up without touching the stats or the LRU order (for tests)."""
         return self._entries.get(key)
 
+    def touch(self, key: Tuple) -> bool:
+        """Refresh an entry's LRU position without counting a hit or miss.
+
+        The streaming layer calls this on every session ingest: a live
+        session's operator stays warm for as long as rows keep arriving,
+        without its keep-alives distorting the request-path hit rate.
+        Returns whether the entry was present.
+        """
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
     def put(self, key: Tuple, entry: CacheEntry) -> CacheEntry:
         """Insert an entry, evicting the least recently used one if full."""
         if key in self._entries:
@@ -232,6 +245,15 @@ class OperatorCache:
             self.stats.evictions += 1
         self._entries[key] = entry
         return entry
+
+    def discard(self, key: Tuple) -> bool:
+        """Drop one entry without touching the stats; returns whether it existed.
+
+        Used by the streaming layer when a session closes: session-keyed
+        operators are pinned for the session's lifetime only and must not
+        linger as dead LRU weight afterwards.
+        """
+        return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every cached operator (stats are kept)."""

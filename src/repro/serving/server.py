@@ -53,6 +53,11 @@ from repro.serving.requests import (
     normalize_solver,
 )
 from repro.serving.scheduler import ShardScheduler
+from repro.serving.streaming import (
+    IngestReport,
+    StreamingSessionManager,
+    StreamSolutionResponse,
+)
 from repro.serving.telemetry import ServingTelemetry
 
 
@@ -152,6 +157,7 @@ class SketchServer:
         self.cache = OperatorCache(capacity=config.cache_capacity)
         self.telemetry = ServingTelemetry()
         self._batcher = MicroBatcher(max_batch=config.max_batch)
+        self.streams = StreamingSessionManager(self)
         self._next_id = 0
         # Conditioning probes are pure functions of the matrix; memoise them
         # per live matrix object (weakly referenced -- see _cond_estimate)
@@ -488,6 +494,34 @@ class SketchServer:
         return float(result.column_residuals[j])
 
     # ------------------------------------------------------------------
+    # streaming sessions (see repro.serving.streaming)
+    # ------------------------------------------------------------------
+    def open_stream(self, n: int, **options) -> int:
+        """Open a streaming session for ``n``-column rows; returns its id.
+
+        Options (``mode``, ``window_buckets``, ``bucket_rows``, ``decay``,
+        ``policy``, ``accuracy_target``, ``latency_budget``, ``detector``,
+        ``k``, ``seed``) are
+        forwarded to :meth:`repro.serving.streaming.StreamingSessionManager.open`;
+        unset routing options inherit the server config.  The session's
+        engine runs on a scheduler-chosen shard and its window-sketch
+        operator is pinned in the operator cache under a session key.
+        """
+        return self.streams.open(n, **options)
+
+    def append_rows(self, session_id: int, rows: np.ndarray, targets: np.ndarray) -> IngestReport:
+        """Fold one arriving batch of rows into a session's window sketch."""
+        return self.streams.append(session_id, rows, targets)
+
+    def query_solution(self, session_id: int) -> StreamSolutionResponse:
+        """Serve a session's current solution (lazily re-solved when stale)."""
+        return self.streams.query(session_id)
+
+    def close_stream(self, session_id: int) -> Dict[str, float]:
+        """Close a session and return its final per-session statistics."""
+        return self.streams.close(session_id)
+
+    # ------------------------------------------------------------------
     def sketch(self, a: np.ndarray, *, kind: Optional[str] = None) -> SketchResponse:
         """Serve a ``sketch(A)`` request: return ``S A`` for the cached operator."""
         a = np.asarray(a)
@@ -539,6 +573,7 @@ class SketchServer:
         out["comm_seconds"] = self.scheduler.comm_seconds()
         out["comm_bytes"] = self.scheduler.comm_bytes()
         out["shards"] = float(self.pool.size)
+        out["open_streams"] = float(len(self.streams))
         for i, load in enumerate(self.pool.loads()):
             out[f"shard{i}_busy_seconds"] = load
         return out

@@ -1,0 +1,273 @@
+"""Streaming sessions on the :class:`~repro.serving.server.SketchServer`.
+
+Batch requests hand the server a whole problem; a *streaming session* hands
+it a stream.  ``open_stream`` pins a :class:`~repro.streaming.solver.StreamingSolver`
+to a shard (chosen by the same scheduler that places batches),
+``append_rows`` folds arriving batches into the session's window sketch on
+that shard's simulated clock, ``query_solution`` serves the lazily re-solved
+window solution (planner-routed, fallback chains and all), and
+``close_stream`` returns the session's final statistics.
+
+Session state is *session-keyed in the operator cache*: the window sketch
+operator is registered under a cache key whose solver field is
+``"stream-session:<id>"``, so live sessions are visible in cache stats next
+to the batch operators, a session's operator can never be confused with
+batch traffic of the same shape, and closing the session removes exactly
+its own entry (:meth:`~repro.serving.cache.OperatorCache.discard`).
+
+Per-session telemetry (rows/sec ingest, re-solve counts, staleness at query
+time, drift events) lands both on the session's own stats and in the
+server-wide :class:`~repro.serving.telemetry.ServingTelemetry` snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.cache import CacheEntry, operator_cache_key
+from repro.streaming.drift import DriftEvent
+from repro.streaming.solver import IngestReport, StreamingSolver
+from repro.streaming.state import STREAM_CAPACITY
+
+__all__ = [
+    "IngestReport",
+    "StreamSession",
+    "StreamSolutionResponse",
+    "StreamingSessionManager",
+    "stream_session_cache_key",
+]
+
+
+def stream_session_cache_key(session_id: int, n: int, k: int, seed: int, dtype=np.float64) -> Tuple:
+    """Operator-cache key pinning one session's window sketch.
+
+    Reuses :func:`~repro.serving.cache.operator_cache_key` with the solver
+    field carrying the session identity, so session entries live in the same
+    LRU as batch operators but can never alias them.
+    """
+    return operator_cache_key(
+        "countsketch",
+        STREAM_CAPACITY,
+        n,
+        k,
+        seed,
+        dtype,
+        solver=f"stream-session:{session_id}",
+    )
+
+
+@dataclass
+class StreamSession:
+    """One live streaming session: its engine, shard binding and counters."""
+
+    session_id: int
+    solver: StreamingSolver
+    shard: int
+    cache_key: Tuple
+    queries: int = 0
+
+    def stats(self) -> Dict[str, float]:
+        """The session's own telemetry (engine counters plus serving keys)."""
+        out = self.solver.stats()
+        out["session_id"] = float(self.session_id)
+        out["shard"] = float(self.shard)
+        out["queries"] = float(self.queries)
+        return out
+
+
+@dataclass
+class StreamSolutionResponse:
+    """Answer to one ``query_solution`` request.
+
+    ``staleness_rows`` is how many rows arrived after the solve that
+    produced ``x`` (0 right after a re-solve); ``resolved`` says whether
+    this query itself triggered the lazy re-solve.  ``attempted`` is the
+    planner's executed chain, so drift-triggered fallback behaviour is
+    observable per query exactly as in batch serving.
+    """
+
+    session_id: int
+    x: Optional[np.ndarray]
+    relative_residual: float
+    planned_solver: str
+    executed_solver: str
+    attempted: Tuple[str, ...]
+    fallbacks: int
+    cond_estimate: float
+    trigger: str
+    window_rows: int
+    staleness_rows: int
+    resolved: bool
+    simulated_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    shard: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class StreamingSessionManager:
+    """Owns every live :class:`StreamSession` of one server."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._sessions: Dict[int, StreamSession] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: int) -> bool:
+        return session_id in self._sessions
+
+    def _get(self, session_id: int) -> StreamSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown or closed streaming session {session_id}")
+        return session
+
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        n: int,
+        *,
+        mode: str = "sliding",
+        k: Optional[int] = None,
+        bucket_rows: int = 1024,
+        window_buckets: int = 4,
+        decay: float = 0.999,
+        policy: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
+        detector=True,
+        seed: Optional[int] = None,
+    ) -> int:
+        """Open a session; returns its id (the server's request-id stream)."""
+        server = self._server
+        config = server.config
+        if policy is None:
+            # A fixed-policy server still streams adaptively: streaming
+            # exists to re-route when windows drift.
+            policy = config.policy if config.policy != "fixed" else "cheapest_accurate"
+        shard = server.scheduler.place()
+        solver = StreamingSolver(
+            n,
+            k=k,
+            mode=mode,
+            bucket_rows=bucket_rows,
+            window_buckets=window_buckets,
+            decay=decay,
+            policy=policy,
+            accuracy_target=(
+                accuracy_target if accuracy_target is not None else config.accuracy_target
+            ),
+            latency_budget=(
+                latency_budget if latency_budget is not None else config.latency_budget
+            ),
+            oversampling=config.oversampling,
+            seed=seed if seed is not None else config.seed,
+            detector=detector,
+            executor=server.pool[shard],
+        )
+        session_id = server._next_id
+        server._next_id += 1
+        key = stream_session_cache_key(session_id, n + 1, solver.k, solver.seed)
+        server.cache.put(key, CacheEntry(operator=solver.state.operator, shard=shard))
+        session = StreamSession(session_id=session_id, solver=solver, shard=shard, cache_key=key)
+        self._sessions[session_id] = session
+        server.telemetry.record_stream_open()
+        return session_id
+
+    # ------------------------------------------------------------------
+    def append(self, session_id: int, rows: np.ndarray, targets: np.ndarray) -> IngestReport:
+        """Fold one arriving batch into the session's window sketch."""
+        session = self._get(session_id)
+        report = session.solver.ingest(rows, targets)
+        self._refresh_cache_entry(session)
+        telemetry = self._server.telemetry
+        telemetry.record_stream_ingest(report.rows, report.simulated_seconds)
+        if report.drift is not None:
+            telemetry.record_stream_drift()
+        if report.resolved:
+            telemetry.record_stream_resolve(seconds=report.resolve_seconds)
+        return report
+
+    def _refresh_cache_entry(self, session: StreamSession) -> None:
+        """Keep the session's cache entry warm and pointing at a live sketch.
+
+        Two things can go stale between ingests: LRU pressure from batch
+        traffic can evict the session key (it is never ``get()``'d on the
+        request path), and a sliding ring's rotation or a drift reset can
+        retire the sketch object the entry was built from.  Every ingest
+        therefore re-pins the key and re-points the entry at the state's
+        current live sketch (same hashed identity, so the entry's
+        ``state_key`` contract is untouched).
+        """
+        cache = self._server.cache
+        entry = cache.peek(session.cache_key)
+        if entry is None:
+            cache.put(
+                session.cache_key,
+                CacheEntry(operator=session.solver.state.operator, shard=session.shard),
+            )
+            return
+        entry.operator = session.solver.state.operator
+        cache.touch(session.cache_key)
+
+    # ------------------------------------------------------------------
+    def query(self, session_id: int) -> StreamSolutionResponse:
+        """Serve the session's current solution (lazy re-solve if stale)."""
+        session = self._get(session_id)
+        server = self._server
+        solver = session.solver
+        resolves_before = solver.resolve_count
+        solution = solver.solution()
+        resolved = solver.resolve_count > resolves_before
+        compute_seconds = solution.simulated_seconds if resolved else 0.0
+        if resolved:
+            server.telemetry.record_stream_resolve(seconds=compute_seconds)
+        # The solution vector travels back from the shard to the front end.
+        x_bytes = float(solver.n) * np.dtype(np.float64).itemsize
+        comm_seconds = server.scheduler.charge_transfer("stream_solution", x_bytes)
+        session.queries += 1
+        server.telemetry.record_stream_query(solution.staleness_rows)
+        return StreamSolutionResponse(
+            session_id=session_id,
+            x=solution.x,
+            relative_residual=solution.relative_residual,
+            planned_solver=solution.planned_solver,
+            executed_solver=solution.executed_solver,
+            attempted=solution.attempted,
+            fallbacks=solution.fallbacks,
+            cond_estimate=solution.cond_estimate,
+            trigger=solution.trigger,
+            window_rows=solution.window_rows,
+            staleness_rows=solution.staleness_rows,
+            resolved=resolved,
+            simulated_seconds=compute_seconds + comm_seconds,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            shard=session.shard,
+            extra={
+                "failed": float(solution.failed),
+                "attempted": "->".join(solution.attempted),
+                "policy": solution.policy,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def close(self, session_id: int) -> Dict[str, float]:
+        """Close a session, unpin its cache entry, return its final stats."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise KeyError(f"unknown or closed streaming session {session_id}")
+        stats = session.stats()
+        self._server.cache.discard(session.cache_key)
+        self._server.telemetry.record_stream_close()
+        return stats
+
+    # ------------------------------------------------------------------
+    def session(self, session_id: int) -> StreamSession:
+        """The live session object (for tests and introspection)."""
+        return self._get(session_id)

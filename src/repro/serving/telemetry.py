@@ -67,6 +67,16 @@ class ServingTelemetry:
         self.batches_executed = 0
         self.fallback_batches = 0
         self.failed_requests = 0
+        # Streaming-session counters (see repro.serving.streaming).
+        self.streams_opened = 0
+        self.streams_closed = 0
+        self.stream_rows = 0
+        self.stream_batches = 0
+        self.stream_resolves = 0
+        self.stream_drift_events = 0
+        self.stream_ingest_seconds = 0.0
+        self.stream_resolve_seconds = 0.0
+        self._stream_staleness: List[float] = []
 
     # ------------------------------------------------------------------
     def record_request(self, latency_seconds: float, solver: Optional[str] = None) -> None:
@@ -103,6 +113,53 @@ class ServingTelemetry:
         self._batch_sizes.append(int(size))
         self._batch_seconds.append(float(seconds))
         self.batches_executed += 1
+
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def record_stream_open(self) -> None:
+        """Record one opened streaming session."""
+        self.streams_opened += 1
+
+    def record_stream_close(self) -> None:
+        """Record one closed streaming session."""
+        self.streams_closed += 1
+
+    def record_stream_ingest(self, rows: int, seconds: float) -> None:
+        """Record one ingested batch (row count and simulated ingest time)."""
+        self.stream_batches += 1
+        self.stream_rows += int(rows)
+        self.stream_ingest_seconds += float(seconds)
+
+    def record_stream_resolve(self, count: int = 1, seconds: float = 0.0) -> None:
+        """Record streaming re-solves (lazy query or drift triggered).
+
+        ``seconds`` is the re-solve's simulated compute time, so eager
+        (drift/warmup) solves inside an ingest are costed the same way as
+        query-time ones instead of vanishing from the accounting.
+        """
+        self.stream_resolves += int(count)
+        self.stream_resolve_seconds += float(seconds)
+
+    def record_stream_drift(self, count: int = 1) -> None:
+        """Record drift-detector firings across all sessions."""
+        self.stream_drift_events += int(count)
+
+    def record_stream_query(self, staleness_rows: int) -> None:
+        """Record one solution query and the staleness it was served at."""
+        self._stream_staleness.append(float(staleness_rows))
+
+    def stream_ingest_rows_per_second(self) -> float:
+        """Sustained ingest rate over all sessions (simulated seconds)."""
+        if self.stream_ingest_seconds <= 0.0:
+            return 0.0
+        return self.stream_rows / self.stream_ingest_seconds
+
+    def stream_mean_staleness(self) -> float:
+        """Average rows-behind-the-stream at query time (0 when no queries)."""
+        if not self._stream_staleness:
+            return 0.0
+        return float(np.mean(self._stream_staleness))
 
     # ------------------------------------------------------------------
     def latency_summary(self) -> Optional[LatencySummary]:
@@ -148,6 +205,17 @@ class ServingTelemetry:
             out.update(summary.as_dict())
         out["fallback_batches"] = float(self.fallback_batches)
         out["failed_requests"] = float(self.failed_requests)
+        if self.streams_opened or self.streams_closed or self.stream_batches:
+            out["streams_opened"] = float(self.streams_opened)
+            out["streams_closed"] = float(self.streams_closed)
+            out["stream_rows_ingested"] = float(self.stream_rows)
+            out["stream_batches"] = float(self.stream_batches)
+            out["stream_resolves"] = float(self.stream_resolves)
+            out["stream_resolve_seconds"] = self.stream_resolve_seconds
+            out["stream_ingest_seconds"] = self.stream_ingest_seconds
+            out["stream_drift_events"] = float(self.stream_drift_events)
+            out["stream_ingest_rows_per_second"] = self.stream_ingest_rows_per_second()
+            out["stream_mean_staleness_rows"] = self.stream_mean_staleness()
         for solver in self.solvers_seen():
             s = self.solver_latency_summary(solver)
             if s is None:
@@ -172,3 +240,12 @@ class ServingTelemetry:
         self.batches_executed = 0
         self.fallback_batches = 0
         self.failed_requests = 0
+        self.streams_opened = 0
+        self.streams_closed = 0
+        self.stream_rows = 0
+        self.stream_batches = 0
+        self.stream_resolves = 0
+        self.stream_drift_events = 0
+        self.stream_ingest_seconds = 0.0
+        self.stream_resolve_seconds = 0.0
+        self._stream_staleness.clear()

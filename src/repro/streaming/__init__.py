@@ -1,0 +1,62 @@
+"""Online sketch-and-solve: sliding windows, drift detection, lazy re-solves.
+
+The batch layers (PR 1 serving, PR 2 registry/planner) assume the
+coefficient matrix arrives whole; this package is the streaming vertical:
+rows arrive over time, the engine keeps only a fixed-size hashed-CountSketch
+summary of the current window, and solutions are re-derived lazily through
+the planner so every re-solve still routes to the cheapest admissible
+solver with fallback chains.
+
+* :class:`~repro.streaming.solver.StreamingSolver` -- the engine: ingest
+  ``(rows, targets)`` batches, query solutions lazily.
+* :mod:`repro.streaming.state` -- window maintenance (landmark /
+  sliding-window ring of sub-sketches / exponential decay), built on the
+  :class:`~repro.core.countsketch.StreamingCountSketch` merge/scale hooks.
+* :class:`~repro.streaming.drift.DriftDetector` -- sketched
+  residual-energy tracking plus periodic condition probes; firings trigger
+  window resets and eager re-solves.
+
+Serving integration lives in :mod:`repro.serving.streaming`
+(``SketchServer.open_stream`` / ``append_rows`` / ``query_solution`` /
+``close_stream``); the matching workload generators are
+:func:`repro.workloads.streams.piecewise_stationary_stream` and
+:func:`repro.workloads.streams.drifting_stream`.
+
+Quick start::
+
+    from repro.streaming import StreamingSolver
+
+    engine = StreamingSolver(n=16, mode="sliding", window_buckets=4)
+    for rows, targets in stream:          # batches of (batch, 16) rows
+        engine.ingest(rows, targets)
+    sol = engine.solution()               # lazy re-solve through the planner
+    print(sol.executed_solver, sol.relative_residual, sol.staleness_rows)
+"""
+
+from repro.streaming.drift import DriftDetector, DriftDetectorConfig, DriftEvent
+from repro.streaming.solver import IngestReport, StreamingSolution, StreamingSolver
+from repro.streaming.state import (
+    DecayState,
+    LandmarkState,
+    MODES,
+    SlidingWindowState,
+    STREAM_CAPACITY,
+    make_state,
+    normalize_mode,
+)
+
+__all__ = [
+    "DriftDetector",
+    "DriftDetectorConfig",
+    "DriftEvent",
+    "IngestReport",
+    "StreamingSolution",
+    "StreamingSolver",
+    "DecayState",
+    "LandmarkState",
+    "MODES",
+    "SlidingWindowState",
+    "STREAM_CAPACITY",
+    "make_state",
+    "normalize_mode",
+]

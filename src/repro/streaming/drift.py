@@ -1,0 +1,197 @@
+"""Drift detection for the online sketch-and-solve engine.
+
+Two complementary signals, both cheap enough to run on every batch:
+
+* **Sketched residual energy.**  With a current estimate ``x_hat`` in hand,
+  each arriving batch gives a free out-of-sample check: the relative
+  residual ``||targets - rows @ x_hat|| / ||targets||`` of the *new* rows
+  against the *old* solution.  On a stationary stream this hovers around
+  the level observed right after the solve; after a distribution shift it
+  jumps.  The detector keeps an exponentially weighted reference of the
+  post-solve level and fires when consecutive batches exceed
+  ``reference * threshold``.
+
+* **Condition probe.**  Every ``probe_interval`` batches the engine hands
+  the detector the window's sketched matrix ``S A`` (``k x n``, tiny) and
+  :func:`repro.linalg.conditioning.estimate_condition` turns it into a
+  ``kappa(A)`` estimate -- by the subspace-embedding property the sketch's
+  spectrum tracks the window's.  A jump by more than ``cond_factor``
+  relative to the conditioning the current :class:`~repro.linalg.planner.SolvePlan`
+  was built for means the plan's solver ranking is stale even if the
+  residuals still look fine, so the detector requests a re-plan.
+
+The detector's own arithmetic (residual norms, the tiny SVD behind the
+kappa estimate) runs host-side, off the simulated clock -- the same
+convention as the planner's conditioning probe and the solvers' residual
+verification.  The *window merge* a probe reads is real device work,
+though, and the engine charges it to the ingest that triggered the probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.linalg.conditioning import estimate_condition
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detector firing.
+
+    ``kind`` is ``"residual"`` (residual energy blew past the reference) or
+    ``"conditioning"`` (the condition probe left the plan's regime);
+    ``observed`` / ``reference`` carry the triggering statistic and the
+    baseline it was compared against; ``batch_index`` is the ingest count at
+    which the event fired.
+    """
+
+    kind: str
+    observed: float
+    reference: float
+    batch_index: int
+
+    def __str__(self) -> str:  # pragma: no cover - logging aid
+        return (
+            f"DriftEvent({self.kind} at batch {self.batch_index}: "
+            f"{self.observed:.3e} vs reference {self.reference:.3e})"
+        )
+
+
+@dataclass
+class DriftDetectorConfig:
+    """Tuning knobs of :class:`DriftDetector`.
+
+    Attributes
+    ----------
+    residual_threshold:
+        A batch's relative residual must exceed ``reference * residual_threshold``
+        to count as suspicious.
+    patience:
+        Consecutive suspicious batches required before a residual event
+        fires (absorbs single noisy batches).
+    ewma:
+        Smoothing factor of the reference residual level (weight of the
+        newest in-regime observation).
+    min_reference:
+        Floor on the reference level so near-exact streams (residual ~ 1e-15)
+        do not fire on harmless numerical noise.
+    cond_factor:
+        Multiplicative change in the condition estimate (either direction)
+        that triggers a re-plan event.
+    probe_interval:
+        Batches between condition probes (0 disables probing).
+    """
+
+    residual_threshold: float = 4.0
+    patience: int = 2
+    ewma: float = 0.3
+    min_reference: float = 1e-10
+    cond_factor: float = 100.0
+    probe_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if self.residual_threshold <= 1.0:
+            raise ValueError("residual_threshold must exceed 1")
+        if self.patience <= 0:
+            raise ValueError("patience must be positive")
+        if not 0.0 < self.ewma <= 1.0:
+            raise ValueError("ewma must lie in (0, 1]")
+        if self.cond_factor <= 1.0:
+            raise ValueError("cond_factor must exceed 1")
+
+
+class DriftDetector:
+    """Residual-energy + condition-probe drift detector.
+
+    The engine drives it with :meth:`observe_residual` on every ingest (once
+    a solution exists) and :meth:`observe_sketch` at probe intervals; either
+    returns a :class:`DriftEvent` when the stream has left the regime the
+    current solution/plan was built for.  :meth:`rebase` is called after
+    every (re-)solve so the reference tracks the new regime.
+    """
+
+    def __init__(self, config: Optional[DriftDetectorConfig] = None) -> None:
+        self.config = config or DriftDetectorConfig()
+        self.reference_residual: Optional[float] = None
+        self.reference_cond: Optional[float] = None
+        self.events: List[DriftEvent] = []
+        self._suspicious_run = 0
+        self._batches_seen = 0
+
+    # ------------------------------------------------------------------
+    def rebase(self, residual: float, cond_estimate: Optional[float] = None) -> None:
+        """Anchor the references to a fresh solve's residual / conditioning."""
+        cfg = self.config
+        self.reference_residual = max(float(residual), cfg.min_reference)
+        if cond_estimate is not None and np.isfinite(cond_estimate):
+            self.reference_cond = float(cond_estimate)
+        self._suspicious_run = 0
+
+    # ------------------------------------------------------------------
+    def observe_residual(self, batch_residual: float) -> Optional[DriftEvent]:
+        """Feed one arriving batch's out-of-sample relative residual."""
+        self._batches_seen += 1
+        cfg = self.config
+        if self.reference_residual is None:
+            # No solve yet: nothing to compare against, just warm the level
+            # -- from finite observations only, so a garbage first residual
+            # (failed solve, NaN) can never become the permanent reference.
+            if np.isfinite(batch_residual):
+                self.reference_residual = max(float(batch_residual), cfg.min_reference)
+            return None
+        if not np.isfinite(batch_residual):
+            batch_residual = np.inf
+        if batch_residual > self.reference_residual * cfg.residual_threshold:
+            self._suspicious_run += 1
+            if self._suspicious_run >= cfg.patience:
+                event = DriftEvent(
+                    kind="residual",
+                    observed=float(batch_residual),
+                    reference=self.reference_residual,
+                    batch_index=self._batches_seen,
+                )
+                self.events.append(event)
+                self._suspicious_run = 0
+                return event
+            return None
+        self._suspicious_run = 0
+        # Still in regime: let the reference track slow, benign movement.
+        self.reference_residual = max(
+            (1.0 - cfg.ewma) * self.reference_residual + cfg.ewma * float(batch_residual),
+            cfg.min_reference,
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    def should_probe(self) -> bool:
+        """Whether this ingest is a condition-probe tick."""
+        interval = self.config.probe_interval
+        return interval > 0 and self._batches_seen > 0 and self._batches_seen % interval == 0
+
+    def observe_sketch(self, sketched_a: np.ndarray) -> Optional[DriftEvent]:
+        """Probe the window's conditioning from its sketched matrix ``S A``."""
+        cond = estimate_condition(np.asarray(sketched_a), seed=0)
+        if self.reference_cond is None:
+            self.reference_cond = cond
+            return None
+        lo, hi = sorted((cond, self.reference_cond))
+        if lo > 0 and hi / lo > self.config.cond_factor:
+            event = DriftEvent(
+                kind="conditioning",
+                observed=cond,
+                reference=self.reference_cond,
+                batch_index=self._batches_seen,
+            )
+            self.events.append(event)
+            self.reference_cond = cond
+            return event
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def event_count(self) -> int:
+        """Detector firings so far (both kinds)."""
+        return len(self.events)

@@ -1,0 +1,289 @@
+"""Incremental sketch state: landmark, sliding-window, and decay variants.
+
+The streaming engine never stores the stream -- it maintains the joint
+sketch ``S [A | b]`` (one hashed CountSketch over features and targets
+together, so row alignment is automatic) and exposes it as a ``k x (n+1)``
+array on demand.  Three maintenance policies are provided, all built on the
+:class:`~repro.core.countsketch.StreamingCountSketch` merge/scale hooks:
+
+* :class:`LandmarkState` -- one accumulator from the last reset onwards (the
+  "landmark window" of the streaming literature).  Cheapest; the drift
+  detector's window reset is what keeps it fresh.
+* :class:`SlidingWindowState` -- a ring of sub-sketches, each covering
+  ``bucket_rows`` stream rows; the window is the newest ``window_buckets``
+  buckets, merged on demand (sketch linearity).  Per-batch update cost is
+  ``O(batch * n)`` regardless of how many rows the stream has seen; the
+  merge at query time is ``O(window_buckets * k * n)``.
+* :class:`DecayState` -- exponential forgetting: the accumulator is scaled
+  by ``decay ** batch_rows`` before each new batch is folded in, so history
+  fades at a per-row rate without any ring bookkeeping.
+
+Rows are identified by their *global stream index* (a monotonically growing
+counter), which is what makes merging sound: the hashed row map is a pure
+function of that index, and distinct indices never collide as "the same
+row", so the sum of two sub-sketch accumulators is exactly the sketch of the
+union of their rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.countsketch import StreamingCountSketch
+from repro.gpu.executor import GPUExecutor
+
+#: Nominal input dimension of the streaming sketches: an upper bound on the
+#: global row counter, far beyond any simulated stream (the hash-based sketch
+#: stores nothing of size ``d``, so the bound is free).
+STREAM_CAPACITY = 1 << 48
+
+#: Window maintenance modes accepted by the engine.
+MODES = ("landmark", "sliding", "decay")
+
+
+def normalize_mode(mode: str) -> str:
+    """Canonical window-mode name, or ``ValueError`` for unknown modes."""
+    m = mode.lower()
+    if m in MODES:
+        return m
+    raise ValueError(f"mode must be one of {MODES}, got '{mode}'")
+
+
+class _BaseState:
+    """Shared plumbing: global row counter, version stamps, sketch factory."""
+
+    def __init__(
+        self,
+        n_cols: int,
+        k: int,
+        *,
+        executor: GPUExecutor,
+        seed: int = 0,
+    ) -> None:
+        if n_cols <= 0 or k <= 0:
+            raise ValueError("n_cols and k must be positive")
+        self.n_cols = int(n_cols)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.executor = executor
+        #: Bumps on every fold and reset; the solver's lazy re-solve caches
+        #: against it.
+        self.version = 0
+        self._next_index = 0
+        self.rows_total = 0
+
+    def _new_sketch(self) -> StreamingCountSketch:
+        sketch = StreamingCountSketch(
+            STREAM_CAPACITY, self.k, executor=self.executor, seed=self.seed
+        )
+        sketch.generate()
+        sketch.begin(self.n_cols)
+        return sketch
+
+    def _take_indices(self, batch: int) -> np.ndarray:
+        idx = np.arange(self._next_index, self._next_index + batch, dtype=np.int64)
+        self._next_index += batch
+        self.rows_total += batch
+        self.version += 1
+        return idx
+
+    # -- interface -----------------------------------------------------
+    def fold(self, block: Optional[np.ndarray], batch: int) -> None:
+        """Consume one ``(batch, n_cols)`` block (``None`` in analytic mode)."""
+        raise NotImplementedError
+
+    def current(self) -> Optional[np.ndarray]:
+        """Host copy of the window's merged ``k x n_cols`` sketch."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget the window (the drift detector's hard response)."""
+        raise NotImplementedError
+
+    def rows_in_window(self) -> int:
+        """Stream rows the current window covers."""
+        raise NotImplementedError
+
+    @property
+    def operator(self) -> StreamingCountSketch:
+        """A live window sketch (the serving layer pins it in its cache).
+
+        All of a state's sub-sketches share one hashed identity
+        (``cache_key()`` is a pure function of ``(d, k, seed, dtype)``), so
+        any live one stands for the session's operator.
+        """
+        raise NotImplementedError
+
+
+class LandmarkState(_BaseState):
+    """One accumulator from the last reset onwards."""
+
+    mode = "landmark"
+
+    def __init__(self, n_cols: int, k: int, *, executor: GPUExecutor, seed: int = 0) -> None:
+        super().__init__(n_cols, k, executor=executor, seed=seed)
+        self._sketch = self._new_sketch()
+        self._window_rows = 0
+
+    def fold(self, block: Optional[np.ndarray], batch: int) -> None:
+        idx = self._take_indices(batch)
+        self._sketch.update(idx, block)
+        self._window_rows += batch
+
+    def current(self) -> Optional[np.ndarray]:
+        return self._sketch.snapshot()
+
+    def reset(self) -> None:
+        self._sketch.result().free()  # close the pass, release the accumulator
+        self._sketch = self._new_sketch()
+        self._window_rows = 0
+        self.version += 1
+
+    def rows_in_window(self) -> int:
+        return self._window_rows
+
+    @property
+    def operator(self) -> StreamingCountSketch:
+        return self._sketch
+
+
+class SlidingWindowState(_BaseState):
+    """Ring of sub-sketches covering the newest ``window_buckets * bucket_rows`` rows."""
+
+    mode = "sliding"
+
+    def __init__(
+        self,
+        n_cols: int,
+        k: int,
+        *,
+        executor: GPUExecutor,
+        seed: int = 0,
+        bucket_rows: int = 1024,
+        window_buckets: int = 4,
+    ) -> None:
+        super().__init__(n_cols, k, executor=executor, seed=seed)
+        if bucket_rows <= 0 or window_buckets <= 0:
+            raise ValueError("bucket_rows and window_buckets must be positive")
+        self.bucket_rows = int(bucket_rows)
+        self.window_buckets = int(window_buckets)
+        self._ring: List[StreamingCountSketch] = [self._new_sketch()]
+
+    def fold(self, block: Optional[np.ndarray], batch: int) -> None:
+        idx = self._take_indices(batch)
+        offset = 0
+        while offset < batch:
+            head = self._ring[-1]
+            room = self.bucket_rows - head.rows_seen
+            if room == 0:
+                self._ring.append(self._new_sketch())
+                if len(self._ring) > self.window_buckets:
+                    # The oldest bucket leaves the window: close its pass and
+                    # release its accumulator (state stays fixed-size).
+                    self._ring.pop(0).result().free()
+                continue
+            take = min(room, batch - offset)
+            chunk = block[offset : offset + take] if block is not None else None
+            head.update(idx[offset : offset + take], chunk)
+            offset += take
+
+    def current(self) -> Optional[np.ndarray]:
+        # Merge the ring into a scratch pass (linearity); each bucket stays
+        # open so the window keeps sliding afterwards.
+        scratch = self._new_sketch()
+        for bucket in self._ring:
+            scratch.merge_from(bucket)
+        out = scratch.result()
+        host = out.to_host() if out.is_numeric else None
+        out.free()
+        return host
+
+    def reset(self) -> None:
+        for bucket in self._ring:
+            bucket.result().free()
+        self._ring = [self._new_sketch()]
+        self.version += 1
+
+    def rows_in_window(self) -> int:
+        return sum(b.rows_seen for b in self._ring)
+
+    @property
+    def operator(self) -> StreamingCountSketch:
+        return self._ring[-1]
+
+
+class DecayState(_BaseState):
+    """Exponentially decayed accumulator: scale by ``decay ** batch`` then fold."""
+
+    mode = "decay"
+
+    def __init__(
+        self,
+        n_cols: int,
+        k: int,
+        *,
+        executor: GPUExecutor,
+        seed: int = 0,
+        decay: float = 0.999,
+    ) -> None:
+        super().__init__(n_cols, k, executor=executor, seed=seed)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        self.decay = float(decay)
+        self._sketch = self._new_sketch()
+        self._effective_rows = 0.0
+
+    def fold(self, block: Optional[np.ndarray], batch: int) -> None:
+        idx = self._take_indices(batch)
+        if self.decay < 1.0:
+            factor = self.decay**batch
+            self._sketch.scale(factor)
+            self._effective_rows *= factor
+        self._sketch.update(idx, block)
+        self._effective_rows += batch
+
+    def current(self) -> Optional[np.ndarray]:
+        return self._sketch.snapshot()
+
+    def reset(self) -> None:
+        self._sketch.result().free()
+        self._sketch = self._new_sketch()
+        self._effective_rows = 0.0
+        self.version += 1
+
+    def rows_in_window(self) -> int:
+        # Effective sample size of the decayed history (rows at weight ~1).
+        return int(round(self._effective_rows))
+
+    @property
+    def operator(self) -> StreamingCountSketch:
+        return self._sketch
+
+
+def make_state(
+    mode: str,
+    n_cols: int,
+    k: int,
+    *,
+    executor: GPUExecutor,
+    seed: int = 0,
+    bucket_rows: int = 1024,
+    window_buckets: int = 4,
+    decay: float = 0.999,
+) -> _BaseState:
+    """Build the window state a :class:`~repro.streaming.solver.StreamingSolver` asked for."""
+    mode = normalize_mode(mode)
+    if mode == "landmark":
+        return LandmarkState(n_cols, k, executor=executor, seed=seed)
+    if mode == "sliding":
+        return SlidingWindowState(
+            n_cols,
+            k,
+            executor=executor,
+            seed=seed,
+            bucket_rows=bucket_rows,
+            window_buckets=window_buckets,
+        )
+    return DecayState(n_cols, k, executor=executor, seed=seed, decay=decay)

@@ -28,6 +28,8 @@ from repro.theory.complexity import (
     SketchComplexity,
     complexity_table,
     sketch_complexity,
+    solver_complexity,
+    streaming_complexity,
 )
 
 __all__ = [
@@ -43,4 +45,6 @@ __all__ = [
     "SketchComplexity",
     "complexity_table",
     "sketch_complexity",
+    "solver_complexity",
+    "streaming_complexity",
 ]

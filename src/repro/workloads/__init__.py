@@ -6,6 +6,9 @@
 * :mod:`repro.workloads.least_squares` -- the least-squares problems of
   Section 6.3: the "easy" (low noise) and "hard" (high noise) right-hand
   sides and the condition-number sweep of Figure 8.
+* :mod:`repro.workloads.streams` -- row streams for the online engine
+  (:mod:`repro.streaming`): piecewise-stationary streams with abrupt change
+  points and continuously drifting streams.
 """
 
 from repro.workloads.matrices import (
@@ -22,6 +25,12 @@ from repro.workloads.least_squares import (
     hard_problem,
     condition_sweep_problem,
 )
+from repro.workloads.streams import (
+    LeastSquaresStream,
+    StreamBatch,
+    drifting_stream,
+    piecewise_stationary_stream,
+)
 
 __all__ = [
     "PAPER_D_VALUES",
@@ -34,4 +43,8 @@ __all__ = [
     "easy_problem",
     "hard_problem",
     "condition_sweep_problem",
+    "LeastSquaresStream",
+    "StreamBatch",
+    "drifting_stream",
+    "piecewise_stationary_stream",
 ]

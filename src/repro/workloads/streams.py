@@ -1,0 +1,223 @@
+"""Streaming least-squares workload generators (drift and regime changes).
+
+The one-shot generators in :mod:`repro.workloads.least_squares` materialise a
+whole problem at once; these produce *row streams* -- batches of
+``(rows, targets)`` arriving over time -- for the online engine in
+:mod:`repro.streaming`.  Two regimes are provided, mirroring the
+``easy_problem`` / ``hard_problem`` ergonomics:
+
+* :func:`piecewise_stationary_stream` -- the classic change-point setting:
+  the ground-truth coefficients are constant within a segment and jump at
+  segment boundaries.  This is the workload the drift detector must catch.
+* :func:`drifting_stream` -- the coefficients rotate *continuously* from a
+  start vector to an end vector over the stream, so no single solution is
+  ever exactly right and windowed/decayed estimators shine.
+
+Both return a :class:`LeastSquaresStream` whose batches carry the
+ground-truth coefficients in force when the batch was emitted, so tests and
+experiments can score an online estimate against the truth of *that moment*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class StreamBatch:
+    """One arriving batch of a row stream.
+
+    Attributes
+    ----------
+    rows / targets:
+        ``(batch, n)`` feature rows and their length-``batch`` targets
+        ``rows @ x_true + noise``.
+    x_true:
+        Ground-truth coefficients in force for this batch (for continuously
+        drifting streams: the midpoint truth of the batch).
+    segment:
+        Index of the stationary segment the batch belongs to (0-based; for
+        continuous drift every batch is segment 0).
+    start:
+        Global index of the batch's first row within the stream.
+    """
+
+    rows: np.ndarray
+    targets: np.ndarray
+    x_true: np.ndarray
+    segment: int
+    start: int
+
+    @property
+    def size(self) -> int:
+        """Number of rows in the batch."""
+        return self.rows.shape[0]
+
+
+@dataclass
+class LeastSquaresStream:
+    """A generated row stream: batches plus the drift schedule that made them.
+
+    ``batches`` is materialised (streams here are test/experiment scale);
+    iterate the object directly to consume them in arrival order.
+    """
+
+    batches: List[StreamBatch]
+    n: int
+    batch_size: int
+    noise_std: float
+    kind: str
+    #: Ground-truth coefficients per segment (one entry for continuous drift).
+    segment_truths: List[np.ndarray] = field(default_factory=list)
+    #: Global row index of each change point (empty for continuous drift).
+    change_points: List[int] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_rows(self) -> int:
+        """Rows across the whole stream."""
+        return sum(b.size for b in self.batches)
+
+    def window_arrays(self, window_rows: int) -> tuple:
+        """The last ``window_rows`` rows of the stream as ``(A, b)`` arrays.
+
+        This is the from-scratch reference the streaming benchmarks compare
+        against: what a batch solver would see if it kept the current window
+        materialised.
+        """
+        rows = np.vstack([b.rows for b in self.batches])
+        targets = np.concatenate([b.targets for b in self.batches])
+        return rows[-window_rows:], targets[-window_rows:]
+
+
+def _emit_batches(
+    rng: np.random.Generator,
+    truths_per_row: np.ndarray,
+    segments_per_row: np.ndarray,
+    batch_size: int,
+    noise_std: float,
+) -> List[StreamBatch]:
+    """Draw Gaussian rows and noisy targets under a per-row truth schedule."""
+    total, n = truths_per_row.shape[0], truths_per_row.shape[1]
+    batches: List[StreamBatch] = []
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        rows = rng.standard_normal((stop - start, n))
+        truth_block = truths_per_row[start:stop]
+        targets = np.einsum("ij,ij->i", rows, truth_block)
+        if noise_std > 0.0:
+            targets = targets + noise_std * rng.standard_normal(stop - start)
+        # Midpoint truth AND midpoint segment: a batch straddling a change
+        # point is labeled consistently with the truth it reports.
+        mid = (stop - start) // 2
+        batches.append(
+            StreamBatch(
+                rows=rows,
+                targets=targets,
+                x_true=truth_block[mid].copy(),
+                segment=int(segments_per_row[start + mid]),
+                start=start,
+            )
+        )
+    return batches
+
+
+def piecewise_stationary_stream(
+    n: int = 16,
+    *,
+    rows_per_segment: int = 4096,
+    n_segments: int = 2,
+    batch_size: int = 256,
+    noise_std: float = 0.05,
+    shift_scale: float = 2.0,
+    seed: Optional[int] = 0,
+    truths: Optional[Sequence[np.ndarray]] = None,
+) -> LeastSquaresStream:
+    """Stream with abrupt change points between stationary segments.
+
+    Within segment ``s`` the targets follow ``rows @ x_s + noise``; at each
+    boundary the truth jumps to an independent draw scaled by
+    ``shift_scale`` (relative to the unit-norm first truth), so the injected
+    shift is large enough for a residual-energy detector to see.  Pass
+    ``truths`` to pin the per-segment coefficients explicitly.
+    """
+    if n_segments <= 0 or rows_per_segment <= 0 or batch_size <= 0:
+        raise ValueError("segments, rows_per_segment and batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    if truths is None:
+        truth_list = []
+        for s in range(n_segments):
+            x = rng.standard_normal(n)
+            x /= np.linalg.norm(x)
+            if s > 0:
+                x *= shift_scale
+            truth_list.append(x)
+    else:
+        truth_list = [np.asarray(t, dtype=np.float64) for t in truths]
+        if len(truth_list) != n_segments:
+            raise ValueError("need one truth vector per segment")
+    total = n_segments * rows_per_segment
+    truths_per_row = np.empty((total, n))
+    segments_per_row = np.empty(total, dtype=np.int64)
+    for s, x in enumerate(truth_list):
+        truths_per_row[s * rows_per_segment : (s + 1) * rows_per_segment] = x
+        segments_per_row[s * rows_per_segment : (s + 1) * rows_per_segment] = s
+    batches = _emit_batches(rng, truths_per_row, segments_per_row, batch_size, noise_std)
+    return LeastSquaresStream(
+        batches=batches,
+        n=n,
+        batch_size=batch_size,
+        noise_std=noise_std,
+        kind="piecewise",
+        segment_truths=truth_list,
+        change_points=[s * rows_per_segment for s in range(1, n_segments)],
+    )
+
+
+def drifting_stream(
+    n: int = 16,
+    *,
+    total_rows: int = 8192,
+    batch_size: int = 256,
+    noise_std: float = 0.05,
+    drift_angle: float = np.pi / 2,
+    seed: Optional[int] = 0,
+) -> LeastSquaresStream:
+    """Stream whose ground truth rotates continuously over its length.
+
+    The truth interpolates along a great-circle arc of ``drift_angle``
+    radians between two random unit vectors: at row ``t`` the coefficients
+    are ``cos(theta_t) x0 + sin(theta_t) x1`` with ``theta_t`` growing
+    linearly from 0 to ``drift_angle``.  No change point exists, so
+    detectors tuned for jumps stay quiet while windowed estimators must keep
+    refreshing to track the moving target.
+    """
+    if total_rows <= 0 or batch_size <= 0:
+        raise ValueError("total_rows and batch_size must be positive")
+    rng = np.random.default_rng(seed)
+    x0 = rng.standard_normal(n)
+    x0 /= np.linalg.norm(x0)
+    raw = rng.standard_normal(n)
+    raw -= (raw @ x0) * x0  # orthogonalise so the arc is a clean rotation
+    x1 = raw / np.linalg.norm(raw)
+    theta = np.linspace(0.0, drift_angle, total_rows)
+    truths_per_row = np.cos(theta)[:, None] * x0 + np.sin(theta)[:, None] * x1
+    segments_per_row = np.zeros(total_rows, dtype=np.int64)
+    batches = _emit_batches(rng, truths_per_row, segments_per_row, batch_size, noise_std)
+    return LeastSquaresStream(
+        batches=batches,
+        n=n,
+        batch_size=batch_size,
+        noise_std=noise_std,
+        kind="drifting",
+        segment_truths=[x0, x1],
+        change_points=[],
+    )

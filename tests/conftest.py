@@ -21,9 +21,14 @@ from repro.gpu.executor import GPUExecutor
 #: unit and benchmark alike -- runs with ``pytest -m planner``.
 _PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
 
+#: Module-name prefixes auto-marked ``streaming`` (same pattern: the online
+#: engine's unit, serving-session and benchmark modules all run with
+#: ``pytest -m streaming``).
+_STREAMING_PREFIXES = ("test_streaming",)
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner`` marker to registry/planner test modules."""
+    """Auto-apply the ``planner``/``streaming`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -31,6 +36,8 @@ def pytest_collection_modifyitems(items):
             continue
         if name.startswith(_PLANNER_PREFIXES):
             item.add_marker(pytest.mark.planner)
+        if name.startswith(_STREAMING_PREFIXES):
+            item.add_marker(pytest.mark.streaming)
 
 
 @pytest.fixture

@@ -91,6 +91,113 @@ class TestSeedAlignment:
         assert not np.array_equal(rows1, rows2)
 
 
+class TestUpdateHotPath:
+    """Regressions for the update() fast path: empty and tiny batches."""
+
+    def test_empty_batch_charges_no_kernel(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=5)
+        sketch.begin(N)
+        mark = executor.mark()
+        sketch.update(np.array([], dtype=np.int64), np.zeros((0, N)))
+        assert executor.elapsed_since(mark) == 0.0
+        assert sketch.rows_seen == 0
+
+    def test_empty_list_batch_is_accepted(self, executor):
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=5)
+        sketch.begin(N)
+        sketch.update([], None)
+        assert sketch.rows_seen == 0
+
+    def test_single_row_batch_matches_one_shot(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        per_row = _stream(StreamingCountSketch(D, K, executor=executor, seed=11), a, batch=1)
+        one_shot = StreamingCountSketch(D, K, executor=executor, seed=11).sketch_host(a)
+        np.testing.assert_allclose(per_row, one_shot, rtol=0, atol=1e-12)
+
+    def test_generic_iterables_convert_without_list_round_trip(self, executor, rng):
+        """range / list / generator index batches all hit the array path."""
+        a = rng.standard_normal((8, N))
+        sketches = []
+        for indices in (np.arange(8), range(8), list(range(8)), (i for i in range(8))):
+            sketch = StreamingCountSketch(D, K, executor=executor, seed=13)
+            sketch.begin(N)
+            sketch.update(indices, a)
+            sketches.append(sketch.result().to_host())
+        for out in sketches[1:]:
+            np.testing.assert_array_equal(sketches[0], out)
+
+
+class TestMergeAndScaleHooks:
+    """The streaming engine's window algebra: linearity made explicit."""
+
+    def test_merged_disjoint_passes_equal_one_shot(self, executor, rng):
+        a = rng.standard_normal((D, N))
+        lo = StreamingCountSketch(D, K, executor=executor, seed=21)
+        hi = StreamingCountSketch(D, K, executor=executor, seed=21)
+        lo.begin(N)
+        hi.begin(N)
+        lo.update(np.arange(0, D // 2), a[: D // 2])
+        hi.update(np.arange(D // 2, D), a[D // 2 :])
+        lo.merge_from(hi)
+        assert lo.rows_seen == D
+        merged = lo.result().to_host()
+        one_shot = StreamingCountSketch(D, K, executor=executor, seed=21).sketch_host(a)
+        np.testing.assert_allclose(merged, one_shot, rtol=0, atol=1e-12)
+
+    def test_merge_charges_simulated_time(self, executor):
+        s1 = StreamingCountSketch(D, K, executor=executor, seed=1)
+        s2 = StreamingCountSketch(D, K, executor=executor, seed=1)
+        s1.begin(N)
+        s2.begin(N)
+        mark = executor.mark()
+        s1.merge_from(s2)
+        assert executor.elapsed_since(mark) > 0.0
+
+    def test_merge_rejects_mismatched_state(self, executor):
+        s1 = StreamingCountSketch(D, K, executor=executor, seed=1)
+        s2 = StreamingCountSketch(D, K, executor=executor, seed=2)
+        s1.begin(N)
+        s2.begin(N)
+        with pytest.raises(ValueError, match="identical hashed state"):
+            s1.merge_from(s2)
+        s3 = StreamingCountSketch(D, K, executor=executor, seed=1)
+        s3.begin(N + 1)
+        with pytest.raises(ValueError, match="column counts"):
+            s1.merge_from(s3)
+        closed = StreamingCountSketch(D, K, executor=executor, seed=1)
+        with pytest.raises(RuntimeError):
+            s1.merge_from(closed)
+
+    def test_merge_rejects_mixed_numeric_and_analytic_passes(self, executor, analytic_executor):
+        numeric = StreamingCountSketch(D, K, executor=executor, seed=1)
+        analytic = StreamingCountSketch(D, K, executor=analytic_executor, seed=1)
+        numeric.begin(N)
+        analytic.begin(N)
+        analytic.update(np.arange(8), None)
+        with pytest.raises(ValueError, match="numeric and analytic"):
+            numeric.merge_from(analytic)
+        assert numeric.rows_seen == 0  # nothing was corrupted
+
+    def test_scale_is_scalar_linearity(self, executor, rng):
+        a = rng.standard_normal((256, N))
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=3)
+        sketch.begin(N)
+        sketch.update(np.arange(256), a)
+        before = sketch.snapshot()
+        sketch.scale(0.25)
+        np.testing.assert_allclose(sketch.snapshot(), 0.25 * before, rtol=0, atol=1e-14)
+
+    def test_snapshot_leaves_the_pass_open(self, executor, rng):
+        a = rng.standard_normal((64, N))
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=3)
+        sketch.begin(N)
+        sketch.update(np.arange(32), a[:32])
+        first = sketch.snapshot()
+        sketch.update(np.arange(32, 64), a[32:])
+        assert sketch.rows_seen == 64
+        assert not np.array_equal(first, sketch.snapshot())
+
+
 class TestStreamingErrors:
     def test_update_before_begin_raises(self, executor):
         sketch = StreamingCountSketch(D, K, executor=executor, seed=0)

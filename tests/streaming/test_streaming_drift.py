@@ -1,0 +1,242 @@
+"""Drift detection: residual-energy firings, condition probes, recovery.
+
+Covers the detector in isolation (stationary streams stay quiet, injected
+shifts fire after ``patience`` batches, condition jumps trigger re-plans)
+and the closed loop (detector + window reset + planner re-solve recovers
+accuracy on a piecewise-stationary stream while the open-loop engine
+degrades), plus the stream workload generators themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    DriftDetector,
+    DriftDetectorConfig,
+    StreamingSolver,
+)
+from repro.workloads.streams import drifting_stream, piecewise_stationary_stream
+
+N = 12
+
+
+class TestDetectorUnit:
+    def test_stationary_residuals_never_fire(self):
+        detector = DriftDetector()
+        detector.rebase(0.05)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert detector.observe_residual(0.05 * (1 + 0.2 * rng.standard_normal())) is None
+        assert detector.event_count == 0
+
+    def test_shift_fires_after_patience(self):
+        detector = DriftDetector(DriftDetectorConfig(residual_threshold=4.0, patience=2))
+        detector.rebase(0.05)
+        assert detector.observe_residual(1.0) is None  # first suspicious batch
+        event = detector.observe_residual(1.0)  # second -> fire
+        assert event is not None
+        assert event.kind == "residual"
+        assert event.observed == pytest.approx(1.0)
+        assert detector.event_count == 1
+
+    def test_single_outlier_is_absorbed(self):
+        detector = DriftDetector(DriftDetectorConfig(patience=2))
+        detector.rebase(0.05)
+        assert detector.observe_residual(5.0) is None
+        assert detector.observe_residual(0.05) is None  # run broken
+        assert detector.observe_residual(5.0) is None  # run restarts at 1
+        assert detector.event_count == 0
+
+    def test_reference_floor_silences_numerical_noise(self):
+        """Near-exact streams (residual ~ 1e-15) must not fire on 10x jitter."""
+        detector = DriftDetector()
+        detector.rebase(1e-15)
+        assert detector.reference_residual == pytest.approx(
+            detector.config.min_reference
+        )
+        assert detector.observe_residual(1e-14) is None
+        assert detector.observe_residual(1e-14) is None
+        assert detector.event_count == 0
+
+    def test_reference_tracks_benign_movement(self):
+        detector = DriftDetector(DriftDetectorConfig(ewma=0.5))
+        detector.rebase(0.05)
+        detector.observe_residual(0.07)
+        assert detector.reference_residual == pytest.approx(0.06)
+
+    def test_condition_probe_fires_on_kappa_jump(self, rng):
+        detector = DriftDetector(DriftDetectorConfig(cond_factor=100.0))
+        well = rng.standard_normal((256, N))
+        assert detector.observe_sketch(well) is None  # first probe anchors
+        ill = well.copy()
+        ill[:, -1] = ill[:, 0] + 1e-9 * rng.standard_normal(256)
+        event = detector.observe_sketch(ill)
+        assert event is not None and event.kind == "conditioning"
+
+    def test_nonfinite_warmup_observation_cannot_poison_the_reference(self):
+        detector = DriftDetector()
+        assert detector.observe_residual(float("nan")) is None
+        assert detector.observe_residual(float("inf")) is None
+        assert detector.reference_residual is None  # still unanchored
+        detector.observe_residual(0.05)  # first finite observation warms it
+        assert detector.reference_residual == pytest.approx(0.05)
+        assert detector.observe_residual(1.0) is None
+        assert detector.observe_residual(1.0) is not None  # detection still works
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetectorConfig(residual_threshold=0.5)
+        with pytest.raises(ValueError):
+            DriftDetectorConfig(patience=0)
+        with pytest.raises(ValueError):
+            DriftDetectorConfig(ewma=0.0)
+        with pytest.raises(ValueError):
+            DriftDetectorConfig(cond_factor=1.0)
+
+
+class TestClosedLoop:
+    def test_detector_resets_and_recovers(self):
+        stream = piecewise_stationary_stream(
+            N, rows_per_segment=2048, batch_size=256, seed=2
+        )
+        engine = StreamingSolver(N, mode="landmark", seed=0)
+        for batch in stream:
+            engine.ingest(batch.rows, batch.targets)
+        assert engine.drift_events >= 1
+        assert engine.drift_resolves >= 1
+        sol = engine.solution()
+        x_new = stream.segment_truths[-1]
+        err = np.linalg.norm(sol.x - x_new) / np.linalg.norm(x_new)
+        assert err < 0.05  # the post-reset window is pure second regime
+        # The drift-triggered re-solve routed through the planner and the
+        # attempted chain was recorded on the result.
+        assert engine.last_result is not None
+        assert "attempted" in engine.last_result.extra
+
+    def test_open_loop_baseline_degrades(self):
+        stream = piecewise_stationary_stream(
+            N, rows_per_segment=2048, batch_size=256, seed=2
+        )
+        closed = StreamingSolver(N, mode="landmark", seed=0)
+        open_loop = StreamingSolver(N, mode="landmark", seed=0, detector=False)
+        for batch in stream:
+            closed.ingest(batch.rows, batch.targets)
+            open_loop.ingest(batch.rows, batch.targets)
+        x_new = stream.segment_truths[-1]
+        err_closed = np.linalg.norm(closed.solution().x - x_new) / np.linalg.norm(x_new)
+        err_open = np.linalg.norm(open_loop.solution().x - x_new) / np.linalg.norm(x_new)
+        assert open_loop.drift_events == 0
+        assert err_open > 5 * err_closed
+
+    def test_drift_reset_defers_resolve_until_window_is_overdetermined(self, rng):
+        """Sub-``n`` batches: the post-reset window must not be solved early."""
+        x_old, x_new = np.ones(N), -2.0 * np.ones(N)
+        engine = StreamingSolver(N, mode="landmark", seed=0)
+        small = 8  # fewer rows per batch than features
+        for _ in range(6):
+            rows = rng.standard_normal((small, N))
+            engine.ingest(rows, rows @ x_old + 0.01 * rng.standard_normal(small))
+        assert engine._solution is not None  # warmup solved the old regime
+        saw_deferred_drift = False
+        for _ in range(8):
+            rows = rng.standard_normal((small, N))
+            report = engine.ingest(rows, rows @ x_new + 0.01 * rng.standard_normal(small))
+            if report.drift is not None and engine.state.rows_in_window() <= N:
+                # Too few fresh rows to re-solve: no rank-deficient model
+                # may be produced or served.
+                assert not report.resolved
+                saw_deferred_drift = True
+                assert engine._solution is None
+        assert saw_deferred_drift
+        sol = engine.solution()  # warmup re-solved once the window grew
+        err = np.linalg.norm(sol.x - x_new) / np.linalg.norm(x_new)
+        assert err < 0.05
+
+    def test_non_reset_resolves_never_adopt_out_of_regime_reference(self, rng):
+        """Query / conditioning re-solves on a mixed window keep the reference."""
+        config = DriftDetectorConfig(patience=100, probe_interval=0)  # no auto events
+        engine = StreamingSolver(N, mode="landmark", seed=0, detector=config)
+        x_old, x_new = np.ones(N), -2.0 * np.ones(N)
+        for _ in range(4):
+            rows = rng.standard_normal((256, N))
+            engine.ingest(rows, rows @ x_old + 0.05 * rng.standard_normal(256))
+        reference = engine.detector.reference_residual
+        for _ in range(4):  # the window now mixes regimes
+            rows = rng.standard_normal((256, N))
+            engine.ingest(rows, rows @ x_new + 0.05 * rng.standard_normal(256))
+        assert engine.solution().relative_residual > 4 * reference
+        assert engine.detector.reference_residual == reference  # query solve
+        engine._solve(trigger="drift:conditioning")  # re-plan without reset
+        assert engine.detector.reference_residual == reference
+
+    def test_reset_on_drift_can_be_disabled(self):
+        stream = piecewise_stationary_stream(
+            N, rows_per_segment=2048, batch_size=256, seed=2
+        )
+        engine = StreamingSolver(N, mode="landmark", seed=0, reset_on_drift=False)
+        for batch in stream:
+            engine.ingest(batch.rows, batch.targets)
+        # Drift still fires and re-solves (re-plan), but the window keeps
+        # all rows: no reset happened.
+        assert engine.drift_events >= 1
+        assert engine.state.rows_in_window() == stream.total_rows
+
+
+class TestStreamGenerators:
+    def test_piecewise_stream_shapes_and_change_points(self):
+        stream = piecewise_stationary_stream(
+            8, rows_per_segment=512, n_segments=3, batch_size=128, seed=0
+        )
+        assert stream.total_rows == 3 * 512
+        assert stream.change_points == [512, 1024]
+        assert len(stream.segment_truths) == 3
+        segments = [b.segment for b in stream]
+        assert segments == sorted(segments)
+        for batch in stream:
+            assert batch.rows.shape == (128, 8)
+            assert batch.targets.shape == (128,)
+            # The recorded truth explains the batch up to the noise level.
+            resid = np.linalg.norm(
+                batch.targets - batch.rows @ batch.x_true
+            ) / np.linalg.norm(batch.targets)
+            assert resid < 0.2
+
+    def test_piecewise_truths_actually_shift(self):
+        stream = piecewise_stationary_stream(8, rows_per_segment=256, seed=1)
+        x0, x1 = stream.segment_truths
+        assert np.linalg.norm(x1 - x0) > 0.5
+
+    def test_explicit_truths_are_respected(self):
+        truths = [np.ones(4), -np.ones(4)]
+        stream = piecewise_stationary_stream(
+            4, rows_per_segment=64, n_segments=2, batch_size=32, truths=truths, seed=0
+        )
+        np.testing.assert_array_equal(stream.segment_truths[0], truths[0])
+        with pytest.raises(ValueError, match="per segment"):
+            piecewise_stationary_stream(4, n_segments=3, truths=truths)
+
+    def test_drifting_stream_rotates_continuously(self):
+        stream = drifting_stream(8, total_rows=1024, batch_size=128, seed=0)
+        assert stream.change_points == []
+        truths = [b.x_true for b in stream]
+        # Unit-norm truths that move a little every batch, a lot overall.
+        for t in truths:
+            assert np.linalg.norm(t) == pytest.approx(1.0, abs=1e-6)
+        steps = [np.linalg.norm(b - a) for a, b in zip(truths, truths[1:])]
+        assert max(steps) < 0.5
+        assert np.linalg.norm(truths[-1] - truths[0]) > 1.0
+
+    def test_window_arrays_returns_the_tail(self):
+        stream = piecewise_stationary_stream(4, rows_per_segment=128, batch_size=64, seed=0)
+        a, b = stream.window_arrays(100)
+        assert a.shape == (100, 4)
+        assert b.shape == (100,)
+        np.testing.assert_array_equal(a[-64:], stream.batches[-1].rows)
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError):
+            piecewise_stationary_stream(4, n_segments=0)
+        with pytest.raises(ValueError):
+            drifting_stream(4, total_rows=0)
