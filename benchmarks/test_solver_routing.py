@@ -117,7 +117,7 @@ class TestHardRequestsRescued:
         a = matrix_with_condition(d, n, 1e10, seed=5) * np.sqrt(float(d) * n)
         server = SketchServer(policy="cheapest_accurate", shards=1, seed=0,
                               max_batch=8, accuracy_target=1e-2)
-        server._cond_cache[(id(a), a.shape)] = (weakref.ref(a), 100.0)  # deceive the probe
+        server._cond_cache[(id(a), a.shape)] = (weakref.ref(a), (100.0, None))  # deceive the probe
         for _ in range(8):
             server.submit(a, a @ np.ones(n))
         responses = server.flush()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Ridge regression through the planner: lambda changes the routing.
+
+Tikhonov regularization is least squares on the augmented system
+``[A; sqrt(lam) I] x = [b; 0]``, and the size of lambda decides how hard
+that system is: the effective conditioning is
+``sqrt((smax^2 + lam) / (smin^2 + lam))``.  This example solves the same
+ill-conditioned problem at three lambdas and shows the planner responding:
+
+* a healthy lambda caps the effective conditioning, so the cheap
+  regularized normal equations are admissible;
+* a vanishing lambda leaves the problem as hard as the unregularized one,
+  so the planner routes away from them (or rescues a breakdown through the
+  ridge fallback chain);
+* either way the residual matches a direct dense ridge solve.
+
+Run:  PYTHONPATH=src python examples/ridge_regression.py
+"""
+
+import numpy as np
+
+from repro.problems import dense_ridge_reference, ridge_residuals, solve_ridge
+from repro.workloads import make_ridge_problem
+
+D, N = 1 << 16, 64          # compute-bound size: routing differences visible
+COND = 1e10                 # kappa(A): far beyond the normal equations' 1e8
+
+
+def main() -> None:
+    print(f"Ridge on a {D} x {N} matrix with kappa(A) = {COND:.0e}\n")
+    header = f"{'lam_rel':>10} | {'eff. kappa':>10} | {'executed (attempted)':<42} | {'resid/ref':>9}"
+    print(header)
+    print("-" * len(header))
+    for lam_rel in (1e-2, 1e-6, 1e-16):
+        problem = make_ridge_problem(D, N, cond=COND, lam_rel=lam_rel, seed=1)
+        result = solve_ridge(problem.a, problem.b, problem.lam)
+        x_ref = dense_ridge_reference(problem.a, problem.b, problem.lam)
+        _, ref_rel, _ = ridge_residuals(problem.a, problem.b, x_ref, problem.lam)
+        ratio = result.relative_residual / ref_rel if ref_rel > 0 else float("inf")
+        attempted = result.extra.get("attempted", result.method)
+        executed = result.attempted_solvers[-1]
+        print(
+            f"{lam_rel:>10.0e} | {problem.effective_condition():>10.2e} | "
+            f"{executed + ' (' + attempted + ')':<42} | {ratio:>9.4f}"
+        )
+        assert not result.failed and ratio <= 1.1
+    print()
+    print("Every row matched the dense direct solve within 1.1x; the planner")
+    print("picked the cheapest ridge solver whose stability floor held at the")
+    print("lambda-shifted effective conditioning, falling back on breakdown.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,79 +1,77 @@
 #!/usr/bin/env python3
-"""Streaming CountSketch: sketching a matrix that never fits in memory at once.
+"""Streaming low-rank approximation of a matrix that never fits in memory.
 
-The paper's future-work section (Section 8) proposes building the CountSketch
-on the fly from a hash so it suits streaming applications -- this example
-shows that workflow.  Rows of a tall matrix arrive in batches (think: sensor
-readings, log records, minibatches); the StreamingCountSketch folds each batch
-into a fixed-size ``k x n`` summary without ever storing the full matrix or
-any random state beyond a seed.  At the end the summary is used to
-approximately solve a regression problem against the stream.
+Rows of a tall matrix arrive in batches (sensor readings, log records,
+minibatches); a :class:`repro.problems.FrequentDirections` accumulator folds
+each batch into a fixed ``2*ell x n`` buffer -- the full matrix is never
+materialised, and the summary size is independent of the stream length.  At
+the end the sketch's top right singular vectors give a rank-k approximation
+provably within ``sqrt(1 + k/(ell-k))`` of the truncated-SVD optimum, and
+the same summary solves a regression against the stream.
 
-Run:  python examples/streaming_frequent_directions.py
+The batch-side counterpart (``lowrank_approx(a, k, method="rangefinder")``)
+and the serving endpoint (``SketchServer.approx_lowrank``) share this code
+path; ``SketchServer.open_stream(n, mode="fd")`` runs the same accumulator
+as a live session's window summary.
+
+Run:  PYTHONPATH=src python examples/streaming_frequent_directions.py
 """
 
 import numpy as np
 
-from repro import GPUExecutor, StreamingCountSketch
-from repro.gpu.arrays import DeviceArray
+from repro import GPUExecutor
+from repro.problems import FrequentDirections
+from repro.theory.complexity import fd_error_bound
+from repro.workloads import decaying_spectrum_matrix
 
-D, N = 1 << 17, 32          # 131,072 streamed rows, 32 features
-BATCH = 4096                 # rows per arriving batch
-K = 2 * N * N                # CountSketch embedding dimension (paper's 2 n^2)
-
-
-def generate_batch(rng: np.random.Generator, start: int, size: int, x_true: np.ndarray):
-    """Simulate one arriving batch: features and noisy targets."""
-    rows = rng.standard_normal((size, N))
-    targets = rows @ x_true + 0.05 * rng.standard_normal(size)
-    return rows, targets
+D, N = 1 << 15, 64          # 32,768 streamed rows, 64 features
+RANK = 8                    # target rank (the spectrum plateaus here)
+ELL = 2 * RANK              # FD sketch size: ell = 2k => bound sqrt(2)
+BATCH = 2048                # rows per arriving batch
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
-    x_true = np.linspace(-1.0, 1.0, N)
-
+    # A matrix with a known spectrum, so the optimum is closed-form.
+    problem = decaying_spectrum_matrix(D, N, rank=RANK, decay=0.5, seed=0)
     executor = GPUExecutor(seed=0, track_memory=False)
+    fd = FrequentDirections(N, ELL, executor=executor)
 
-    # One streaming sketch for the features and one for the targets; both are
-    # driven by the same hash seed so they stay aligned row-for-row.
-    feature_sketch = StreamingCountSketch(D, K, executor=executor, seed=42)
-    target_sketch = StreamingCountSketch(D, K, executor=executor, seed=42)
-    feature_sketch.generate()
-    target_sketch.generate()
-    feature_sketch.begin(N)
-    target_sketch.begin(1)
-
-    rows_seen = 0
     for start in range(0, D, BATCH):
-        size = min(BATCH, D - start)
-        rows, targets = generate_batch(rng, start, size, x_true)
-        indices = np.arange(start, start + size)
-        feature_sketch.update(indices, rows)
-        target_sketch.update(indices, targets.reshape(-1, 1))
-        rows_seen += size
-        if start // BATCH % 8 == 0:
-            print(f"  streamed {rows_seen:7d} / {D} rows "
-                  f"(summary is {K} x {N}, {K * N * 8 / 1e6:.1f} MB, independent of the stream length)")
+        fd.update(problem.a[start : start + BATCH])
+        if (start // BATCH) % 4 == 0:
+            print(
+                f"  streamed {fd.rows_seen:6d} / {D} rows "
+                f"(summary is {2 * ELL} x {N} = "
+                f"{2 * ELL * N * 8 / 1e3:.0f} kB, {fd.shrink_count} shrinks)"
+            )
 
-    sketched_a: DeviceArray = feature_sketch.result()
-    sketched_b: DeviceArray = target_sketch.result()
+    # Rank-k basis from the summary alone; project the stream onto it.
+    v, _singular_values = fd.lowrank(RANK)
+    approx_error = np.linalg.norm(problem.a - (problem.a @ v) @ v.T) / np.linalg.norm(problem.a)
+    optimum = problem.optimal_error(RANK)
+    bound = fd_error_bound(problem.singular_values, ELL, RANK)
 
-    # Solve the sketched regression problem: min || S b - S A x ||.
-    y = sketched_a.to_host()
-    z = sketched_b.to_host()[:, 0]
-    x_hat, *_ = np.linalg.lstsq(y, z, rcond=None)
-
-    err = np.linalg.norm(x_hat - x_true) / np.linalg.norm(x_true)
     print()
-    print(f"Recovered regression coefficients from the sketch alone:")
-    print(f"  relative coefficient error   : {err:.3e}")
+    print(f"rank-{RANK} approximation from the {ELL}-row summary:")
+    print(f"  relative Frobenius error     : {approx_error:.4f}")
+    print(f"  truncated-SVD optimum        : {optimum:.4f}  (ratio {approx_error / optimum:.3f})")
+    print(f"  FD guarantee at ell = {ELL}    : <= {bound:.3f} x optimum")
     print(f"  simulated sketching time     : {executor.elapsed * 1e3:.2f} ms (H100 cost model)")
-    print(f"  stored random state          : just the 64-bit seed (hash-based row map/signs)")
+    assert approx_error <= bound * optimum * (1 + 1e-9)
+
+    # The same path is one serving call: the endpoint streams the rows
+    # through an identical accumulator on a scheduler-chosen shard.
+    from repro import SketchServer
+
+    server = SketchServer(shards=2)
+    response = server.approx_lowrank(problem.a, RANK, method="frequent_directions")
+    print(f"  SketchServer.approx_lowrank  : error {response.relative_error:.4f} "
+          f"on shard {response.shard} ({response.simulated_seconds * 1e3:.2f} ms incl. transfer)")
+    assert abs(response.relative_error - approx_error) < 1e-12
     print()
-    print("The full matrix was never materialised: each batch was folded into the")
-    print("k x n CountSketch summary as it arrived, which is exactly the streaming")
-    print("use case the paper's Section 8 points at.")
+    print("The stream was summarised in one pass with fixed memory; the same")
+    print("accumulator backs lowrank_approx(method='frequent_directions'),")
+    print("SketchServer.approx_lowrank, and open_stream(mode='fd') sessions.")
 
 
 if __name__ == "__main__":

@@ -30,10 +30,17 @@ The package is organised as:
   p50/p95/p99 latency and throughput.
 * :mod:`repro.streaming` -- the online engine: a
   :class:`~repro.streaming.solver.StreamingSolver` maintains the hashed
-  CountSketch of a sliding / landmark / decayed window over a row stream,
-  detects drift from residual energy and condition probes, and lazily
-  re-solves the window through the planner; ``SketchServer.open_stream``
-  serves it.
+  CountSketch of a sliding / landmark / decayed window over a row stream
+  (or a Frequent Directions spectral summary, ``mode="fd"``), detects
+  drift from residual energy and condition probes, and lazily re-solves
+  the window through the planner; ``SketchServer.open_stream`` serves it.
+* :mod:`repro.problems` -- problem classes beyond plain least squares:
+  ridge regression (``solve_ridge``, three registered solvers with
+  lambda-aware stability floors) and sketched low-rank approximation
+  (``lowrank_approx``: randomized range finder and the streaming
+  :class:`~repro.problems.lowrank.FrequentDirections` accumulator), all
+  routed through the same registry/planner and served by
+  ``SketchServer.solve_ridge`` / ``SketchServer.approx_lowrank``.
 
 Quick start::
 
@@ -84,8 +91,16 @@ from repro.linalg import (
     sketch_precond_lsqr,
     solve,
 )
+from repro.problems import (
+    FrequentDirections,
+    LowRankResult,
+    lowrank_approx,
+    randomized_range_finder,
+    solve_ridge,
+)
 from repro.serving import (
     IngestReport,
+    LowRankResponse,
     MicroBatcher,
     OperatorCache,
     ServerConfig,
@@ -104,7 +119,7 @@ from repro.streaming import (
     StreamingSolver,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CountSketch",
@@ -134,6 +149,12 @@ __all__ = [
     "sketch_and_solve",
     "sketch_precond_lsqr",
     "solve",
+    "FrequentDirections",
+    "LowRankResult",
+    "lowrank_approx",
+    "randomized_range_finder",
+    "solve_ridge",
+    "LowRankResponse",
     "MicroBatcher",
     "OperatorCache",
     "ServerConfig",

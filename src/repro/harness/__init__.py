@@ -6,8 +6,10 @@
   sweep configuration object.
 * :mod:`repro.harness.experiments` -- one entry point per paper artefact
   (``table1``, ``figure2`` ... ``figure8``, ``headline_speedup``,
-  ``section7_distributed``) plus ``serving_throughput`` for the serving
-  layer's batched-vs-naive comparison.
+  ``section7_distributed``) plus the system-growth experiments:
+  ``serving_throughput`` (batched vs naive), ``solver_policy`` (adaptive
+  routing), ``streaming_drift`` (online engine) and ``problem_classes``
+  (ridge routing + low-rank accuracy, :mod:`repro.problems`).
 * :mod:`repro.harness.report` -- plain-text renderers that print the same
   rows / series the paper's figures show.
 """
@@ -26,6 +28,7 @@ from repro.harness.experiments import (
     figure7,
     figure8,
     headline_speedup,
+    problem_classes,
     section7_distributed,
     serving_throughput,
     solver_policy,
@@ -50,6 +53,7 @@ __all__ = [
     "figure7",
     "figure8",
     "headline_speedup",
+    "problem_classes",
     "section7_distributed",
     "serving_throughput",
     "solver_policy",

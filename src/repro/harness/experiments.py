@@ -695,3 +695,94 @@ def section7_distributed(
             rows[idx]["p"] = p
             idx += 1
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Problem classes: ridge routing + low-rank accuracy (repro.problems)
+# ---------------------------------------------------------------------------
+def problem_classes(
+    d: int = 4096,
+    n: int = 32,
+    *,
+    ridge_cases: Sequence = ((1e2, 1e-4), (1e6, 1e-4), (1e10, 1e-6), (1e12, 1e-14)),
+    rank: int = 8,
+    decay: float = 0.5,
+    power_iters: int = 1,
+    accuracy_target: float = 1e-6,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """The multi-problem planner's accuracy/routing table (repro.problems).
+
+    Ridge rows: one per ``(cond, lam_rel)`` case -- the planner solves the
+    Tikhonov problem end-to-end (spectrum probe, lambda-aware admissibility,
+    fallback chain) and the row records the executed solver, the attempted
+    chain, and the ridge-objective residual relative to the dense direct
+    solve (:func:`repro.problems.ridge.dense_ridge_reference`); the
+    ``lam_rel = 1e-14`` case keeps the effective conditioning near
+    ``kappa(A)`` so the routing visibly avoids (or falls back from) the
+    regularized normal equations.
+
+    Low-rank rows: one per method (range finder / Frequent Directions) on a
+    decaying-spectrum matrix, with the Frobenius error relative to the
+    truncated-SVD optimum (known in closed form from the generator's
+    spectrum).  ``benchmarks/test_problems.py`` asserts both row families.
+    """
+    from repro.problems import (
+        dense_ridge_reference,
+        lowrank_approx,
+        ridge_residuals,
+        solve_ridge,
+    )
+    from repro.workloads.lowrank import decaying_spectrum_matrix
+    from repro.workloads.ridge import make_ridge_problem
+
+    rows: List[Dict[str, float]] = []
+    for i, (cond, lam_rel) in enumerate(ridge_cases):
+        problem = make_ridge_problem(
+            d, n, cond=float(cond), lam_rel=float(lam_rel), seed=seed + i
+        )
+        result = solve_ridge(
+            problem.a, problem.b, problem.lam, accuracy_target=accuracy_target
+        )
+        x_ref = dense_ridge_reference(problem.a, problem.b, problem.lam)
+        _, ref_rel, _ = ridge_residuals(problem.a, problem.b, x_ref, problem.lam)
+        rows.append(
+            {
+                "problem": "ridge",
+                "method": result.attempted_solvers[-1],
+                "attempted": result.extra.get("attempted", result.method),
+                "cond": float(cond),
+                "lam_rel": float(lam_rel),
+                "effective_cond": problem.effective_condition(),
+                "relative_residual": result.relative_residual,
+                "reference_residual": ref_rel,
+                "residual_ratio": (
+                    result.relative_residual / ref_rel if ref_rel > 0 else float("inf")
+                ),
+                "fallbacks": float(result.extra.get("fallbacks", 0.0)),
+                "failed": float(result.failed),
+                "simulated_seconds": result.total_seconds,
+            }
+        )
+
+    lowrank = decaying_spectrum_matrix(d, n, rank=rank, decay=decay, seed=seed)
+    optimum = lowrank.optimal_error(rank)
+    for method, kwargs in (
+        ("rangefinder", {"power_iters": power_iters}),
+        ("frequent_directions", {}),
+    ):
+        result = lowrank_approx(lowrank.a, rank, method=method, seed=seed, **kwargs)
+        rows.append(
+            {
+                "problem": "lowrank",
+                "method": result.method,
+                "attempted": result.method,
+                "rank": float(rank),
+                "relative_error": result.relative_error,
+                "optimal_error": optimum,
+                "error_ratio": result.relative_error / optimum if optimum > 0 else 1.0,
+                "simulated_seconds": result.total_seconds,
+                **{f"extra_{k}": v for k, v in result.extra.items()},
+            }
+        )
+    return rows

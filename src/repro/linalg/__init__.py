@@ -16,11 +16,17 @@ plus the problem generators with prescribed condition numbers used by
 Figure 8 (:mod:`repro.linalg.conditioning`).
 
 All five solvers are also registered behind one uniform interface in
-:mod:`repro.linalg.registry` (``SolveSpec`` / ``Solver`` protocol /
+:mod:`repro.linalg.registry` (``SolveSpec`` / ``SolverCapabilities`` /
 ``solve``), and :mod:`repro.linalg.planner` routes a problem to the cheapest
 solver whose declared stability floor meets the request's accuracy target,
 executing fallback chains (e.g. normal-equations POTRF failure ->
 rand_cholQR -> preconditioned LSQR) instead of returning ``failed=True``.
+
+The registry is multi-problem: a ``SolveSpec`` with ``regularization > 0``
+routes to the ridge solvers of :mod:`repro.problems.ridge` (registered
+under the ``"ridge"`` problem class, with stability floors evaluated at
+the lambda-shifted effective conditioning), through exactly the same
+planner and fallback machinery.
 """
 
 from repro.linalg.lstsq import (

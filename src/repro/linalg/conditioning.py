@@ -112,22 +112,47 @@ def estimate_condition(
     itself is rank-deficient in floating point, which the planner treats as
     "worse than every solver's stability limit" anyway.
     """
+    smax, smin = estimate_spectrum_bounds(a, oversampling=oversampling, seed=seed)
+    if smin == 0.0:
+        return float("inf")
+    return smax / smin
+
+
+def estimate_spectrum_bounds(
+    a: np.ndarray,
+    *,
+    oversampling: float = 2.0,
+    seed: Optional[int] = 0,
+) -> tuple:
+    """Sketched estimates ``(sigma_max, sigma_min)`` of a tall matrix.
+
+    The same one-pass CountSketch probe as :func:`estimate_condition` (the
+    singular values of ``S A`` track those of ``A`` within the embedding
+    distortion), but returning the spectrum *extremes* rather than their
+    ratio.  The planner needs the absolute scale for ridge routing: the
+    Tikhonov ``lam`` only regularizes relative to ``sigma_min(A)^2``, so
+    deciding whether the lambda-augmented system is benign requires knowing
+    where the spectrum sits, not just how wide it is
+    (:func:`repro.linalg.registry.ridge_effective_condition`).
+    """
     a = np.asarray(a, dtype=np.float64)
     if a.ndim != 2 or a.shape[0] < a.shape[1]:
-        raise ValueError("estimate_condition expects a tall d x n matrix")
+        raise ValueError("estimate_spectrum_bounds expects a tall d x n matrix")
     d, n = a.shape
     # A CountSketch is an embedding at k ~ n^2 rows (Table 1), so the probe
     # uses k = 2 * oversampling * n^2 clipped to d -- the same one-pass /
     # O(d n + n^4)-work budget as the multisketch's first stage.
     k = min(d, max(int(np.ceil(2.0 * oversampling * n * n)), n + 4))
     if k >= d:
-        return condition_number(a)
+        svals = np.linalg.svd(a, compute_uv=False)
+        return float(svals.max()), float(svals.min())
     rng = np.random.default_rng(seed)
     rows = rng.integers(0, k, size=d)
     signs = rng.integers(0, 2, size=d).astype(np.float64) * 2.0 - 1.0
     sa = np.zeros((k, n))
     np.add.at(sa, rows, a * signs[:, None])
-    return condition_number(sa)
+    svals = np.linalg.svd(sa, compute_uv=False)
+    return float(svals.max()), float(svals.min())
 
 
 def well_conditioned_matrix(

@@ -3,12 +3,15 @@
 The registry (:mod:`repro.linalg.registry`) says what each solver *can* do;
 this module decides what each request *should* use:
 
-1. probe the conditioning with one cheap sketched estimate
-   (:func:`repro.linalg.conditioning.estimate_condition` -- one pass over
-   ``A`` plus a tiny SVD, off the simulated clock like every other planning
-   step);
-2. keep the solvers whose declared stability floor and distortion meet the
-   spec's accuracy target at that conditioning;
+1. probe the spectrum with one cheap sketched estimate
+   (:func:`repro.linalg.conditioning.estimate_condition` /
+   :func:`~repro.linalg.conditioning.estimate_spectrum_bounds` -- one pass
+   over ``A`` plus a tiny SVD, off the simulated clock like every other
+   planning step);
+2. keep the solvers of the spec's *problem class* (plain least squares, or
+   ridge when ``spec.regularization > 0``) whose declared stability floor
+   and distortion meet the spec's accuracy target at that conditioning --
+   for ridge, at the lambda-shifted *effective* conditioning;
 3. rank them by expected simulated seconds
    (:meth:`~repro.linalg.registry.RegisteredSolver.estimate_seconds`: a
    memoised analytic dry-run on the device model, so the ranking input is
@@ -45,12 +48,13 @@ from repro.core.base import SketchOperator
 from repro.gpu.arrays import DeviceArray
 from repro.gpu.device import DeviceSpec, H100_SXM5
 from repro.gpu.executor import GPUExecutor
-from repro.linalg.conditioning import estimate_condition
+from repro.linalg.conditioning import estimate_condition, estimate_spectrum_bounds
 from repro.linalg.lstsq import LeastSquaresResult
 from repro.linalg.registry import (
     SolveSpec,
     available_solvers,
     canonical_solver_name,
+    ensure_problem_solvers,
     get_solver,
 )
 
@@ -59,15 +63,32 @@ ArrayLike = Union[np.ndarray, DeviceArray]
 #: Recognised planning policies (also normalised by the serving layer).
 POLICIES = ("fixed", "adaptive", "cheapest_accurate")
 
-#: Chain order used to break cost ties and to append last-resort solvers:
-#: most robust last (QR is the solver of record when everything else fails).
-_ROBUSTNESS_ORDER = (
-    "normal_equations",
-    "sketch_and_solve",
-    "rand_cholqr",
-    "sketch_precond_lsqr",
-    "qr",
-)
+#: Chain order per problem class, used to break cost ties and to append
+#: last-resort solvers: most robust last (the exact-QR family is the solver
+#: of record when everything else fails).
+_ROBUSTNESS_ORDER = {
+    "least_squares": (
+        "normal_equations",
+        "sketch_and_solve",
+        "rand_cholqr",
+        "sketch_precond_lsqr",
+        "qr",
+    ),
+    "ridge": (
+        "ridge_normal_equations",
+        "ridge_precond_lsqr",
+        "ridge_qr",
+    ),
+}
+
+#: Solvers appended to every fallback chain of a problem class (in order),
+#: regardless of admissibility: a fallback runs because a breakdown just
+#: disproved the conditioning estimate, so the chain must end in solvers
+#: that survive any conditioning.
+_LAST_RESORT = {
+    "least_squares": ("rand_cholqr", "sketch_precond_lsqr", "qr"),
+    "ridge": ("ridge_precond_lsqr", "ridge_qr"),
+}
 
 
 def normalize_policy(policy: str) -> str:
@@ -116,16 +137,42 @@ class SolvePlan:
             raise ValueError("plan chain must start with the chosen solver")
 
 
-def _probe_condition(a: Optional[ArrayLike], spec: SolveSpec) -> float:
-    """Conditioning for planning: the spec's estimate, else a sketched probe."""
-    if spec.cond_estimate is not None:
-        return float(spec.cond_estimate)
+def _probe_spectrum(a: Optional[ArrayLike], spec: SolveSpec) -> Tuple[float, Optional[float]]:
+    """``(kappa, smax)`` for planning: the spec's estimates, else one sketched probe.
+
+    ``smax`` is only needed to place the ridge lambda on the singular-value
+    scale (:meth:`~repro.linalg.registry.SolveSpec.effective_condition`);
+    it comes from the same sketched SVD as the condition estimate, so ridge
+    planning costs no extra passes over ``A``.  ``None`` means unknown
+    (shape-only planning), which leaves the effective conditioning at the
+    unit scale.
+    """
     if a is None:
-        return 1.0  # optimistic: shape-only planning
-    a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
-    if a_np is None:  # analytic-mode device handle: nothing to probe
-        return 1.0
-    return estimate_condition(a_np, oversampling=spec.oversampling, seed=spec.seed)
+        a_np = None
+    else:
+        a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
+    if spec.cond_estimate is not None:
+        smax = spec.smax_estimate
+        if smax is None and spec.regularization > 0.0 and a_np is not None:
+            # A ridge floor evaluated with the default unit smax can be off
+            # by orders of magnitude; with the matrix in hand, one probe
+            # fills the scale even when the caller supplied kappa.
+            smax, _ = estimate_spectrum_bounds(
+                a_np, oversampling=spec.oversampling, seed=spec.seed
+            )
+        return float(spec.cond_estimate), smax
+    if a_np is None:  # no matrix / analytic-mode handle: nothing to probe
+        return 1.0, spec.smax_estimate
+    if spec.regularization > 0.0:
+        smax, smin = estimate_spectrum_bounds(
+            a_np, oversampling=spec.oversampling, seed=spec.seed
+        )
+        cond = float("inf") if smin == 0.0 else smax / smin
+        return cond, smax
+    return (
+        estimate_condition(a_np, oversampling=spec.oversampling, seed=spec.seed),
+        spec.smax_estimate,
+    )
 
 
 def plan(
@@ -163,11 +210,18 @@ def plan(
         spec = SolveSpec.from_problem(a_np, **spec_overrides)
     elif spec_overrides:
         spec = replace(spec, **spec_overrides)
+    ensure_problem_solvers(spec.problem)
 
     if policy == "fixed":
         if solver is None:
             raise ValueError("the 'fixed' policy needs an explicit solver")
         name = canonical_solver_name(solver)
+        if get_solver(name).capabilities.problem != spec.problem:
+            raise ValueError(
+                f"fixed routing to '{name}' "
+                f"({get_solver(name).capabilities.problem}) cannot serve a "
+                f"'{spec.problem}' spec: it would answer the wrong question"
+            )
         return SolvePlan(
             solver=name,
             chain=(name,),
@@ -179,13 +233,20 @@ def plan(
             reason=f"fixed routing to {name}",
         )
 
-    cond = _probe_condition(a, spec)
-    spec = replace(spec, cond_estimate=cond)
+    cond, smax = _probe_spectrum(a, spec)
+    spec = replace(spec, cond_estimate=cond, smax_estimate=smax)
+    # All floor comparisons happen at the conditioning the solver actually
+    # faces: kappa(A) for least squares, the lambda-shifted effective
+    # kappa of the augmented system for ridge.
+    cond_eff = spec.effective_condition(cond)
+    order = _ROBUSTNESS_ORDER[spec.problem]
 
     candidates = {}
     for name in available_solvers():
         registered = get_solver(name)
         caps = registered.capabilities
+        if caps.problem != spec.problem:
+            continue  # a solver for a different question is never a candidate
         candidates[name] = {
             "caps": caps,
             "cost": registered.estimate_seconds(spec, device),
@@ -198,7 +259,7 @@ def plan(
         # Nothing meets the target (e.g. kappa beyond every floor): serve
         # best-effort with the most robust solvers rather than refusing.
         chain = tuple(
-            n for n in _ROBUSTNESS_ORDER if n in candidates and candidates[n]["caps"].distortion == 1.0
+            n for n in order if n in candidates and candidates[n]["caps"].distortion == 1.0
         )[::-1]
         chain = chain or tuple(candidates)
         return SolvePlan(
@@ -211,18 +272,18 @@ def plan(
             costs=costs,
             reason=(
                 f"no solver meets target {spec.accuracy_target:.1e} at "
-                f"kappa~{cond:.1e}; serving best-effort, most robust first"
+                f"effective kappa~{cond_eff:.1e}; serving best-effort, most robust first"
             ),
         )
 
-    by_cost = sorted(admissible, key=lambda n: (costs[n], _ROBUSTNESS_ORDER.index(n)))
+    by_cost = sorted(admissible, key=lambda n: (costs[n], order.index(n)))
     chosen = by_cost[0]
-    reason = f"cheapest admissible at kappa~{cond:.1e}"
+    reason = f"cheapest admissible at effective kappa~{cond_eff:.1e}"
     if solver is not None:
         preferred = canonical_solver_name(solver)
         if preferred in admissible:
             chosen = preferred
-            reason = f"requested solver admissible at kappa~{cond:.1e}"
+            reason = f"requested solver admissible at effective kappa~{cond_eff:.1e}"
 
     if policy == "adaptive" and spec.latency_budget is not None:
         within = [n for n in admissible if costs[n] <= spec.latency_budget]
@@ -231,7 +292,7 @@ def plan(
             chosen = min(
                 within,
                 key=lambda n: (
-                    candidates[n]["caps"].accuracy_floor(cond),
+                    candidates[n]["caps"].accuracy_floor(cond_eff),
                     candidates[n]["caps"].distortion,
                     costs[n],
                 ),
@@ -242,17 +303,18 @@ def plan(
             reason = "nothing fits the latency budget; degraded to cheapest admissible"
 
     # Fallback chain: remaining *distortion-free* admissible solvers by
-    # cost, then the last-resort robust solvers (QR last).  A fallback runs
-    # because a breakdown just disproved the conditioning estimate, so
-    # solvers whose admissibility leaned on that estimate's optimism (the
-    # distortion-bearing sketch-and-solve chief among them) are skipped --
-    # matching the POTRF failure -> rand_cholQR -> LSQR chain of the issue.
+    # cost, then the problem class's last-resort robust solvers (exact QR
+    # last).  A fallback runs because a breakdown just disproved the
+    # conditioning estimate, so solvers whose admissibility leaned on that
+    # estimate's optimism (the distortion-bearing sketch-and-solve chief
+    # among them) are skipped -- matching the POTRF failure -> rand_cholQR
+    # -> LSQR chain of the issue.
     chain = [chosen] + [
         n
         for n in by_cost
         if n != chosen and candidates[n]["caps"].distortion == 1.0
     ]
-    for name in ("rand_cholqr", "sketch_precond_lsqr", "qr"):
+    for name in _LAST_RESORT[spec.problem]:
         if name in candidates and name not in chain:
             chain.append(name)
     return SolvePlan(

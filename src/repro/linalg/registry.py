@@ -4,16 +4,18 @@ The paper's central comparison (Sections 6-7) is between solver *families* --
 normal equations, sketch-and-solve (Algorithm 1), Householder QR,
 rand_cholQR (Algorithm 5) and sketch-preconditioned LSQR -- yet each family
 historically had its own free function with its own signature.  This module
-puts all five behind one uniform interface so callers (the planner, the
+puts them all behind one uniform interface so callers (the planner, the
 serving layer, the harness) can treat "which solver" as data:
 
 * :class:`SolveSpec` -- the request: problem shape, number of fused
-  right-hand sides, conditioning estimate, accuracy target, latency budget,
-  sketch family and oversampling.
+  right-hand sides, Tikhonov regularization, conditioning estimate,
+  accuracy target, latency budget, sketch family and oversampling.
 * :class:`SolverCapabilities` -- what a registered solver declares about
-  itself: batched-RHS support, whether it needs a sketch operator, its
-  stability floor (``u * kappa(A)`` vs ``u * kappa(A)^2``), its residual
-  distortion, and a cost model grounded in
+  itself: the *problem class* it solves (plain least squares or ridge),
+  batched-RHS support, whether it needs a sketch operator, its stability
+  floor (``u * kappa(A)`` vs ``u * kappa(A)^2``, evaluated at the
+  lambda-regularized effective conditioning for ridge solvers), its
+  residual distortion, and a cost model grounded in
   :func:`repro.theory.complexity.solver_complexity`.
 * :class:`RegisteredSolver` -- capabilities plus the adapter callable, with
   ``solve(a, b, spec)`` dispatching to the underlying implementation and a
@@ -21,7 +23,10 @@ serving layer, the harness) can treat "which solver" as data:
 * :func:`register_solver` / :func:`get_solver` / :func:`available_solvers` --
   the registry itself.
 
-The planner (:mod:`repro.linalg.planner`) builds a
+The five least-squares solvers register themselves below; the ridge solvers
+live in :mod:`repro.problems.ridge` and register on import (the planner and
+:func:`solve` trigger that import whenever a spec carries
+``regularization > 0``).  The planner (:mod:`repro.linalg.planner`) builds a
 :class:`~repro.linalg.planner.SolvePlan` on top of these declarations; the
 serving layer (:mod:`repro.serving.server`) executes plans per micro-batch.
 """
@@ -57,6 +62,34 @@ UNIT_ROUNDOFF = float(np.finfo(np.float64).eps)
 STABILITY_SAFETY = 10.0
 
 
+def ridge_effective_condition(
+    cond: float, regularization: float, smax: float = 1.0
+) -> float:
+    """Condition number of the lambda-augmented system ``[A; sqrt(lam) I]``.
+
+    Tikhonov regularization shifts every squared singular value by
+    ``lam``, so the augmented matrix the ridge solvers factor has
+
+    ``kappa_eff = sqrt((smax^2 + lam) / (smin^2 + lam))``
+
+    with ``smin = smax / kappa(A)``.  This is why a ridge solver's stability
+    floor is a function of *both* ``kappa`` and ``lam``: even a singular
+    ``A`` is benign once ``lam`` dominates ``smin^2``, while a lambda far
+    below ``smin^2`` leaves the effective conditioning at ``kappa(A)``.
+    ``smax`` defaults to 1 (the scale of the planner's probe when no
+    estimate is available); infinite ``cond`` (an exactly singular ``A``)
+    is handled by the same formula with ``smin = 0``.
+    """
+    if regularization < 0.0:
+        raise ValueError("regularization must be non-negative")
+    if regularization == 0.0 or not np.isfinite(smax) or smax <= 0.0:
+        return float(cond)
+    smin = 0.0 if not np.isfinite(cond) else smax / float(cond)
+    return float(
+        np.sqrt((smax**2 + regularization) / (smin**2 + regularization))
+    )
+
+
 def resolve_embedding_dim(kind: str, d: int, n: int, oversampling: float = 2.0) -> int:
     """Embedding dimension for a ``d x n`` problem, oversampling included.
 
@@ -83,10 +116,21 @@ class SolveSpec:
         Problem shape (``A`` is tall, ``d > n``).
     nrhs:
         Number of fused right-hand sides (1 for a vector ``b``).
+    regularization:
+        Tikhonov parameter ``lam`` of ``min_x ||b - A x||^2 + lam ||x||^2``.
+        0 (the default) is plain least squares; any positive value makes
+        this a *ridge* request, which only the ridge problem class's
+        solvers (:mod:`repro.problems.ridge`) can serve.
     cond_estimate:
         Estimated ``kappa(A)`` (e.g. from
         :func:`repro.linalg.conditioning.estimate_condition`); ``None`` means
         unknown, which the planner treats conservatively.
+    smax_estimate:
+        Estimated largest singular value of ``A``; used together with
+        ``cond_estimate`` and ``regularization`` to evaluate ridge
+        stability floors at the *effective* (lambda-shifted) conditioning
+        (:func:`ridge_effective_condition`).  Ignored for plain least
+        squares.
     accuracy_target:
         Worst acceptable relative residual attributable to the *solver* on a
         near-consistent system -- the quantity Figure 8 sweeps.  A solver is
@@ -113,7 +157,9 @@ class SolveSpec:
     d: int
     n: int
     nrhs: int = 1
+    regularization: float = 0.0
     cond_estimate: Optional[float] = None
+    smax_estimate: Optional[float] = None
     accuracy_target: float = 1e-6
     max_distortion: float = float("inf")
     latency_budget: Optional[float] = None
@@ -126,8 +172,31 @@ class SolveSpec:
             raise ValueError("SolveSpec describes tall problems (d > n)")
         if self.nrhs <= 0:
             raise ValueError("nrhs must be positive")
+        if self.regularization < 0.0:
+            raise ValueError("regularization (Tikhonov lambda) must be non-negative")
         if self.accuracy_target <= 0.0:
             raise ValueError("accuracy_target must be positive")
+
+    @property
+    def problem(self) -> str:
+        """Problem class this spec describes: ``"least_squares"`` or ``"ridge"``."""
+        return "ridge" if self.regularization > 0.0 else "least_squares"
+
+    def effective_condition(self, cond: Optional[float] = None) -> Optional[float]:
+        """Conditioning the solver actually faces under this spec.
+
+        For plain least squares this is ``cond`` (or the spec's own
+        estimate); for ridge it is the lambda-shifted
+        :func:`ridge_effective_condition` of the augmented system.
+        """
+        if cond is None:
+            cond = self.cond_estimate
+        if cond is None:
+            return None
+        if self.regularization == 0.0:
+            return float(cond)
+        smax = self.smax_estimate if self.smax_estimate is not None else 1.0
+        return ridge_effective_condition(cond, self.regularization, smax)
 
     @classmethod
     def from_problem(
@@ -173,6 +242,12 @@ class SolverCapabilities:
     ``1 + eps`` for sketch-and-solve).  ``max_stable_cond`` is the hard
     breakdown point beyond which the solver is expected to fail outright
     rather than merely lose accuracy.
+
+    ``problem`` names the problem class the solver answers:
+    ``"least_squares"`` (the five paper solvers) or ``"ridge"``
+    (:mod:`repro.problems.ridge`).  A solver is never admissible for a
+    spec of a different class -- a plain least-squares solver ignores
+    ``spec.regularization`` and would silently answer the wrong question.
     """
 
     name: str
@@ -183,6 +258,7 @@ class SolverCapabilities:
     max_stable_cond: float = 1.0 / UNIT_ROUNDOFF
     safety: float = STABILITY_SAFETY
     iterative: bool = False
+    problem: str = "least_squares"
     description: str = ""
 
     def accuracy_floor(self, cond: float) -> float:
@@ -192,13 +268,18 @@ class SolverCapabilities:
     def admissible(self, spec: SolveSpec, cond: Optional[float] = None) -> bool:
         """Whether this solver can meet the spec at the given conditioning.
 
-        Unknown conditioning (``None``) is treated optimistically here; the
+        ``cond`` is the raw ``kappa(A)`` estimate; a ridge spec's lambda
+        shift is applied here via :meth:`SolveSpec.effective_condition`, so
+        the floor is a function of both ``kappa`` and ``lam``.  A solver of
+        a different problem class than the spec's is never admissible.
+        Unknown conditioning (``None``) is treated optimistically; the
         planner substitutes its sketched estimate before asking.
         """
+        if self.problem != spec.problem:
+            return False
         if self.distortion > spec.max_distortion:
             return False
-        if cond is None:
-            cond = spec.cond_estimate
+        cond = spec.effective_condition(cond)
         if cond is None:
             return True
         if cond >= self.max_stable_cond:
@@ -341,14 +422,21 @@ class RegisteredSolver:
     def build_operator(
         self, spec: SolveSpec, executor: Optional[GPUExecutor] = None
     ) -> SketchOperator:
-        """Construct the sketch operator this solver would use for ``spec``."""
+        """Construct the sketch operator this solver would use for ``spec``.
+
+        Ridge solvers factor the lambda-augmented matrix ``[A; sqrt(lam) I]``
+        (``(d + n) x n``), so their operators take ``d + n`` input rows; the
+        embedding dimension is shared with the plain solvers so serving-side
+        cache keys stay comparable across problem classes.
+        """
         from repro.serving.cache import build_operator as _build  # local: avoid cycle
 
         if executor is None:
             executor = GPUExecutor(numeric=True, seed=spec.seed, track_memory=False)
+        input_rows = spec.d + spec.n if self.capabilities.problem == "ridge" else spec.d
         return _build(
             spec.kind,
-            spec.d,
+            input_rows,
             spec.n,
             executor=executor,
             seed=spec.seed,
@@ -377,11 +465,21 @@ _ALIASES = {
 
 
 def canonical_solver_name(name: str) -> str:
-    """Map any accepted spelling to the canonical registry name."""
+    """Map any accepted spelling to the canonical registry name.
+
+    A name registered directly (e.g. by :mod:`repro.problems.ridge`) wins
+    over the alias table, so new problem classes extend the namespace by
+    registering solvers plus optional :func:`register_alias` spellings.
+    """
     low = name.lower()
+    if low in _REGISTRY:
+        return low
     for canonical, spellings in _ALIASES.items():
         if low in spellings:
             return canonical
+    ensure_problem_solvers("ridge")  # ridge names resolve even pre-import
+    if low in _REGISTRY:
+        return low
     raise ValueError(
         f"unknown solver '{name}'; registered: {sorted(_REGISTRY) or list(_ALIASES)}"
     )
@@ -391,6 +489,26 @@ def register_solver(solver: RegisteredSolver) -> RegisteredSolver:
     """Add (or replace) a solver in the registry; returns it for chaining."""
     _REGISTRY[solver.name] = solver
     return solver
+
+
+def register_alias(canonical: str, *spellings: str) -> None:
+    """Accept extra spellings for a registered solver name."""
+    existing = _ALIASES.get(canonical, (canonical,))
+    merged = tuple(dict.fromkeys(existing + tuple(s.lower() for s in spellings)))
+    _ALIASES[canonical] = merged
+
+
+def ensure_problem_solvers(problem: str) -> None:
+    """Import the module that registers a problem class's solvers.
+
+    The least-squares solvers register at the bottom of this module; other
+    problem classes live in :mod:`repro.problems` and register on first
+    use.  Called by :func:`solve` and the planner whenever a spec names a
+    non-default problem, so callers never need to import
+    :mod:`repro.problems` themselves.
+    """
+    if problem == "ridge":
+        import repro.problems.ridge  # noqa: F401  (registers on import)
 
 
 def get_solver(name: str) -> RegisteredSolver:
@@ -549,8 +667,18 @@ def solve(
         spec = SolveSpec.from_problem(a_np, b_np, **spec_overrides)
     elif spec_overrides:
         spec = replace(spec, **spec_overrides)
+    ensure_problem_solvers(spec.problem)
     if solver is not None:
-        return get_solver(solver).solve(a, b, spec, operator=operator, executor=executor)
+        registered = get_solver(solver)
+        if registered.capabilities.problem != spec.problem:
+            # A least-squares solver would silently drop the regularization
+            # (and a ridge solver would invent one): refuse loudly.
+            raise ValueError(
+                f"solver '{registered.name}' answers the "
+                f"'{registered.capabilities.problem}' problem class, but the "
+                f"spec describes a '{spec.problem}' problem"
+            )
+        return registered.solve(a, b, spec, operator=operator, executor=executor)
     from repro.linalg.planner import plan_and_execute  # local: planner imports registry
 
     return plan_and_execute(a, b, spec, executor=executor)

@@ -1,0 +1,60 @@
+"""Problem classes beyond plain least squares, routed through the planner.
+
+The registry/planner pipeline of :mod:`repro.linalg` treats "which solver"
+as data; this package treats "which *problem*" the same way:
+
+* :mod:`repro.problems.ridge` -- Tikhonov-regularized regression.  Three
+  solvers register under the ``"ridge"`` problem class (augmented-matrix
+  normal equations, sketch-preconditioned LSQR on the regularized system,
+  Householder QR on the augmented matrix); any
+  :class:`~repro.linalg.registry.SolveSpec` with ``regularization > 0``
+  routes to them through the ordinary planner, with stability floors
+  evaluated at the lambda-shifted effective conditioning.
+* :mod:`repro.problems.lowrank` -- sketched low-rank approximation: the
+  randomized range finder (Gaussian test matrix + power iteration) and the
+  streaming :class:`~repro.problems.lowrank.FrequentDirections`
+  accumulator, which also plugs into the streaming engine as a
+  window-summary alternative
+  (:class:`repro.streaming.state.FrequentDirectionsState`).
+
+Importing this package registers the ridge solvers; callers going through
+:func:`repro.linalg.registry.solve`, the planner, or the serving endpoints
+never need to import it explicitly (they trigger the registration on the
+first ridge spec they see).
+"""
+
+from repro.problems.lowrank import (
+    LOWRANK_METHODS,
+    FrequentDirections,
+    LowRankResult,
+    lowrank_approx,
+    optimal_rank_error,
+    randomized_range_finder,
+)
+from repro.problems.ridge import (
+    RIDGE_SOLVERS,
+    augment_ridge_system,
+    dense_ridge_reference,
+    ridge_normal_equations,
+    ridge_precond_lsqr,
+    ridge_qr,
+    ridge_residuals,
+    solve_ridge,
+)
+
+__all__ = [
+    "LOWRANK_METHODS",
+    "FrequentDirections",
+    "LowRankResult",
+    "lowrank_approx",
+    "optimal_rank_error",
+    "randomized_range_finder",
+    "RIDGE_SOLVERS",
+    "augment_ridge_system",
+    "dense_ridge_reference",
+    "ridge_normal_equations",
+    "ridge_precond_lsqr",
+    "ridge_qr",
+    "ridge_residuals",
+    "solve_ridge",
+]

@@ -5,7 +5,10 @@ millions of users"; this package is the layer that turns the reproduction's
 sketch operators and solvers into such a service:
 
 * :class:`~repro.serving.server.SketchServer` -- the front end accepting
-  ``solve(A, b)`` and ``sketch(A)`` requests.
+  ``solve(A, b)`` and ``sketch(A)`` requests, plus the problem-class
+  endpoints ``solve_ridge(A, b, lam)`` (planner-routed Tikhonov
+  regression) and ``approx_lowrank(A, rank)`` (randomized range finder /
+  Frequent Directions) backed by :mod:`repro.problems`.
 * :class:`~repro.serving.batcher.MicroBatcher` -- coalesces same-matrix
   least-squares requests into fused multi-RHS solves (one ``S A`` sketch and
   one GEQRF per batch instead of per request).
@@ -55,6 +58,7 @@ from repro.serving.cache import (
     resolve_embedding_dim,
 )
 from repro.serving.requests import (
+    LowRankResponse,
     SketchResponse,
     SolveRequest,
     SolveResponse,
@@ -82,6 +86,7 @@ __all__ = [
     "build_operator",
     "operator_cache_key",
     "resolve_embedding_dim",
+    "LowRankResponse",
     "SketchResponse",
     "SolveRequest",
     "SolveResponse",

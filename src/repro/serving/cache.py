@@ -53,8 +53,9 @@ def operator_cache_key(
     seed: Optional[int],
     dtype=np.float64,
     solver: str = "",
+    problem: str = "",
 ) -> Tuple:
-    """The serving cache key: ``(kind, d, n, k, seed, dtype, solver)``.
+    """The serving cache key: ``(kind, d, n, k, seed, dtype, solver, problem)``.
 
     Two operators built from equal keys produce bit-identical sketches, so a
     cached operator can stand in for a freshly built one on any request.
@@ -62,6 +63,12 @@ def operator_cache_key(
     families keep distinct entries (and therefore distinct shard bindings),
     so e.g. a hot sketch-and-solve operator and the rand_cholQR
     preconditioner for the same shape scale independently across the pool.
+    ``problem`` extends the key by problem class (``""`` for plain least
+    squares, ``"ridge"`` / ``"lowrank"`` for the
+    :mod:`repro.problems` endpoints): ridge operators embed the
+    *augmented* ``(d + n)``-row system and range-finder operators are
+    ``n``-input Gaussian test matrices, so the extra field keeps them from
+    ever aliasing a least-squares operator of coincidentally equal shape.
     """
     return (
         normalize_kind(kind),
@@ -71,6 +78,7 @@ def operator_cache_key(
         seed,
         np.dtype(dtype).str,
         solver,
+        problem,
     )
 
 

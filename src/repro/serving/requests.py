@@ -18,6 +18,7 @@ from repro.linalg.planner import normalize_policy
 from repro.linalg.registry import canonical_solver_name
 
 __all__ = [
+    "LowRankResponse",
     "SketchResponse",
     "SolveRequest",
     "SolveResponse",
@@ -158,6 +159,35 @@ class SolveResponse:
     executed_solver: str = ""
     #: Number of fallback hops the batch took before succeeding.
     fallbacks: int = 0
+    #: Problem class the request belonged to ("least_squares" or "ridge");
+    #: ridge responses carry the lambda in ``extra["regularization"]``.
+    problem: str = "least_squares"
+
+
+@dataclass
+class LowRankResponse:
+    """Outcome of an ``approx_lowrank(A, rank)`` request.
+
+    ``left @ right`` is the rank-``rank`` approximation (see
+    :class:`repro.problems.lowrank.LowRankResult` for the per-method factor
+    semantics); ``relative_error`` is its Frobenius error relative to
+    ``||A||_F``.  ``cache_hit`` reports whether the range finder's Gaussian
+    test operator came out of the operator cache (always False for the
+    deterministic Frequent Directions path, which has no operator state).
+    """
+
+    request_id: int
+    left: Optional[np.ndarray]
+    right: Optional[np.ndarray]
+    rank: int
+    method: str
+    relative_error: float
+    simulated_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    shard: int
+    cache_hit: bool
+    extra: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

@@ -18,6 +18,15 @@ Throughput comes from two amortisations measured by
 request, and the operator cache pays sketch generation once per problem
 shape instead of once per request.
 
+Beyond plain ``solve(A, b)`` traffic the server fronts the other problem
+classes of :mod:`repro.problems`: :meth:`SketchServer.solve_ridge` routes
+Tikhonov-regularized requests through the same planner (ridge solver
+registry, lambda-aware stability floors, fallback chains) and
+:meth:`SketchServer.approx_lowrank` serves randomized range-finder /
+Frequent Directions factorizations -- each problem class keeping its own
+operator-cache namespace via the ``problem`` field of
+:func:`~repro.serving.cache.operator_cache_key`.
+
 :func:`naive_solve_loop` is the reference the benchmark compares against: the
 same traffic solved one request at a time with no batching and no caching.
 """
@@ -46,6 +55,7 @@ from repro.serving.cache import (
     resolve_embedding_dim,
 )
 from repro.serving.requests import (
+    LowRankResponse,
     SketchResponse,
     SolveRequest,
     SolveResponse,
@@ -306,32 +316,39 @@ class SketchServer:
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def _cond_estimate(self, a: np.ndarray) -> Optional[float]:
-        """Cached sketched conditioning probe for a live request matrix.
+    def _spectrum_estimate(self, a: np.ndarray) -> Tuple[Optional[float], Optional[float]]:
+        """Cached sketched ``(kappa, sigma_max)`` probe for a live request matrix.
 
         Entries hold a weak reference to the probed array: ``id()`` values
         are reused by the allocator once a matrix dies, so a hit counts only
         when the stored reference still points at *this* array -- a fresh
         matrix that happens to inherit a dead one's id is re-probed, never
-        served a stale estimate.
+        served a stale estimate.  ``sigma_max`` rides along for free (the
+        probe is one sketched SVD) and is what ridge routing uses to place
+        the lambda on the spectrum's scale.
         """
         if not self.config.numeric:
-            return None  # analytic traffic carries no numeric state to probe
+            return None, None  # analytic traffic carries no numeric state to probe
         key = (id(a), a.shape)
         entry = self._cond_cache.get(key)
         if entry is not None:
             ref, value = entry
             if ref() is a:
                 return value
-        from repro.linalg.conditioning import estimate_condition
+        from repro.linalg.conditioning import estimate_spectrum_bounds
 
-        value = estimate_condition(
+        smax, smin = estimate_spectrum_bounds(
             a, oversampling=self.config.oversampling, seed=self.config.seed
         )
+        value = (float("inf") if smin == 0.0 else smax / smin, smax)
         if len(self._cond_cache) >= 256:
             self._cond_cache.clear()
         self._cond_cache[key] = (weakref.ref(a), value)
         return value
+
+    def _cond_estimate(self, a: np.ndarray) -> Optional[float]:
+        """Cached conditioning probe (the ``kappa`` half of the spectrum probe)."""
+        return self._spectrum_estimate(a)[0]
 
     def _plan_batch(self, batch: MicroBatch) -> Tuple[SolvePlan, SolveSpec]:
         """Build the batch's SolveSpec and route it per the server policy."""
@@ -520,6 +537,257 @@ class SketchServer:
     def close_stream(self, session_id: int) -> Dict[str, float]:
         """Close a session and return its final per-session statistics."""
         return self.streams.close(session_id)
+
+    # ------------------------------------------------------------------
+    # problem-class endpoints (see repro.problems)
+    # ------------------------------------------------------------------
+    def _problem_operator(
+        self, kind: str, rows: int, n: int, k: int, *, solver: str, problem: str
+    ) -> Tuple[CacheEntry, bool]:
+        """Find or build a problem-class operator; returns (entry, built).
+
+        Like :meth:`_resolve_operator` but keyed with explicit input rows
+        and the problem class (ridge operators embed the *augmented*
+        ``(d + n)``-row system, range-finder operators are ``n``-input
+        Gaussian test matrices), and placed with plain cache affinity --
+        problem-class requests are not micro-batched, so the hot-key
+        replication machinery is not engaged.
+        """
+        key = operator_cache_key(
+            kind, rows, n, k, self.config.seed, np.float64, solver=solver, problem=problem
+        )
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.scheduler.place(preferred=entry.shard)
+            return entry, False
+        shard = self.scheduler.place()
+        operator = build_operator(
+            kind, rows, n, k=k, executor=self.pool[shard], seed=self.config.seed
+        )
+        return self.cache.put(key, CacheEntry(operator=operator, shard=shard)), True
+
+    def _problem_shard_operator(
+        self, solver_name: str, kind: str, rows: int, n: int, shard: int, k: int, *, problem: str
+    ) -> "SketchOperator":
+        """Operator for a problem-class fallback link, bound to the request's shard."""
+        key = operator_cache_key(
+            kind,
+            rows,
+            n,
+            k,
+            self.config.seed,
+            np.float64,
+            solver=normalize_solver(solver_name),
+            problem=problem,
+        )
+        entry = self.cache.peek(key)
+        if entry is not None and shard in entry.shard_set():
+            return entry.operator_for(shard)
+        operator = build_operator(
+            kind, rows, n, k=k, executor=self.pool[shard], seed=self.config.seed
+        )
+        if self.config.seed is None:
+            return operator  # unseeded state is not shareable; use it once
+        if entry is not None:
+            entry.add_replica(shard, operator)
+        else:
+            self.cache.put(key, CacheEntry(operator=operator, shard=shard))
+        return operator
+
+    def solve_ridge(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lam: float,
+        *,
+        kind: Optional[str] = None,
+        solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
+    ) -> SolveResponse:
+        """Serve ``min_x ||b - A x||^2 + lam ||x||^2`` through the planner.
+
+        The request routes exactly like batch least-squares traffic -- the
+        cached spectrum probe feeds the planner, the cheapest admissible
+        *ridge* solver runs first, breakdowns walk the ridge fallback chain
+        on the chosen shard -- with two differences: sketch operators live
+        under the ``problem="ridge"`` cache namespace at the augmented
+        ``(d + n)``-row height, and an explicit ``solver`` pins the routing
+        (otherwise a ``"fixed"``-policy server routes ridge adaptively,
+        since its configured default solver answers the wrong problem).
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or a.shape[0] <= a.shape[1]:
+            raise ValueError("A must be a tall (d > n) matrix")
+        if b.shape[0] != a.shape[0]:
+            raise ValueError("b must have one entry per row of A")
+        if lam <= 0.0:
+            raise ValueError("solve_ridge needs a positive lam; use solve()/submit() otherwise")
+        kind = normalize_kind(kind if kind is not None else self.config.kind)
+        d, n = a.shape
+        nrhs = b.shape[1] if b.ndim == 2 else 1
+        cond, smax = self._spectrum_estimate(a)
+        spec = SolveSpec(
+            d=d,
+            n=n,
+            nrhs=nrhs,
+            regularization=float(lam),
+            cond_estimate=cond,
+            smax_estimate=smax,
+            accuracy_target=(
+                accuracy_target if accuracy_target is not None else self.config.accuracy_target
+            ),
+            latency_budget=(
+                latency_budget if latency_budget is not None else self.config.latency_budget
+            ),
+            kind=kind,
+            oversampling=self.config.oversampling,
+            seed=self.config.seed,
+        )
+        if self.config.policy == "fixed" and solver is not None:
+            plan_ = plan(None, spec, policy="fixed", solver=solver, device=self.config.device)
+            policy = "fixed"
+        else:
+            policy = self.config.policy if self.config.policy != "fixed" else "cheapest_accurate"
+            plan_ = plan(None, spec, policy=policy, solver=solver, device=self.config.device)
+
+        rows_aug = d + n
+        entry: Optional[CacheEntry] = None
+        cache_hit = False
+        if get_solver(plan_.solver).capabilities.needs_sketch:
+            entry, built = self._problem_operator(
+                kind, rows_aug, n, plan_.embedding_dim, solver=plan_.solver, problem="ridge"
+            )
+            cache_hit = not built
+            shard = entry.shard
+        else:
+            shard = self.scheduler.place()
+        executor = self.pool[shard]
+        operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
+        result = execute_plan(
+            plan_,
+            a,
+            b,
+            spec,
+            executor=executor,
+            operators=operators,
+            operator_provider=lambda name: self._problem_shard_operator(
+                name, kind, rows_aug, n, shard, plan_.embedding_dim, problem="ridge"
+            ),
+        )
+        executed = result.attempted_solvers[-1]
+        fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
+        if fallbacks:
+            self.telemetry.record_fallback(plan_.solver, executed)
+        if result.failed:
+            self.telemetry.record_failure(1)
+        compute_seconds = result.total_seconds
+        result_bytes = float(n) * nrhs * a.dtype.itemsize
+        comm_seconds = self.scheduler.charge_transfer("result_return", result_bytes)
+        latency = compute_seconds + comm_seconds
+        self.telemetry.record_batch(1, compute_seconds)
+        self.telemetry.record_request(latency, solver=executed)
+        response = SolveResponse(
+            request_id=self._next_id,
+            x=result.x,
+            relative_residual=result.relative_residual,
+            simulated_seconds=latency,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            shard=shard,
+            batch_size=1,
+            cache_hit=cache_hit,
+            kind=kind,
+            solver=solver if solver is not None else "",
+            method=result.method,
+            extra={
+                "failed": float(result.failed),
+                "attempted": result.extra.get("attempted", executed),
+                "planned": plan_.solver,
+                "cond_estimate": plan_.cond_estimate,
+                "regularization": float(lam),
+            },
+            policy=policy,
+            executed_solver=executed,
+            fallbacks=fallbacks,
+            problem="ridge",
+        )
+        self._next_id += 1
+        return response
+
+    def approx_lowrank(
+        self,
+        a: np.ndarray,
+        rank: int,
+        *,
+        method: str = "rangefinder",
+        oversample: int = 8,
+        power_iters: int = 0,
+        ell: Optional[int] = None,
+    ) -> LowRankResponse:
+        """Serve a rank-``rank`` factorization of ``A``.
+
+        ``method="rangefinder"`` runs the randomized range finder on a
+        scheduler-chosen shard, with the Gaussian test operator cached
+        under the ``problem="lowrank"`` namespace (repeat requests against
+        the same column count reuse it, like solve operators);
+        ``method="frequent_directions"`` streams the rows through an FD
+        accumulator -- deterministic, so nothing is cached.
+        """
+        from repro.problems.lowrank import lowrank_approx  # local: heavy import
+
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError("approx_lowrank expects a 2-D matrix")
+        d, n = a.shape
+        method_l = method.lower()
+        if method_l in ("fd", "frequent-directions"):
+            method_l = "frequent_directions"
+        operator = None
+        cache_hit = False
+        if method_l == "rangefinder":
+            r = min(int(rank) + max(int(oversample), 0), n)
+            entry, built = self._problem_operator(
+                "gaussian", n, n, r, solver="rangefinder", problem="lowrank"
+            )
+            cache_hit = not built
+            shard = entry.shard
+            operator = entry.operator_for(shard)
+        else:
+            shard = self.scheduler.place()
+        result = lowrank_approx(
+            a,
+            rank,
+            method=method_l,
+            oversample=oversample,
+            power_iters=power_iters,
+            ell=ell,
+            executor=self.pool[shard],
+            operator=operator,
+            seed=self.config.seed,
+        )
+        compute_seconds = result.total_seconds
+        out_bytes = (float(d) * rank + float(rank) * n) * a.dtype.itemsize
+        comm_seconds = self.scheduler.charge_transfer("lowrank_return", out_bytes)
+        latency = compute_seconds + comm_seconds
+        self.telemetry.record_request(latency, solver=f"lowrank_{result.method}")
+        response = LowRankResponse(
+            request_id=self._next_id,
+            left=result.left,
+            right=result.right,
+            rank=result.rank,
+            method=result.method,
+            relative_error=result.relative_error,
+            simulated_seconds=latency,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            shard=shard,
+            cache_hit=cache_hit,
+            extra=dict(result.extra),
+        )
+        self._next_id += 1
+        return response
 
     # ------------------------------------------------------------------
     def sketch(self, a: np.ndarray, *, kind: Optional[str] = None) -> SketchResponse:

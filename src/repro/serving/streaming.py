@@ -61,12 +61,16 @@ def stream_session_cache_key(session_id: int, n: int, k: int, seed: int, dtype=n
 
 @dataclass
 class StreamSession:
-    """One live streaming session: its engine, shard binding and counters."""
+    """One live streaming session: its engine, shard binding and counters.
+
+    ``cache_key`` is ``None`` for sessions whose window summary carries no
+    operator state to pin (``mode="fd"``).
+    """
 
     session_id: int
     solver: StreamingSolver
     shard: int
-    cache_key: Tuple
+    cache_key: Optional[Tuple]
     queries: int = 0
 
     def stats(self) -> Dict[str, float]:
@@ -172,8 +176,13 @@ class StreamingSessionManager:
         )
         session_id = server._next_id
         server._next_id += 1
-        key = stream_session_cache_key(session_id, n + 1, solver.k, solver.seed)
-        server.cache.put(key, CacheEntry(operator=solver.state.operator, shard=shard))
+        key: Optional[Tuple] = None
+        if solver.state.operator is not None:
+            # Operator-less window summaries (mode="fd" is deterministic)
+            # have no sketch state to pin; everything else lives in the
+            # cache under the session key for its lifetime.
+            key = stream_session_cache_key(session_id, n + 1, solver.k, solver.seed)
+            server.cache.put(key, CacheEntry(operator=solver.state.operator, shard=shard))
         session = StreamSession(session_id=session_id, solver=solver, shard=shard, cache_key=key)
         self._sessions[session_id] = session
         server.telemetry.record_stream_open()
@@ -204,6 +213,8 @@ class StreamingSessionManager:
         current live sketch (same hashed identity, so the entry's
         ``state_key`` contract is untouched).
         """
+        if session.cache_key is None:
+            return  # operator-less summary (fd mode): nothing pinned
         cache = self._server.cache
         entry = cache.peek(session.cache_key)
         if entry is None:
@@ -263,7 +274,8 @@ class StreamingSessionManager:
         if session is None:
             raise KeyError(f"unknown or closed streaming session {session_id}")
         stats = session.stats()
-        self._server.cache.discard(session.cache_key)
+        if session.cache_key is not None:
+            self._server.cache.discard(session.cache_key)
         self._server.telemetry.record_stream_close()
         return stats
 

@@ -100,8 +100,9 @@ class StreamingSolver:
         CountSketch rule ``ceil(oversampling * (n+1)^2)`` for the joint
         ``[A | b]`` sketch.
     mode:
-        Window maintenance: ``"landmark"``, ``"sliding"`` or ``"decay"``
-        (see :mod:`repro.streaming.state`).
+        Window maintenance: ``"landmark"``, ``"sliding"``, ``"decay"``, or
+        ``"fd"`` (a deterministic Frequent Directions spectral summary --
+        see :mod:`repro.streaming.state`).
     bucket_rows / window_buckets:
         Sliding-window geometry (rows per sub-sketch, sub-sketches kept).
     decay:
@@ -167,7 +168,13 @@ class StreamingSolver:
         self.latency_budget = None if latency_budget is None else float(latency_budget)
         self.oversampling = float(oversampling)
         if k is None:
-            k = default_embedding_dim("countsketch", self.n + 1, oversampling)
+            if self.mode == "fd":
+                # The FD buffer is k rows (ell = k/2): 2*ell = 4(n+1) keeps
+                # ell comfortably above the joint column count, the minimum
+                # for a faithful spectral summary of [A | b].
+                k = 4 * (self.n + 1)
+            else:
+                k = default_embedding_dim("countsketch", self.n + 1, oversampling)
         if k <= self.n:
             raise ValueError("embedding dimension k must exceed n")
         self.k = int(k)

@@ -17,6 +17,13 @@ array on demand.  Three maintenance policies are provided, all built on the
 * :class:`DecayState` -- exponential forgetting: the accumulator is scaled
   by ``decay ** batch_rows`` before each new batch is folded in, so history
   fades at a per-row rate without any ring bookkeeping.
+* :class:`FrequentDirectionsState` -- a *spectral* window summary: rows run
+  through a :class:`~repro.problems.lowrank.FrequentDirections` accumulator
+  instead of a hashed CountSketch.  The summary is deterministic, ``k``
+  rows tall (zero-padded), and near-optimal for low-rank structure; it
+  costs an SVD per ``k/2`` ingested rows, so it trades ingest arithmetic
+  for summary quality.  This is the low-rank problem class's window
+  alternative (``mode="fd"``).
 
 Rows are identified by their *global stream index* (a monotonically growing
 counter), which is what makes merging sound: the hashed row map is a pure
@@ -40,12 +47,14 @@ from repro.gpu.executor import GPUExecutor
 STREAM_CAPACITY = 1 << 48
 
 #: Window maintenance modes accepted by the engine.
-MODES = ("landmark", "sliding", "decay")
+MODES = ("landmark", "sliding", "decay", "fd")
 
 
 def normalize_mode(mode: str) -> str:
     """Canonical window-mode name, or ``ValueError`` for unknown modes."""
     m = mode.lower()
+    if m in ("frequent_directions", "frequent-directions"):
+        m = "fd"
     if m in MODES:
         return m
     raise ValueError(f"mode must be one of {MODES}, got '{mode}'")
@@ -107,12 +116,15 @@ class _BaseState:
         raise NotImplementedError
 
     @property
-    def operator(self) -> StreamingCountSketch:
+    def operator(self) -> Optional[StreamingCountSketch]:
         """A live window sketch (the serving layer pins it in its cache).
 
         All of a state's sub-sketches share one hashed identity
         (``cache_key()`` is a pure function of ``(d, k, seed, dtype)``), so
-        any live one stands for the session's operator.
+        any live one stands for the session's operator.  States with no
+        sketch-operator state at all (:class:`FrequentDirectionsState` is
+        deterministic) return ``None`` and the serving layer simply skips
+        the cache pin.
         """
         raise NotImplementedError
 
@@ -262,6 +274,67 @@ class DecayState(_BaseState):
         return self._sketch
 
 
+class FrequentDirectionsState(_BaseState):
+    """Spectral window summary: Frequent Directions instead of a hashed sketch.
+
+    The summary is the FD buffer of :class:`~repro.problems.lowrank.FrequentDirections`
+    at ``ell = k // 2`` (so the buffer is exactly ``k`` rows tall),
+    zero-padded to the engine's fixed ``k x n_cols`` window shape --
+    padding rows are all-zero and change neither the singular values nor
+    any least-squares solution computed from the summary.  Unlike the
+    hashed CountSketch states this summary is *deterministic* and carries
+    no operator state, so :attr:`operator` is ``None`` and the serving
+    layer skips the session cache pin.
+
+    Resets behave like :class:`LandmarkState` (the summary restarts
+    empty); there is no sliding/decay variant because FD's shrink step is
+    itself a principled forgetting mechanism for small directions.
+    """
+
+    mode = "fd"
+
+    def __init__(self, n_cols: int, k: int, *, executor: GPUExecutor, seed: int = 0) -> None:
+        super().__init__(n_cols, k, executor=executor, seed=seed)
+        if k < 2:
+            raise ValueError("fd mode needs k >= 2 (the buffer holds 2*ell = k rows)")
+        from repro.problems.lowrank import FrequentDirections  # local: no import cycle
+
+        self._fd_cls = FrequentDirections
+        self._fd = FrequentDirections(n_cols, k // 2, executor=executor)
+        self._window_rows = 0
+
+    def fold(self, block: Optional[np.ndarray], batch: int) -> None:
+        self._take_indices(batch)
+        if block is not None:
+            self._fd.update(block)
+        self._window_rows += batch
+
+    def current(self) -> Optional[np.ndarray]:
+        if not self.executor.numeric:
+            return None  # analytic traffic carries no numeric summary
+        out = np.zeros((self.k, self.n_cols))
+        sketch = self._fd.sketch()
+        out[: sketch.shape[0]] = sketch
+        return out
+
+    def reset(self) -> None:
+        self._fd = self._fd_cls(self.n_cols, self.k // 2, executor=self.executor)
+        self._window_rows = 0
+        self.version += 1
+
+    def rows_in_window(self) -> int:
+        return self._window_rows
+
+    @property
+    def operator(self) -> Optional[StreamingCountSketch]:
+        return None  # deterministic summary: nothing to pin or replicate
+
+    @property
+    def frequent_directions(self):
+        """The live :class:`~repro.problems.lowrank.FrequentDirections` accumulator."""
+        return self._fd
+
+
 def make_state(
     mode: str,
     n_cols: int,
@@ -286,4 +359,6 @@ def make_state(
             bucket_rows=bucket_rows,
             window_buckets=window_buckets,
         )
+    if mode == "fd":
+        return FrequentDirectionsState(n_cols, k, executor=executor, seed=seed)
     return DecayState(n_cols, k, executor=executor, seed=seed, decay=decay)

@@ -9,6 +9,12 @@
 * :mod:`repro.workloads.streams` -- row streams for the online engine
   (:mod:`repro.streaming`): piecewise-stationary streams with abrupt change
   points and continuously drifting streams.
+* :mod:`repro.workloads.ridge` -- Tikhonov-regularized problems with a
+  controlled lambda-to-spectrum scale (:mod:`repro.problems.ridge`'s
+  workloads).
+* :mod:`repro.workloads.lowrank` -- decaying-spectrum matrices with
+  closed-form truncated-SVD optima (:mod:`repro.problems.lowrank`'s
+  workloads).
 """
 
 from repro.workloads.matrices import (
@@ -31,6 +37,8 @@ from repro.workloads.streams import (
     drifting_stream,
     piecewise_stationary_stream,
 )
+from repro.workloads.ridge import RidgeProblem, make_ridge_problem
+from repro.workloads.lowrank import LowRankProblem, decaying_spectrum_matrix
 
 __all__ = [
     "PAPER_D_VALUES",
@@ -47,4 +55,8 @@ __all__ = [
     "StreamBatch",
     "drifting_stream",
     "piecewise_stationary_stream",
+    "RidgeProblem",
+    "make_ridge_problem",
+    "LowRankProblem",
+    "decaying_spectrum_matrix",
 ]

@@ -1,0 +1,99 @@
+"""Ridge-regression problem generators (the ridge problem class's workloads).
+
+Ridge workloads need one more knob than the paper's least-squares problems:
+where the Tikhonov ``lam`` sits on the singular-value scale.  The generator
+therefore accepts ``lam_rel``, the regularization *relative to*
+``sigma_max(A)^2``, and converts it to the absolute ``lam`` the solvers
+take -- ``lam_rel ~ 1e-4`` is a typical well-posed ridge, while
+``lam_rel`` far below ``1/kappa^2`` leaves the problem as hard as the
+unregularized one (the regime the planner's fallback chains are tested on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.linalg.conditioning import matrix_with_condition
+
+
+@dataclass
+class RidgeProblem:
+    """A generated ridge problem ``min ||b - A x||^2 + lam ||x||^2``.
+
+    Attributes
+    ----------
+    a, b:
+        Coefficient matrix (``d x n``) and right-hand side (``d``).
+    lam:
+        Absolute Tikhonov parameter.
+    lam_rel:
+        ``lam / sigma_max(A)^2`` (the scale-free knob the generator took).
+    x_noiseless:
+        The vector used to build ``b`` before noise; *not* the ridge
+        solution (regularization biases the solution away from it).
+    cond:
+        Condition number ``A`` was constructed with.
+    smax:
+        Largest singular value of ``A`` (known exactly by construction).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    lam: float
+    lam_rel: float
+    x_noiseless: np.ndarray
+    cond: float
+    smax: float
+
+    @property
+    def d(self) -> int:
+        """Number of rows."""
+        return self.a.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of columns."""
+        return self.a.shape[1]
+
+    def effective_condition(self) -> float:
+        """Exact lambda-shifted conditioning of the augmented system."""
+        from repro.linalg.registry import ridge_effective_condition
+
+        return ridge_effective_condition(self.cond, self.lam, self.smax)
+
+
+def make_ridge_problem(
+    d: int,
+    n: int,
+    *,
+    cond: float = 1e6,
+    lam_rel: float = 1e-4,
+    noise_std: float = 0.1,
+    seed: Optional[int] = None,
+) -> RidgeProblem:
+    """Build a ridge problem with controlled conditioning and lambda scale.
+
+    ``A`` has condition number exactly ``cond`` (geometric singular-value
+    profile, the hard case for Gram-based methods) rescaled by
+    ``sqrt(d * n)`` like the least-squares generator so additive noise
+    stays on the paper's scale; ``b = A e + eta`` with ``e`` the all-ones
+    vector and ``eta ~ N(0, noise_std^2)``; ``lam = lam_rel * smax^2``.
+    """
+    if d < n:
+        raise ValueError("ridge problems here are overdetermined (d >= n)")
+    if lam_rel <= 0.0:
+        raise ValueError("lam_rel must be positive (use the least-squares workloads otherwise)")
+    rng = np.random.default_rng(seed)
+    a = matrix_with_condition(d, n, cond, seed=seed) * np.sqrt(float(d) * n)
+    smax = float(np.sqrt(float(d) * n))  # profile is 1 at the top, then rescaled
+    x = np.ones(n)
+    b = a @ x
+    if noise_std > 0.0:
+        b = b + rng.normal(0.0, noise_std, size=d)
+    lam = float(lam_rel) * smax**2
+    return RidgeProblem(
+        a=a, b=b, lam=lam, lam_rel=float(lam_rel), x_noiseless=x, cond=float(cond), smax=smax
+    )

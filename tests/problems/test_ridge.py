@@ -1,0 +1,260 @@
+"""Ridge problem class: solvers, lambda-aware routing, fallback chains."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.planner import SolvePlan, execute_plan, plan, plan_and_execute
+from repro.linalg.registry import (
+    SolveSpec,
+    get_solver,
+    ridge_effective_condition,
+    solver_capabilities,
+)
+from repro.problems import (
+    RIDGE_SOLVERS,
+    augment_ridge_system,
+    dense_ridge_reference,
+    ridge_normal_equations,
+    ridge_precond_lsqr,
+    ridge_qr,
+    ridge_residuals,
+    solve_ridge,
+)
+from repro.workloads import make_ridge_problem
+
+D, N = 4096, 16
+
+
+@pytest.fixture
+def easy_ridge():
+    return make_ridge_problem(D, N, cond=1e4, lam_rel=1e-4, seed=1)
+
+
+@pytest.fixture
+def hard_ridge():
+    """Ill-conditioned A with a lambda far below sigma_min^2: effectively
+    unregularized, the regime where the regularized POTRF still breaks."""
+    return make_ridge_problem(D, N, cond=1e12, lam_rel=1e-20, seed=4)
+
+
+class TestEffectiveCondition:
+    def test_matches_exact_augmented_conditioning(self, easy_ridge):
+        p = easy_ridge
+        a_aug, _ = augment_ridge_system(p.a, None, p.lam)
+        exact = np.linalg.cond(a_aug)
+        assert ridge_effective_condition(p.cond, p.lam, p.smax) == pytest.approx(
+            exact, rel=1e-6
+        )
+
+    def test_healthy_lambda_caps_the_conditioning(self):
+        # lam_rel = 1e-4 caps kappa_eff near sqrt(1/lam_rel) = 1e2 no matter
+        # how singular A is.
+        assert ridge_effective_condition(1e12, 1e-4, 1.0) == pytest.approx(1e2, rel=1e-3)
+        assert ridge_effective_condition(float("inf"), 1e-4, 1.0) == pytest.approx(
+            1e2, rel=1e-3
+        )
+
+    def test_tiny_lambda_changes_nothing(self):
+        assert ridge_effective_condition(1e6, 1e-30, 1.0) == pytest.approx(1e6, rel=1e-6)
+
+    def test_zero_lambda_is_identity(self):
+        assert ridge_effective_condition(123.0, 0.0, 1.0) == 123.0
+
+
+class TestRidgeSolvers:
+    def test_all_three_match_the_dense_reference(self, easy_ridge):
+        p = easy_ridge
+        x_ref = dense_ridge_reference(p.a, p.b, p.lam)
+        lsqr = get_solver("ridge_precond_lsqr")
+        spec = SolveSpec(d=D, n=N, regularization=p.lam)
+        results = [
+            ridge_normal_equations(p.a, p.b, p.lam),
+            ridge_qr(p.a, p.b, p.lam),
+            ridge_precond_lsqr(p.a, p.b, p.lam, lsqr.build_operator(spec)),
+        ]
+        for result in results:
+            assert not result.failed
+            assert np.allclose(result.x, x_ref, atol=1e-6)
+
+    def test_regularization_biases_toward_zero(self, easy_ridge):
+        p = easy_ridge
+        big = dense_ridge_reference(p.a, p.b, p.lam * 1e6)
+        small = dense_ridge_reference(p.a, p.b, p.lam)
+        assert np.linalg.norm(big) < np.linalg.norm(small)
+
+    def test_residual_is_the_ridge_objective(self, easy_ridge):
+        p = easy_ridge
+        result = ridge_qr(p.a, p.b, p.lam)
+        _, rel, _ = ridge_residuals(p.a, p.b, result.x, p.lam)
+        assert result.relative_residual == pytest.approx(rel, rel=1e-10)
+
+    def test_batched_rhs(self, easy_ridge, rng):
+        p = easy_ridge
+        bs = np.column_stack([p.b, p.a @ (2 * np.ones(N)) + rng.standard_normal(D)])
+        result = ridge_normal_equations(p.a, bs, p.lam)
+        assert result.x.shape == (N, 2)
+        assert result.column_residuals.shape == (2,)
+        for j in range(2):
+            ref = dense_ridge_reference(p.a, bs[:, j], p.lam)
+            assert np.allclose(result.x[:, j], ref, atol=1e-6)
+
+    def test_negative_lambda_rejected(self, easy_ridge):
+        with pytest.raises(ValueError):
+            ridge_normal_equations(easy_ridge.a, easy_ridge.b, -1.0)
+
+    def test_solvers_registered_under_ridge_problem(self):
+        caps = solver_capabilities()
+        for name in RIDGE_SOLVERS:
+            assert caps[name].problem == "ridge"
+
+
+class TestRidgeRouting:
+    def test_problem_classes_never_mix(self):
+        ls_spec = SolveSpec(d=D, n=N, cond_estimate=10.0)
+        ridge_spec = SolveSpec(d=D, n=N, regularization=1.0, cond_estimate=10.0)
+        ls_plan = plan(None, ls_spec)
+        ridge_plan = plan(None, ridge_spec)
+        assert not set(ls_plan.chain) & set(RIDGE_SOLVERS)
+        assert set(ridge_plan.chain) <= set(RIDGE_SOLVERS)
+        assert set(ridge_plan.costs) == set(RIDGE_SOLVERS)
+
+    def test_healthy_lambda_admits_normal_equations(self):
+        # kappa = 1e12 would exclude the plain normal equations outright,
+        # but lam_rel = 1e-4 caps the effective conditioning at ~1e2.
+        spec = SolveSpec(
+            d=1 << 17, n=64, regularization=1e-4, cond_estimate=1e12, smax_estimate=1.0
+        )
+        caps = get_solver("ridge_normal_equations").capabilities
+        assert caps.admissible(spec, 1e12)
+        p = plan(None, spec)
+        assert "ridge_normal_equations" in p.chain
+
+    def test_tiny_lambda_excludes_normal_equations(self):
+        spec = SolveSpec(
+            d=1 << 17, n=64, regularization=1e-20, cond_estimate=1e12, smax_estimate=1.0
+        )
+        caps = get_solver("ridge_normal_equations").capabilities
+        assert not caps.admissible(spec, 1e12)
+        p = plan(None, spec)
+        assert p.solver != "ridge_normal_equations"
+
+    def test_probe_fills_spectrum_estimates(self, easy_ridge):
+        p = easy_ridge
+        plan_ = plan(p.a, SolveSpec(d=D, n=N, regularization=p.lam))
+        assert plan_.cond_estimate == pytest.approx(p.cond, rel=0.5)
+
+    def test_caller_supplied_cond_still_probes_smax(self):
+        """A caller-supplied kappa must not leave the lambda on the default
+        unit scale: with the matrix in hand the smax probe still runs, so a
+        lambda that is large against smax=1 but tiny against the real
+        spectrum does not sneak the normal equations into the chain."""
+        p = make_ridge_problem(D, N, cond=1e12, lam_rel=1e-20, seed=6)
+        # On the unit scale eff ~ 1/sqrt(lam) = 1e4 (floor met); on the true
+        # smax ~ 181 scale eff ~ 1.8e6 (floor blown by ~1e4x).
+        lam = 1e-8
+        spec = SolveSpec(d=D, n=N, regularization=lam, cond_estimate=1e12)
+        plan_ = plan(p.a, spec)
+        assert "ridge_normal_equations" not in plan_.chain
+        # Without the matrix there is nothing to probe: the unit default
+        # applies and the solver is (optimistically) admitted.
+        assert "ridge_normal_equations" in plan(None, spec).chain
+
+    def test_explicit_solver_of_wrong_problem_class_refused(self, easy_ridge):
+        from repro.linalg.registry import solve
+
+        p = easy_ridge
+        with pytest.raises(ValueError, match="problem"):
+            solve(p.a, p.b, regularization=p.lam, solver="qr")
+        with pytest.raises(ValueError, match="wrong question"):
+            plan(None, SolveSpec(d=D, n=N, regularization=p.lam), policy="fixed", solver="qr")
+        with pytest.raises(ValueError, match="wrong question"):
+            plan(None, SolveSpec(d=D, n=N), policy="fixed", solver="ridge_qr")
+
+    def test_end_to_end_residual_matches_reference(self, easy_ridge):
+        p = easy_ridge
+        result = solve_ridge(p.a, p.b, p.lam)
+        assert not result.failed
+        x_ref = dense_ridge_reference(p.a, p.b, p.lam)
+        _, ref_rel, _ = ridge_residuals(p.a, p.b, x_ref, p.lam)
+        assert result.relative_residual <= 1.1 * ref_rel
+
+    def test_solve_ridge_rejects_nonpositive_lambda(self, easy_ridge):
+        with pytest.raises(ValueError):
+            solve_ridge(easy_ridge.a, easy_ridge.b, 0.0)
+
+
+class TestRidgeFallbackChains:
+    """The ISSUE's satellite: singular/ill-conditioned A with small lambda
+    walks the ridge chain, and the attempted chain is recorded."""
+
+    def _forced_chain(self, lam, *chain):
+        return SolvePlan(
+            solver=chain[0],
+            chain=tuple(chain),
+            kind="multisketch",
+            embedding_dim=2 * N,
+            cond_estimate=1e12,
+            policy="cheapest_accurate",
+            costs={},
+        )
+
+    def test_potrf_breakdown_rescued_by_ridge_lsqr(self, hard_ridge):
+        p = hard_ridge
+        spec = SolveSpec(d=D, n=N, regularization=p.lam)
+        result = execute_plan(
+            self._forced_chain(p.lam, "ridge_normal_equations", "ridge_precond_lsqr"),
+            p.a,
+            p.b,
+            spec,
+        )
+        assert not result.failed
+        assert result.attempted_solvers == ("ridge_normal_equations", "ridge_precond_lsqr")
+        assert result.extra["fallbacks"] == 1.0
+        assert "Cholesky" in result.failure_reason  # carried, not swallowed
+
+    def test_full_chain_ends_in_ridge_qr(self, hard_ridge):
+        p = hard_ridge
+        spec = SolveSpec(d=D, n=N, regularization=p.lam)
+        result = execute_plan(
+            self._forced_chain(
+                p.lam, "ridge_normal_equations", "ridge_precond_lsqr", "ridge_qr"
+            ),
+            p.a,
+            p.b,
+            spec,
+        )
+        assert not result.failed
+        assert result.attempted_solvers[0] == "ridge_normal_equations"
+        assert result.attempted_solvers[-1] in ("ridge_precond_lsqr", "ridge_qr")
+
+    def test_planner_rescues_poisoned_estimate(self, hard_ridge):
+        """A benign-looking conditioning estimate routes to the regularized
+        normal equations; the POTRF breakdown walks the planner's own chain."""
+        p = hard_ridge
+        spec = SolveSpec(
+            d=D,
+            n=N,
+            regularization=p.lam,
+            cond_estimate=10.0,  # poison: looks benign
+            smax_estimate=p.smax,
+        )
+        plan_ = plan(None, spec, policy="cheapest_accurate")
+        result = execute_plan(plan_, p.a, p.b, spec)
+        assert not result.failed
+        attempted = result.attempted_solvers
+        assert set(attempted) <= set(RIDGE_SOLVERS)
+        if len(attempted) > 1:  # the breakdown actually fired
+            assert attempted[0] == plan_.solver
+            assert result.extra["fallbacks"] >= 1.0
+
+    def test_plan_and_execute_end_to_end_on_hard_ridge(self, hard_ridge):
+        p = hard_ridge
+        result = plan_and_execute(
+            p.a, p.b, SolveSpec(d=D, n=N, regularization=p.lam), policy="cheapest_accurate"
+        )
+        assert not result.failed
+        x_ref = dense_ridge_reference(p.a, p.b, p.lam)
+        _, ref_rel, _ = ridge_residuals(p.a, p.b, x_ref, p.lam)
+        assert result.relative_residual <= 1.1 * ref_rel

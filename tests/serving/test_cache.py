@@ -19,13 +19,21 @@ D, N = 2048, 16
 class TestKeys:
     def test_key_fields(self):
         key = operator_cache_key("multi", D, N, 32, 7)
-        assert key == ("multisketch", D, N, 32, 7, "<f8", "")
+        assert key == ("multisketch", D, N, 32, 7, "<f8", "", "")
 
     def test_solver_family_partitions_keys(self):
         base = operator_cache_key("multi", D, N, 32, 7)
         sas = operator_cache_key("multi", D, N, 32, 7, solver="sketch_and_solve")
         rcq = operator_cache_key("multi", D, N, 32, 7, solver="rand_cholqr")
         assert len({base, sas, rcq}) == 3
+
+    def test_problem_class_partitions_keys(self):
+        base = operator_cache_key("multi", D, N, 32, 7, solver="ridge_precond_lsqr")
+        ridge = operator_cache_key(
+            "multi", D, N, 32, 7, solver="ridge_precond_lsqr", problem="ridge"
+        )
+        lowrank = operator_cache_key("multi", D, N, 32, 7, problem="lowrank")
+        assert len({base, ridge, lowrank}) == 3
 
     def test_kind_aliases_normalise(self):
         assert operator_cache_key("count_gauss", D, N, 32, 7) == operator_cache_key(

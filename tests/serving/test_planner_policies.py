@@ -126,7 +126,7 @@ class TestFallbackTelemetry:
         a, b = hard
         server = SketchServer(policy="cheapest_accurate", shards=1, seed=0,
                               accuracy_target=1e-2)
-        server._cond_cache[(id(a), a.shape)] = (weakref.ref(a), 100.0)  # poison: looks benign
+        server._cond_cache[(id(a), a.shape)] = (weakref.ref(a), (100.0, None))  # poison: looks benign
         resp = server.solve(a, b)
         if resp.fallbacks:  # planner chose a breakable solver and was rescued
             assert resp.extra["failed"] == 0.0

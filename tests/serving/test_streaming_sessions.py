@@ -40,7 +40,7 @@ class TestSessionLifecycle:
         assert entry.shard == session.shard
         # The key's solver field carries the session identity, so it can
         # never alias a batch operator of the same shape.
-        assert session.cache_key[-1] == f"stream-session:{sid}"
+        assert session.cache_key[-2] == f"stream-session:{sid}"
         assert session.cache_key == stream_session_cache_key(
             sid, N + 1, session.solver.k, session.solver.seed
         )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the repository's Markdown files.
+
+Scans every tracked ``*.md`` file (repository root, ``docs/``, and any
+other directory) for inline Markdown links and image references
+``[text](target)`` and checks that relative targets resolve to an existing
+file or directory.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a relative target's own
+``#fragment`` suffix is ignored when resolving the path.
+
+Exit status: 0 when every intra-repo link resolves, 1 otherwise (one line
+per broken link) -- which is what the CI docs step keys off.
+
+Run:  python tools/check_doc_links.py  [root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline links/images. Deliberately simple: no reference-style links are
+#: used in this repository, and nested parentheses in URLs are not either.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Target prefixes that are not intra-repo files.
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+#: Generated paper/retrieval artifacts, not maintained documentation: their
+#: figure references point at assets that were never part of this
+#: repository, so they are outside the docs contract this check enforces.
+_GENERATED = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def iter_markdown_files(root: pathlib.Path):
+    """Every maintained ``*.md`` under ``root`` (VCS/cache dirs skipped)."""
+    skip = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+    for path in sorted(root.rglob("*.md")):
+        if path.name in _GENERATED:
+            continue
+        if not skip.intersection(part for part in path.parts):
+            yield path
+
+
+def broken_links(markdown: pathlib.Path, root: pathlib.Path):
+    """Yield ``(line_number, target)`` for each unresolvable relative link."""
+    text = markdown.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = markdown.parent / path_part
+            if not resolved.exists():
+                yield lineno, target
+
+
+def main(argv) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(__file__).parent.parent
+    root = root.resolve()
+    failures = 0
+    checked = 0
+    for markdown in iter_markdown_files(root):
+        checked += 1
+        for lineno, target in broken_links(markdown, root):
+            failures += 1
+            print(f"{markdown.relative_to(root)}:{lineno}: broken link -> {target}")
+    print(f"checked {checked} markdown files: {failures} broken intra-repo links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
