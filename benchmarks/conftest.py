@@ -28,6 +28,12 @@ _PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
 #: Module-name prefixes that carry the ``streaming`` marker automatically.
 _STREAMING_PREFIXES = ("test_streaming",)
 
+#: Module-name prefixes that carry the ``runtime`` marker automatically
+#: (the concurrent serving runtime: admission queue, shedding, elastic
+#: scaling).  ``-m runtime`` runs the whole subset, and the CI fast step
+#: includes it next to serving/planner/streaming.
+_RUNTIME_PREFIXES = ("test_runtime", "test_concurrent_runtime")
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -50,6 +56,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.planner)
         if path.name.startswith(_STREAMING_PREFIXES):
             item.add_marker(pytest.mark.streaming)
+        if path.name.startswith(_RUNTIME_PREFIXES):
+            item.add_marker(pytest.mark.runtime)
 
 
 def accuracy_scale() -> str:

@@ -27,7 +27,12 @@ The package is organised as:
   ``solve(A, b)`` requests into fused multi-RHS solves, caches sketch
   operators across requests (LRU, keyed on ``(kind, d, n, k, seed, dtype)``),
   spreads batches over a pool of simulated GPU shards and reports
-  p50/p95/p99 latency and throughput.
+  p50/p95/p99 latency and throughput -- plus the *concurrent runtime*
+  (:class:`~repro.serving.runtime.AsyncSketchServer`): a bounded admission
+  queue with per-problem-class priority lanes, deadline-aware load
+  shedding with typed errors, a worker pool overlapping sketches and
+  solves across shards, and elastic shard scaling driven by queue-depth
+  and p95-latency telemetry.
 * :mod:`repro.streaming` -- the online engine: a
   :class:`~repro.streaming.solver.StreamingSolver` maintains the hashed
   CountSketch of a sliding / landmark / decayed window over a row stream
@@ -99,10 +104,18 @@ from repro.problems import (
     solve_ridge,
 )
 from repro.serving import (
+    AdmissionError,
+    AsyncSketchServer,
+    DeadlineExceededError,
+    ElasticShardPolicy,
     IngestReport,
     LowRankResponse,
     MicroBatcher,
     OperatorCache,
+    QueueFullError,
+    RuntimeConfig,
+    RuntimeFuture,
+    ScaleEvent,
     ServerConfig,
     ServingTelemetry,
     ShardScheduler,
@@ -119,7 +132,7 @@ from repro.streaming import (
     StreamingSolver,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CountSketch",
@@ -154,9 +167,17 @@ __all__ = [
     "lowrank_approx",
     "randomized_range_finder",
     "solve_ridge",
+    "AdmissionError",
+    "AsyncSketchServer",
+    "DeadlineExceededError",
+    "ElasticShardPolicy",
     "LowRankResponse",
     "MicroBatcher",
     "OperatorCache",
+    "QueueFullError",
+    "RuntimeConfig",
+    "RuntimeFuture",
+    "ScaleEvent",
     "ServerConfig",
     "ServingTelemetry",
     "ShardScheduler",

@@ -10,6 +10,7 @@ harness can print the same stacked-bar decomposition the figures show.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -157,6 +158,13 @@ class SimClock:
         self._now = 0.0
         self._breakdown = TimeBreakdown()
         self._phase_stack: List[str] = []
+        # `_now += seconds` is a read-modify-write; the concurrent serving
+        # runtime can charge kernels to one shard clock from two threads
+        # (an operator build at plan time racing an in-flight solve), and an
+        # unlocked increment would silently lose simulated time.  Workers
+        # hold per-shard locks for the solve path, so this lock is
+        # uncontended there; it exists for the residual overlaps.
+        self._record_lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -181,8 +189,9 @@ class SimClock:
         phase = self.current_phase()
         if phase is not None and timing.phase != phase:
             timing = timing.relabel(phase)
-        self._now += timing.seconds
-        self._breakdown.add(timing)
+        with self._record_lock:
+            self._now += timing.seconds
+            self._breakdown.add(timing)
         return timing
 
     def phase(self, label: str) -> "_PhaseRegion":

@@ -8,8 +8,10 @@
   (``table1``, ``figure2`` ... ``figure8``, ``headline_speedup``,
   ``section7_distributed``) plus the system-growth experiments:
   ``serving_throughput`` (batched vs naive), ``solver_policy`` (adaptive
-  routing), ``streaming_drift`` (online engine) and ``problem_classes``
-  (ridge routing + low-rank accuracy, :mod:`repro.problems`).
+  routing), ``streaming_drift`` (online engine), ``problem_classes``
+  (ridge routing + low-rank accuracy, :mod:`repro.problems`) and
+  ``concurrent_load`` (the async runtime: admission control, deadline
+  shedding, elastic shard scaling vs the synchronous server).
 * :mod:`repro.harness.report` -- plain-text renderers that print the same
   rows / series the paper's figures show.
 """
@@ -19,6 +21,7 @@ from repro.harness.runner import SweepConfig, average_breakdowns, run_repeated
 from repro.harness.experiments import (
     SKETCH_METHODS,
     SOLVER_METHODS,
+    concurrent_load,
     table1,
     figure2,
     figure3,
@@ -55,6 +58,7 @@ __all__ = [
     "headline_speedup",
     "problem_classes",
     "section7_distributed",
+    "concurrent_load",
     "serving_throughput",
     "solver_policy",
     "streaming_drift",

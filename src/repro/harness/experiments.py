@@ -786,3 +786,215 @@ def problem_classes(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Concurrent runtime: mixed load through the admission queue vs synchronous
+# ---------------------------------------------------------------------------
+def concurrent_load(
+    d: int = 4096,
+    n: int = 16,
+    *,
+    n_matrices: int = 8,
+    rhs_per_matrix: int = 32,
+    ridge_requests: int = 8,
+    stream_batches: int = 8,
+    stream_batch_rows: int = 256,
+    shards: int = 2,
+    max_shards: int = 8,
+    workers: int = 8,
+    max_batch: int = 8,
+    queue_depth: int = 512,
+    shed_requests: int = 48,
+    shed_budget_batches: float = 4.0,
+    noise: float = 0.01,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Concurrent-runtime experiment: three rows for the three tentpole claims.
+
+    * ``mode="synchronous"`` -- the mixed load (least-squares micro-batches
+      over ``n_matrices`` design matrices, ridge requests, one streaming
+      session's ingest) served by the plain :class:`SketchServer` at
+      ``shards`` shards, one call at a time.
+    * ``mode="concurrent"`` -- the *same* load admitted through an
+      :class:`~repro.serving.runtime.AsyncSketchServer` whose
+      :class:`~repro.serving.scheduler.ElasticShardPolicy` may grow the
+      active set to ``max_shards`` under the spike and shrink it back as
+      the queue drains.  ``speedup`` is its throughput over the
+      synchronous row's at equal accuracy (both worst residuals reported).
+    * ``mode="shedding"`` -- a single-shard runtime saturated with
+      deadline-carrying traffic: requests whose projected completion
+      exceeds ``shed_budget_batches`` typical batch times are shed with a
+      typed error; completed ones are checked against their budget
+      (``deadline_violations`` counts queue-inclusive latencies over it).
+
+    ``benchmarks/test_concurrent_runtime.py`` asserts the acceptance
+    criteria on these rows.
+    """
+    from repro.serving import (
+        AsyncSketchServer,
+        DeadlineExceededError,
+        ElasticShardPolicy,
+        QueueFullError,
+        SketchServer,
+    )
+
+    rng = np.random.default_rng(seed)
+    matrices = [rng.standard_normal((d, n)) for _ in range(n_matrices)]
+    x_true = np.linspace(-1.0, 1.0, n)
+    solve_traffic = []
+    for i in range(n_matrices * rhs_per_matrix):
+        a = matrices[i % n_matrices]
+        solve_traffic.append((a, a @ x_true + noise * rng.standard_normal(d)))
+    ridge_traffic = [
+        (matrices[i % n_matrices], matrices[i % n_matrices] @ x_true, 1e-3)
+        for i in range(ridge_requests)
+    ]
+    stream_rows = [
+        (
+            rng.standard_normal((stream_batch_rows, n)),
+            rng.standard_normal(stream_batch_rows),
+        )
+        for _ in range(stream_batches)
+    ]
+
+    rows: List[Dict[str, float]] = []
+
+    # -- synchronous baseline ----------------------------------------------
+    server = SketchServer(shards=shards, max_batch=max_batch, seed=seed)
+    for a, b in solve_traffic:
+        server.submit(a, b)
+    responses = server.flush()
+    for a, b, lam in ridge_traffic:
+        responses.append(server.solve_ridge(a, b, lam))
+    sid = server.open_stream(n)
+    for batch_rows, batch_targets in stream_rows:
+        server.append_rows(sid, batch_rows, batch_targets)
+    server.query_solution(sid)
+    server.close_stream(sid)
+    sync_stats = server.stats()
+    sync_rps = sync_stats["requests_per_second"]
+    rows.append(
+        {
+            "mode": "synchronous",
+            "requests": float(len(responses)),
+            "requests_per_second": sync_rps,
+            "makespan_seconds": sync_stats["makespan_seconds"],
+            "worst_relative_residual": max(r.relative_residual for r in responses),
+            "shards": float(shards),
+        }
+    )
+
+    # -- concurrent runtime over the same load ------------------------------
+    elastic = ElasticShardPolicy(
+        min_shards=shards, max_shards=max_shards, queue_high=2.0, queue_low=1.0,
+        cooldown_batches=1,
+    )
+    # The throughput phase admits the whole spike while paused, so its queue
+    # must hold it; the *bound* is what the shedding phase exercises.
+    spike = len(solve_traffic) + len(ridge_traffic) + len(stream_rows) + 1
+    runtime = AsyncSketchServer(
+        shards=shards,
+        max_batch=max_batch,
+        seed=seed,
+        workers=workers,
+        queue_depth=max(queue_depth, spike),
+        elastic=elastic,
+    )
+    active_seen = [runtime.active_shards]
+    # Admit the whole spike before dispatching any of it: the queue-depth
+    # spike (and therefore the scale-up) is deterministic, not a race
+    # between the submitting thread and the workers.
+    runtime.pause()
+    futures = [runtime.submit(a, b) for a, b in solve_traffic]
+    futures += [runtime.submit_ridge(a, b, lam) for a, b, lam in ridge_traffic]
+    sid = runtime.open_stream(n)
+    stream_futures = [runtime.append_rows(sid, r, t) for r, t in stream_rows]
+    stream_futures.append(runtime.query_solution(sid))
+    runtime.resume()
+    concurrent_responses = [f.result(timeout=120.0) for f in futures]
+    for f in stream_futures:
+        f.result(timeout=120.0)
+    active_seen.append(max(e.to_shards for e in runtime.scale_events()) if runtime.scale_events() else runtime.active_shards)
+    runtime.drain()
+    runtime.close_stream(sid)
+    rt_stats = runtime.stats()
+    events = runtime.scale_events()
+    runtime.stop()
+    rt_rps = rt_stats["requests_per_second"]
+    rows.append(
+        {
+            "mode": "concurrent",
+            "requests": float(len(concurrent_responses)),
+            "requests_per_second": rt_rps,
+            "makespan_seconds": rt_stats["makespan_seconds"],
+            "worst_relative_residual": max(
+                r.relative_residual for r in concurrent_responses
+            ),
+            "speedup": rt_rps / sync_rps if sync_rps > 0 else math.nan,
+            "shards": float(shards),
+            "max_shards": float(max_shards),
+            "active_max": float(max(active_seen)),
+            "active_final": float(rt_stats["active_shards"]),
+            "scale_ups": rt_stats["scale_ups"],
+            "scale_downs": rt_stats["scale_downs"],
+            "queue_depth_max": rt_stats.get("queue_depth_max", 0.0),
+            "requests_shed": rt_stats.get("requests_shed", 0.0),
+            "lane_solve_p95_seconds": rt_stats.get("lane_solve_p95_seconds", 0.0),
+            "lane_stream_requests": rt_stats.get("lane_stream_requests", 0.0),
+        }
+    )
+
+    # -- deadline shedding under saturation ---------------------------------
+    shed_runtime = AsyncSketchServer(
+        shards=1, max_batch=max_batch, seed=seed, workers=1,
+        queue_depth=max(shed_requests // 2, 4),
+    )
+    # Distinct matrices (same shape, so the operator cache still amortises)
+    # keep the requests unfusable: 48 separate batches queue behind one
+    # shard and one worker, so queueing delay grows linearly and requests
+    # past the budget must shed.  All inputs are prepared *before* the
+    # submission loop so admission outpaces dispatch.
+    shed_problems = [
+        (m, m @ x_true + noise * rng.standard_normal(d))
+        for m in (rng.standard_normal((d, n)) for _ in range(shed_requests))
+    ]
+    # Calibrate the budget from warm-up requests' service time.
+    warmup = [shed_runtime.submit(a, b) for a, b in shed_problems[: max_batch // 2]]
+    warm_responses = [f.result(timeout=120.0) for f in warmup]
+    shed_runtime.drain()
+    service_seconds = max(r.compute_seconds for r in warm_responses)
+    budget = shed_budget_batches * service_seconds
+    shed_futures = []
+    queue_full = 0
+    shed_runtime.pause()  # saturate the queue before the worker sees any of it
+    for a, b in shed_problems[max_batch // 2 :]:
+        try:
+            shed_futures.append(shed_runtime.submit(a, b, latency_budget=budget))
+        except QueueFullError:
+            queue_full += 1
+    shed_runtime.resume()
+    completed, shed = [], 0
+    for f in shed_futures:
+        try:
+            completed.append(f.result(timeout=120.0))
+        except DeadlineExceededError:
+            shed += 1
+    shed_runtime.drain()
+    shed_stats = shed_runtime.stats()
+    shed_runtime.stop()
+    violations = sum(1 for r in completed if r.simulated_seconds > budget)
+    rows.append(
+        {
+            "mode": "shedding",
+            "requests": float(shed_requests),
+            "completed": float(len(completed)),
+            "requests_shed": float(shed),
+            "queue_full_rejects": float(queue_full),
+            "deadline_violations": float(violations),
+            "budget_seconds": budget,
+            "queue_depth_max": shed_stats.get("queue_depth_max", 0.0),
+            "shed_deadline": shed_stats.get("shed_deadline", 0.0),
+        }
+    )
+    return rows

@@ -23,6 +23,15 @@ sketch operators and solvers into such a service:
 * :class:`~repro.serving.telemetry.ServingTelemetry` -- p50/p95/p99 latency,
   throughput, batch-size, hit-rate, per-solver histogram, fallback-count and
   streaming-session reporting.
+* :class:`~repro.serving.runtime.AsyncSketchServer` -- the *concurrent
+  runtime*: a bounded admission queue with per-problem-class priority lanes
+  (weighted round-robin, so streaming ingest cannot starve solves),
+  deadline-aware load shedding (typed
+  :class:`~repro.serving.requests.QueueFullError` /
+  :class:`~repro.serving.requests.DeadlineExceededError`), a worker pool
+  overlapping sketch application and planner-routed solves across shards,
+  and an :class:`~repro.serving.scheduler.ElasticShardPolicy` growing and
+  shrinking the active shard set from queue-depth and p95 telemetry.
 * :mod:`repro.serving.streaming` -- streaming sessions
   (``SketchServer.open_stream`` / ``append_rows`` / ``query_solution`` /
   ``close_stream``): a :class:`~repro.streaming.solver.StreamingSolver` per
@@ -58,16 +67,25 @@ from repro.serving.cache import (
     resolve_embedding_dim,
 )
 from repro.serving.requests import (
+    LANES,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    AdmissionError,
+    DeadlineExceededError,
     LowRankResponse,
+    QueueFullError,
     SketchResponse,
     SolveRequest,
     SolveResponse,
     normalize_kind,
+    normalize_lane,
     normalize_policy,
     normalize_solver,
 )
-from repro.serving.scheduler import ShardScheduler
-from repro.serving.server import ServerConfig, SketchServer, naive_solve_loop
+from repro.serving.runtime import AsyncSketchServer, RuntimeConfig, RuntimeFuture
+from repro.serving.scheduler import ElasticShardPolicy, ScaleEvent, ShardScheduler
+from repro.serving.server import PlacedBatch, ServerConfig, SketchServer, naive_solve_loop
 from repro.serving.streaming import (
     IngestReport,
     StreamSession,
@@ -78,6 +96,20 @@ from repro.serving.streaming import (
 from repro.serving.telemetry import LatencySummary, ServingTelemetry
 
 __all__ = [
+    "AdmissionError",
+    "AsyncSketchServer",
+    "DeadlineExceededError",
+    "ElasticShardPolicy",
+    "LANES",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PlacedBatch",
+    "QueueFullError",
+    "RuntimeConfig",
+    "RuntimeFuture",
+    "ScaleEvent",
+    "normalize_lane",
     "MicroBatch",
     "MicroBatcher",
     "CacheEntry",

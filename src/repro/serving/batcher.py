@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -98,6 +98,34 @@ class MicroBatcher:
         """Enqueue a request into its fusion group."""
         self._groups.setdefault(request.group_key(), []).append(request)
         self._pending += 1
+
+    # ------------------------------------------------------------------
+    def pop_batch(self, max_batch: Optional[int] = None) -> Optional[MicroBatch]:
+        """Pop one micro-batch without draining the whole queue.
+
+        The concurrent runtime's dispatcher pulls work incrementally -- one
+        batch per worker wake-up -- instead of draining everything at once
+        the way :meth:`drain` does.  The group chosen is the
+        highest-priority one (smallest ``priority`` of its first request),
+        ties broken by arrival order; at most ``max_batch`` (defaulting to
+        the batcher's own bound) requests are taken, leaving the remainder
+        queued as the same group.  Returns ``None`` when nothing is pending.
+        """
+        if not self._groups:
+            return None
+        limit = self.max_batch if max_batch is None else int(max_batch)
+        if limit <= 0:
+            raise ValueError("max_batch must be positive")
+        key = min(self._groups, key=lambda k: self._groups[k][0].priority)
+        reqs = self._groups[key]
+        if len(reqs) <= limit:
+            del self._groups[key]
+            taken = reqs
+        else:
+            taken = reqs[:limit]
+            self._groups[key] = reqs[limit:]
+        self._pending -= len(taken)
+        return MicroBatch(taken)
 
     # ------------------------------------------------------------------
     def drain(self) -> List[MicroBatch]:

@@ -16,6 +16,7 @@ the owning shard (cache-affinity scheduling) instead of rebuilding state.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -201,33 +202,45 @@ class OperatorCache:
         self.capacity = int(capacity)
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        # One lock covers lookup, insertion and eviction: the eviction loop
+        # in put() reads len() and pops in separate bytecodes, so two
+        # unlocked concurrent puts could both evict for the same slot (lost
+        # entries, double-counted evictions) and a get() racing a
+        # move_to_end() could corrupt the OrderedDict's internal list.  The
+        # runtime's worker threads all funnel through here.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self):
         """Cache keys from least to most recently used."""
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())
 
     # ------------------------------------------------------------------
     def get(self, key: Tuple) -> Optional[CacheEntry]:
         """Look up an operator; counts a hit or a miss and refreshes LRU order."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        entry.uses += 1
-        self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            entry.uses += 1
+            self._entries.move_to_end(key)
+            return entry
 
     def peek(self, key: Tuple) -> Optional[CacheEntry]:
         """Look up without touching the stats or the LRU order (for tests)."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def touch(self, key: Tuple) -> bool:
         """Refresh an entry's LRU position without counting a hit or miss.
@@ -237,22 +250,24 @@ class OperatorCache:
         without its keep-alives distorting the request-path hit rate.
         Returns whether the entry was present.
         """
-        if key not in self._entries:
-            return False
-        self._entries.move_to_end(key)
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._entries.move_to_end(key)
+            return True
 
     def put(self, key: Tuple, entry: CacheEntry) -> CacheEntry:
         """Insert an entry, evicting the least recently used one if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = entry
+                return entry
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
             self._entries[key] = entry
             return entry
-        while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = entry
-        return entry
 
     def discard(self, key: Tuple) -> bool:
         """Drop one entry without touching the stats; returns whether it existed.
@@ -261,11 +276,13 @@ class OperatorCache:
         operators are pinned for the session's lifetime only and must not
         linger as dead LRU weight afterwards.
         """
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every cached operator (stats are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

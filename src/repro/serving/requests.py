@@ -18,14 +18,104 @@ from repro.linalg.planner import normalize_policy
 from repro.linalg.registry import canonical_solver_name
 
 __all__ = [
+    "AdmissionError",
+    "DeadlineExceededError",
+    "LANES",
     "LowRankResponse",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "QueueFullError",
     "SketchResponse",
     "SolveRequest",
     "SolveResponse",
     "normalize_kind",
+    "normalize_lane",
     "normalize_policy",
     "normalize_solver",
 ]
+
+#: Admission-queue lanes, one per problem class the runtime serves.  Order
+#: is the *priority* order the dispatcher walks when weights tie: interactive
+#: least-squares traffic first, ridge next, streaming ingest last (ingest is
+#: throughput work -- it must not starve solve traffic, and the weighted
+#: dispatch guarantees it cannot be starved either).
+LANES = ("solve", "ridge", "stream")
+
+#: Request priorities within a lane (smaller dispatches first).
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+def normalize_lane(lane: str) -> str:
+    """Canonical admission-lane name (``"solve"``, ``"ridge"`` or ``"stream"``)."""
+    l = lane.lower()
+    if l in ("solve", "lstsq", "least_squares", "interactive"):
+        return "solve"
+    if l in ("ridge", "regularized"):
+        return "ridge"
+    if l in ("stream", "streaming", "ingest"):
+        return "stream"
+    raise ValueError(f"unknown admission lane '{lane}' (expected one of {LANES})")
+
+
+class AdmissionError(RuntimeError):
+    """A request the runtime refused to solve, with the reason typed.
+
+    Attributes
+    ----------
+    lane:
+        Admission lane the request was bound for.
+    request_id:
+        Server request id when one was assigned (-1 before admission).
+    """
+
+    reason = "admission"
+
+    def __init__(self, message: str, *, lane: str = "solve", request_id: int = -1) -> None:
+        super().__init__(message)
+        self.lane = lane
+        self.request_id = request_id
+
+
+class QueueFullError(AdmissionError):
+    """Raised at submit time when the bounded admission queue is full.
+
+    Backpressure, not failure: the caller may retry after in-flight work
+    drains.  ``queue_depth`` records the depth observed at rejection.
+    """
+
+    reason = "queue_full"
+
+    def __init__(self, message: str, *, lane: str = "solve", queue_depth: int = 0) -> None:
+        super().__init__(message, lane=lane)
+        self.queue_depth = queue_depth
+
+
+class DeadlineExceededError(AdmissionError):
+    """Raised on a future whose request was shed instead of solved late.
+
+    The dispatcher sheds a request when its projected completion (queue wait
+    already accrued plus the planned solver's estimated service time) can no
+    longer meet its ``latency_budget`` -- the contract is "reject, don't
+    violate".  ``projected_seconds`` / ``budget_seconds`` record the decision.
+    """
+
+    reason = "deadline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lane: str = "solve",
+        request_id: int = -1,
+        projected_seconds: float = 0.0,
+        budget_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(message, lane=lane, request_id=request_id)
+        self.projected_seconds = projected_seconds
+        self.budget_seconds = budget_seconds
 
 
 def normalize_kind(kind: str) -> str:
@@ -74,7 +164,15 @@ class SolveRequest:
         check.
     latency_budget:
         Optional cap on estimated simulated seconds for this request, used
-        by the ``"adaptive"`` policy.
+        by the ``"adaptive"`` policy.  The concurrent runtime additionally
+        treats it as the request's *deadline*: a queued request whose
+        projected completion exceeds the budget is shed with
+        :class:`DeadlineExceededError` instead of being solved late.
+    priority:
+        Dispatch priority within the request's admission lane
+        (:data:`PRIORITY_HIGH` / :data:`PRIORITY_NORMAL` /
+        :data:`PRIORITY_LOW`; smaller dispatches first).  Ignored by the
+        synchronous server, which serves in submission order.
     """
 
     request_id: int
@@ -84,6 +182,7 @@ class SolveRequest:
     solver: str = "sketch_and_solve"
     accuracy_target: Optional[float] = None
     latency_budget: Optional[float] = None
+    priority: int = PRIORITY_NORMAL
 
     def __post_init__(self) -> None:
         self.a = np.asarray(self.a)
@@ -125,6 +224,7 @@ class SolveRequest:
             self.solver,
             self.accuracy_target,
             self.latency_budget,
+            self.priority,
         )
 
 

@@ -1,0 +1,854 @@
+"""Concurrent serving runtime: admission control, lanes, shedding, elastic shards.
+
+The synchronous :class:`~repro.serving.server.SketchServer` answers one call
+at a time; this module turns it into a *runtime* that serves overlapping
+traffic the way the ROADMAP's "heavy traffic from millions of users" demands:
+
+* **Bounded admission queue** -- :meth:`AsyncSketchServer.submit` /
+  :meth:`~AsyncSketchServer.submit_ridge` / streaming ingest all enqueue into
+  one bounded queue; when it is full the caller gets a typed
+  :class:`~repro.serving.requests.QueueFullError` immediately (backpressure)
+  instead of unbounded buffering.
+* **Per-problem-class priority lanes** -- least-squares, ridge and streaming
+  work wait in separate lanes drained by weighted round-robin
+  (:data:`~repro.serving.requests.LANES`), so a flood of ``append_rows``
+  ingest cannot starve solve traffic and vice versa.
+* **Deadline-aware load shedding** -- a request whose projected completion
+  (queue delay already accrued plus the planner's service-time estimate) can
+  no longer meet its ``latency_budget`` is *shed* with
+  :class:`~repro.serving.requests.DeadlineExceededError` rather than solved
+  late; the shed shows up in telemetry (`shed_deadline`, per-lane counters).
+* **Worker pool** -- ``workers`` threads dispatch concurrently over the
+  :class:`~repro.gpu.pool.ExecutorPool`: while one worker drives the
+  bandwidth-bound sketch application of a fresh batch, another runs the
+  compute-bound triangular solve of the previous one on a different shard.
+  Per-shard locks keep each simulated clock single-writer; planning and
+  placement happen under one dispatch lock, execution runs outside it.
+* **Elastic shard scaling** -- an
+  :class:`~repro.serving.scheduler.ElasticShardPolicy` grows the active
+  shard set when queue depth or p95 latency breach their thresholds and
+  shrinks it as load drains, every transition recorded as a
+  :class:`~repro.serving.scheduler.ScaleEvent`.
+
+Latencies in lane telemetry are *queue-inclusive* on the simulated clock:
+admission stamps the request with the earliest instant any active shard
+could start it, and completion is the executing shard's clock after the
+solve -- so queueing delay, the thing admission control exists to bound, is
+visible in ``lane_*_p95_seconds``.
+
+Quick start::
+
+    from repro.serving import AsyncSketchServer, ElasticShardPolicy
+
+    runtime = AsyncSketchServer(
+        shards=2, workers=4, queue_depth=64,
+        elastic=ElasticShardPolicy(min_shards=1, max_shards=8),
+    )
+    futures = [runtime.submit(A, b, latency_budget=0.05) for b in batch]
+    xs = [f.result() for f in futures]     # raises DeadlineExceededError if shed
+    runtime.drain()
+    print(runtime.stats()["requests_per_second"], runtime.active_shards)
+    runtime.stop()
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field, fields, replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.requests import (
+    LANES,
+    PRIORITY_NORMAL,
+    AdmissionError,
+    DeadlineExceededError,
+    QueueFullError,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.scheduler import ElasticShardPolicy
+from repro.serving.server import ServerConfig, SketchServer
+
+__all__ = [
+    "AsyncSketchServer",
+    "RuntimeConfig",
+    "RuntimeFuture",
+]
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration of the concurrent runtime (on top of a ServerConfig).
+
+    Attributes
+    ----------
+    workers:
+        Dispatcher threads.  More workers than active shards is useless
+        (per-shard locks serialise same-shard work); the default sizes the
+        pool to the elastic maximum so scale-ups are immediately usable.
+    queue_depth:
+        Bound on requests waiting across all lanes.  Admission past the
+        bound raises :class:`~repro.serving.requests.QueueFullError`.
+    lane_weights:
+        Weighted round-robin share per admission lane.  The defaults give
+        solve traffic half the dispatch slots, so bulk ridge or streaming
+        ingest can never starve interactive solves -- and each lane has a
+        nonzero weight, so nothing starves, full stop.
+    elastic:
+        Optional :class:`~repro.serving.scheduler.ElasticShardPolicy`.
+        When set, the executor pool is provisioned at ``max_shards`` and
+        the active set breathes between ``min_shards`` and ``max_shards``;
+        when ``None`` the active set is fixed at the server's ``shards``.
+    """
+
+    workers: int = 4
+    queue_depth: int = 64
+    lane_weights: Dict[str, int] = field(
+        default_factory=lambda: {"solve": 4, "ridge": 2, "stream": 2}
+    )
+    elastic: Optional[ElasticShardPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        unknown = set(self.lane_weights) - set(LANES)
+        if unknown:
+            raise ValueError(f"unknown lanes in lane_weights: {sorted(unknown)}")
+        for lane in LANES:
+            if self.lane_weights.get(lane, 0) <= 0:
+                raise ValueError(f"lane '{lane}' needs a positive weight (anti-starvation)")
+
+
+_RUNTIME_FIELDS = {f.name for f in fields(RuntimeConfig)}
+
+
+class RuntimeFuture:
+    """Handle to one admitted request; resolves to a response or a typed error.
+
+    ``result()`` blocks until the dispatcher finishes (or sheds) the request
+    and either returns the response or raises the
+    :class:`~repro.serving.requests.AdmissionError` subclass explaining why
+    the request was not served.
+    """
+
+    def __init__(self, lane: str, request_id: int) -> None:
+        self.lane = lane
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response = None
+        self._error: Optional[BaseException] = None
+
+    # -- dispatcher side ------------------------------------------------
+    def _resolve(self, response) -> None:
+        self._response = response
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- caller side ----------------------------------------------------
+    def done(self) -> bool:
+        """Whether the request has completed or been shed."""
+        return self._event.is_set()
+
+    @property
+    def shed(self) -> bool:
+        """Whether the request was shed (only meaningful once done)."""
+        return isinstance(self._error, AdmissionError)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The typed error the request failed with, or None on success."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        return self._error
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the response; raises the typed error if the request was shed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.done():
+            state = "shed" if self.shed else "done"
+        return f"RuntimeFuture(lane='{self.lane}', id={self.request_id}, {state})"
+
+
+@dataclass
+class _LaneItem:
+    """One non-batchable work item (ridge solve, stream append/query)."""
+
+    kind: str  # "ridge" | "append" | "query"
+    priority: int
+    seq: int
+    admitted_at: float
+    future: RuntimeFuture
+    payload: Tuple = ()
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.priority, self.seq)
+
+
+class AsyncSketchServer:
+    """Concurrent front end over a :class:`~repro.serving.server.SketchServer`.
+
+    Construction accepts a :class:`~repro.serving.server.ServerConfig` (or
+    its keyword overrides) mixed with :class:`RuntimeConfig` keywords::
+
+        AsyncSketchServer(shards=2, policy="cheapest_accurate",
+                          workers=4, queue_depth=32,
+                          elastic=ElasticShardPolicy(max_shards=8))
+
+    The wrapped server is exposed as :attr:`server` but must not be driven
+    through its synchronous ``submit``/``flush`` API while the runtime is
+    running -- all traffic goes through the admission queue.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        runtime: Optional[RuntimeConfig] = None,
+        **overrides,
+    ) -> None:
+        runtime_overrides = {k: overrides.pop(k) for k in list(overrides) if k in _RUNTIME_FIELDS}
+        if runtime is None:
+            runtime = RuntimeConfig(**runtime_overrides)
+        elif runtime_overrides:
+            raise ValueError("pass either a RuntimeConfig or keyword overrides, not both")
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a ServerConfig or keyword overrides, not both")
+
+        if runtime.elastic is not None:
+            elastic = runtime.elastic
+            pool_size = max(config.shards, elastic.max_shards)
+            initial = min(max(config.shards, elastic.min_shards), elastic.max_shards)
+            config = replace(config, shards=pool_size, active_shards=initial)
+        self.config = config
+        self.runtime_config = runtime
+        self.server = SketchServer(config)
+
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        self._shard_locks = [threading.Lock() for _ in range(self.server.pool.size)]
+        self._stop = False
+        self._paused = False
+        self._in_flight = 0
+        self._seq = 0
+        self._completed_since_scale = 0
+
+        # Lanes: fused solve requests live in a MicroBatcher (so the
+        # runtime keeps the multi-RHS amortisation); ridge and streaming
+        # items are plain priority-FIFO deques.  Streaming additionally
+        # keeps per-session FIFOs with at most one item of a session in
+        # flight, so ingest order within a session is preserved even with
+        # many workers.
+        self._solve_lane = MicroBatcher(max_batch=config.max_batch)
+        self._solve_admitted: Dict[int, float] = {}
+        self._ridge_lane: List[_LaneItem] = []
+        self._stream_queues: Dict[int, Deque[_LaneItem]] = {}
+        self._stream_ready: Deque[int] = deque()
+        self._stream_busy: set = set()
+        self._futures: Dict[int, RuntimeFuture] = {}
+
+        weights = runtime.lane_weights
+        self._lane_cycle: List[str] = [
+            lane for lane in LANES for _ in range(int(weights.get(lane, 0)))
+        ]
+        self._cycle_idx = 0
+
+        self._threads: List[threading.Thread] = []
+        self.start()
+
+    # ------------------------------------------------------------------
+    # passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The wrapped server's telemetry (lane/shed/queue metrics land here)."""
+        return self.server.telemetry
+
+    @property
+    def scheduler(self):
+        """The wrapped server's shard scheduler (scale events live here)."""
+        return self.server.scheduler
+
+    @property
+    def pool(self):
+        """The wrapped server's executor pool."""
+        return self.server.pool
+
+    @property
+    def active_shards(self) -> int:
+        """Current size of the elastic active shard set."""
+        return self.server.scheduler.active_shards
+
+    @property
+    def pending(self) -> int:
+        """Work items admitted but not yet dispatched."""
+        with self._lock:
+            return self._queue_depth_locked()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return
+            self._stop = False
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop, name=f"sketch-worker-{i}", daemon=True
+                )
+                for i in range(self.runtime_config.workers)
+            ]
+        for t in self._threads:
+            t.start()
+
+    def pause(self) -> None:
+        """Hold dispatching: admissions continue, workers idle.
+
+        Lets a burst be admitted atomically before any of it dispatches --
+        the saturation benchmarks use this to make queue-depth behaviour
+        deterministic, and an operator can use it to freeze a misbehaving
+        runtime without losing the queue.
+        """
+        with self._work:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Release a :meth:`pause`; queued work dispatches immediately."""
+        with self._work:
+            self._paused = False
+            self._work.notify_all()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the worker pool.
+
+        ``drain=True`` (default) serves everything already admitted first;
+        ``drain=False`` sheds the backlog with a typed ``shutdown`` error.
+        A paused runtime stays paused until the backlog's fate is decided,
+        so ``drain=False`` sheds everything instead of racing the workers.
+        """
+        if drain:
+            self.resume()  # a paused runtime could never drain
+            self.drain(timeout=timeout)
+        with self._work:
+            if not drain:
+                self._shed_backlog_locked("shutdown")
+            self._stop = True
+            self._paused = False
+            self._work.notify_all()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self) -> "AsyncSketchServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until the queue is empty and no dispatch is in flight.
+
+        After the backlog clears, the elastic policy is evaluated with the
+        now-empty queue until it holds, so an idle runtime settles back to
+        ``min_shards`` (the scale-*down* half of the load-spike contract).
+        """
+        with self._work:
+            ok = self._work.wait_for(
+                lambda: self._queue_depth_locked() == 0 and self._in_flight == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                raise TimeoutError("drain timed out with work still pending")
+            elastic = self.runtime_config.elastic
+            if elastic is not None:
+                while True:
+                    p95 = self.telemetry.recent_p95()
+                    target, reason = elastic.decide(self.active_shards, 0, p95)
+                    if target >= self.active_shards:
+                        # Only step *down* at drain time: a stale p95 breach
+                        # must not pin an idle runtime at max_shards.
+                        break
+                    self.scheduler.set_active(
+                        target, reason=f"drain: {reason}", queue_depth=0,
+                        p95_seconds=p95 if p95 is not None else 0.0,
+                    )
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _queue_depth_locked(self) -> int:
+        stream_pending = sum(len(q) for q in self._stream_queues.values())
+        return self._solve_lane.pending + len(self._ridge_lane) + stream_pending
+
+    def _virtual_now_locked(self) -> float:
+        """Admission timestamp: the earliest instant any active shard is free."""
+        return self.server.pool.min_load(among=self.scheduler.active_set())
+
+    def _admit_locked(self, lane: str) -> float:
+        """Common admission gate; returns the admission timestamp."""
+        if self._stop:
+            raise RuntimeError("runtime is stopped")
+        depth = self._queue_depth_locked()
+        if depth >= self.runtime_config.queue_depth:
+            self.telemetry.record_admission_reject(lane)
+            raise QueueFullError(
+                f"admission queue full ({depth}/{self.runtime_config.queue_depth})",
+                lane=lane,
+                queue_depth=depth,
+            )
+        self.telemetry.record_admission(lane)
+        self.telemetry.record_queue_depth(depth + 1)
+        return self._virtual_now_locked()
+
+    def submit(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        kind: Optional[str] = None,
+        solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> RuntimeFuture:
+        """Admit one least-squares request; returns its :class:`RuntimeFuture`.
+
+        Raises :class:`~repro.serving.requests.QueueFullError` when the
+        admission queue is at its bound.  ``latency_budget`` doubles as the
+        deadline the dispatcher sheds against.
+        """
+        # Validate before admitting: a malformed request must raise without
+        # touching the admission counters or the queue-depth samples.
+        request = SolveRequest(
+            request_id=-1,
+            a=a,
+            b=b,
+            kind=kind if kind is not None else self.config.kind,
+            solver=solver if solver is not None else self.config.solver,
+            accuracy_target=accuracy_target,
+            latency_budget=latency_budget,
+            priority=priority,
+        )
+        with self._work:
+            admitted_at = self._admit_locked("solve")
+            request.request_id = self.server._next_id
+            self.server._next_id += 1
+            future = RuntimeFuture("solve", request.request_id)
+            self._futures[request.request_id] = future
+            self._solve_admitted[request.request_id] = admitted_at
+            self._solve_lane.add(request)
+            self._work.notify()
+        return future
+
+    def solve(self, a: np.ndarray, b: np.ndarray, **options) -> SolveResponse:
+        """Convenience: submit one request and block for its response."""
+        return self.submit(a, b, **options).result()
+
+    def submit_ridge(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lam: float,
+        *,
+        kind: Optional[str] = None,
+        solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> RuntimeFuture:
+        """Admit one ridge request into the ``ridge`` lane."""
+        # Same shape/lambda checks _plan_ridge applies, run *before*
+        # admission so bad input raises here without skewing telemetry.
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or a.shape[0] <= a.shape[1]:
+            raise ValueError("A must be a tall (d > n) matrix")
+        if b.shape[0] != a.shape[0]:
+            raise ValueError("b must have one entry per row of A")
+        if lam <= 0.0:
+            raise ValueError("submit_ridge needs a positive lam; use submit() otherwise")
+        with self._work:
+            admitted_at = self._admit_locked("ridge")
+            future = RuntimeFuture("ridge", self.server._next_id)
+            self.server._next_id += 1
+            item = _LaneItem(
+                kind="ridge",
+                priority=int(priority),
+                seq=self._seq,
+                admitted_at=admitted_at,
+                future=future,
+                payload=(
+                    a,
+                    b,
+                    float(lam),
+                    {
+                        "kind": kind,
+                        "solver": solver,
+                        "accuracy_target": accuracy_target,
+                        "latency_budget": latency_budget,
+                    },
+                ),
+            )
+            self._seq += 1
+            self._ridge_lane.append(item)
+            self._ridge_lane.sort(key=_LaneItem.sort_key)
+            self._work.notify()
+        return future
+
+    # ------------------------------------------------------------------
+    # streaming through the queue
+    # ------------------------------------------------------------------
+    def open_stream(self, n: int, **options) -> int:
+        """Open a streaming session (control plane: immediate, not queued)."""
+        with self._lock:
+            return self.server.open_stream(n, **options)
+
+    def append_rows(
+        self, session_id: int, rows: np.ndarray, targets: np.ndarray
+    ) -> RuntimeFuture:
+        """Admit one ingest batch into the ``stream`` lane.
+
+        Batches of one session dispatch strictly in admission order (the
+        window algebra is order-sensitive for decayed/sliding modes), but
+        different sessions interleave freely across workers and shards.
+        The future resolves to the session's
+        :class:`~repro.streaming.solver.IngestReport`.
+        """
+        return self._submit_stream("append", session_id, (np.asarray(rows), np.asarray(targets)))
+
+    def query_solution(self, session_id: int) -> RuntimeFuture:
+        """Admit one solution query for a session (``stream`` lane)."""
+        return self._submit_stream("query", session_id, ())
+
+    def _submit_stream(self, kind: str, session_id: int, payload: Tuple) -> RuntimeFuture:
+        with self._work:
+            if session_id not in self.server.streams:
+                raise KeyError(f"unknown or closed streaming session {session_id}")
+            admitted_at = self._admit_locked("stream")
+            future = RuntimeFuture("stream", session_id)
+            item = _LaneItem(
+                kind=kind,
+                priority=PRIORITY_NORMAL,
+                seq=self._seq,
+                admitted_at=admitted_at,
+                future=future,
+                payload=(session_id,) + payload,
+            )
+            self._seq += 1
+            queue = self._stream_queues.setdefault(session_id, deque())
+            queue.append(item)
+            if session_id not in self._stream_busy and len(queue) == 1:
+                self._stream_ready.append(session_id)
+            self._work.notify()
+        return future
+
+    def close_stream(self, session_id: int) -> Dict[str, float]:
+        """Close a session after its queued work drains; returns final stats."""
+        with self._work:
+            self._work.wait_for(
+                lambda: not self._stream_queues.get(session_id)
+                and session_id not in self._stream_busy
+            )
+            self._stream_queues.pop(session_id, None)
+            return self.server.close_stream(session_id)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _has_work_locked(self) -> bool:
+        return (
+            self._solve_lane.pending > 0
+            or bool(self._ridge_lane)
+            or bool(self._stream_ready)
+        )
+
+    def _next_work_locked(self):
+        """Weighted round-robin over the lanes; returns a dispatchable unit."""
+        n = len(self._lane_cycle)
+        for step in range(n):
+            lane = self._lane_cycle[(self._cycle_idx + step) % n]
+            if lane == "solve" and self._solve_lane.pending > 0:
+                self._cycle_idx = (self._cycle_idx + step + 1) % n
+                return ("solve", self._solve_lane.pop_batch())
+            if lane == "ridge" and self._ridge_lane:
+                self._cycle_idx = (self._cycle_idx + step + 1) % n
+                return ("ridge", self._ridge_lane.pop(0))
+            if lane == "stream" and self._stream_ready:
+                self._cycle_idx = (self._cycle_idx + step + 1) % n
+                session_id = self._stream_ready.popleft()
+                item = self._stream_queues[session_id].popleft()
+                self._stream_busy.add(session_id)
+                return ("stream", item)
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._stop and (self._paused or not self._has_work_locked()):
+                    self._work.wait()
+                if self._stop and not self._has_work_locked():
+                    self._work.notify_all()
+                    return
+                unit = self._next_work_locked()
+                if unit is None:  # pragma: no cover - racing pop, retry
+                    continue
+                self._in_flight += 1
+            try:
+                lane, work = unit
+                if lane == "solve":
+                    self._dispatch_solve(work)
+                elif lane == "ridge":
+                    self._dispatch_ridge(work)
+                else:
+                    self._dispatch_stream(work)
+            finally:
+                with self._work:
+                    self._in_flight -= 1
+                    self.telemetry.record_queue_depth(self._queue_depth_locked())
+                    self._maybe_scale_locked()
+                    self._work.notify_all()
+
+    # -- solve lane -----------------------------------------------------
+    def _solve_comm_estimate(self, batch) -> float:
+        """Result-return transfer seconds the batch's latency will include."""
+        n = batch.a.shape[1]
+        return self.scheduler.estimate_transfer(
+            float(n) * batch.size * batch.a.dtype.itemsize
+        )
+
+    def _dispatch_solve(self, batch) -> None:
+        try:
+            with self._lock:
+                admitted_at = min(
+                    self._solve_admitted.pop(req.request_id) for req in batch.requests
+                )
+                planned = self.server._plan_batch(batch)
+                budget = batch.requests[0].latency_budget
+                if budget is not None:
+                    # Earliest effective start (queued work included) +
+                    # service estimate + result-return transfer: the same
+                    # three terms the completed request's queue-inclusive
+                    # latency is built from, so a saturated queue rejects
+                    # late requests instead of solving them past budget.
+                    start = self.scheduler.min_effective_load()
+                    projected = (
+                        max(0.0, start - admitted_at)
+                        + float(planned[0].costs.get(planned[0].solver, 0.0))
+                        + self._solve_comm_estimate(batch)
+                    )
+                    if projected > budget:
+                        self._shed_solve_locked(batch, projected, budget)
+                        return
+                placed = self.server._plan_and_place(batch, planned)
+                reservation = placed.estimated_service_seconds
+                self.scheduler.reserve(placed.shard, reservation)
+            try:
+                with self._shard_locks[placed.shard]:
+                    responses = self.server._run_placed(
+                        batch, placed, admitted_at=admitted_at
+                    )
+            finally:
+                self.scheduler.release(placed.shard, reservation)
+            with self._lock:
+                for resp in responses:
+                    self.telemetry.record_lane_latency("solve", resp.simulated_seconds)
+                    future = self._futures.pop(resp.request_id, None)
+                    if future is not None:
+                        future._resolve(resp)
+        except Exception as exc:
+            # A failed dispatch must never kill the worker or strand the
+            # riders' futures: reject every one with the actual error.
+            with self._lock:
+                for req in batch.requests:
+                    self._solve_admitted.pop(req.request_id, None)
+                    future = self._futures.pop(req.request_id, None)
+                    if future is not None:
+                        future._reject(exc)
+
+    def _shed_solve_locked(self, batch, projected: float, budget: float) -> None:
+        self.telemetry.record_shed("solve", "deadline", count=batch.size)
+        for req in batch.requests:
+            future = self._futures.pop(req.request_id, None)
+            error = DeadlineExceededError(
+                f"request {req.request_id} shed: projected completion "
+                f"{projected:.3e}s exceeds budget {budget:.3e}s",
+                lane="solve",
+                request_id=req.request_id,
+                projected_seconds=projected,
+                budget_seconds=budget,
+            )
+            if future is not None:
+                future._reject(error)
+
+    # -- ridge lane -----------------------------------------------------
+    def _dispatch_ridge(self, item: _LaneItem) -> None:
+        a, b, lam, options = item.payload
+        try:
+            with self._lock:
+                plan_, spec, policy, kind = self.server._plan_ridge(a, b, lam, **options)
+                budget = spec.latency_budget
+                if budget is not None:
+                    start = self.scheduler.min_effective_load()
+                    comm = self.scheduler.estimate_transfer(
+                        float(spec.n) * spec.nrhs * a.dtype.itemsize
+                    )
+                    projected = (
+                        max(0.0, start - item.admitted_at)
+                        + float(plan_.costs.get(plan_.solver, 0.0))
+                        + comm
+                    )
+                    if projected > budget:
+                        self.telemetry.record_shed("ridge", "deadline")
+                        item.future._reject(
+                            DeadlineExceededError(
+                                f"ridge request shed: projected {projected:.3e}s "
+                                f"exceeds budget {budget:.3e}s",
+                                lane="ridge",
+                                request_id=item.future.request_id,
+                                projected_seconds=projected,
+                                budget_seconds=budget,
+                            )
+                        )
+                        return
+                placed = self.server._place_ridge(plan_, spec, kind)
+                reservation = placed.estimated_service_seconds
+                self.scheduler.reserve(placed.shard, reservation)
+            try:
+                with self._shard_locks[placed.shard]:
+                    response = self.server._run_ridge(
+                        a,
+                        b,
+                        lam,
+                        placed,
+                        policy=policy,
+                        kind=kind,
+                        solver=options.get("solver"),
+                        admitted_at=item.admitted_at,
+                        request_id=item.future.request_id,
+                    )
+            finally:
+                self.scheduler.release(placed.shard, reservation)
+            self.telemetry.record_lane_latency("ridge", response.simulated_seconds)
+            item.future._resolve(response)
+        except Exception as exc:  # input validation errors reach the caller
+            item.future._reject(exc)
+
+    # -- stream lane ----------------------------------------------------
+    def _dispatch_stream(self, item: _LaneItem) -> None:
+        session_id = item.payload[0]
+        try:
+            session = self.server.streams.session(session_id)
+            with self._shard_locks[session.shard]:
+                if item.kind == "append":
+                    _, rows, targets = item.payload
+                    result: object = self.server.append_rows(session_id, rows, targets)
+                else:
+                    result = self.server.query_solution(session_id)
+            done_at = self.server.pool[session.shard].elapsed
+            self.telemetry.record_lane_latency(
+                "stream", max(0.0, done_at - item.admitted_at)
+            )
+            item.future._resolve(result)
+        except Exception as exc:
+            item.future._reject(exc)
+        finally:
+            with self._work:
+                self._stream_busy.discard(session_id)
+                queue = self._stream_queues.get(session_id)
+                if queue:
+                    self._stream_ready.append(session_id)
+                    self._work.notify()
+
+    # ------------------------------------------------------------------
+    # elastic scaling
+    # ------------------------------------------------------------------
+    def _maybe_scale_locked(self) -> None:
+        elastic = self.runtime_config.elastic
+        if elastic is None:
+            return
+        self._completed_since_scale += 1
+        if self._completed_since_scale < elastic.cooldown_batches:
+            return
+        depth = self._queue_depth_locked()
+        p95 = self.telemetry.recent_p95()
+        target, reason = elastic.decide(self.active_shards, depth, p95)
+        if target != self.active_shards:
+            self.scheduler.set_active(
+                target,
+                reason=reason,
+                queue_depth=depth,
+                p95_seconds=p95 if p95 is not None else 0.0,
+            )
+        self._completed_since_scale = 0
+
+    # ------------------------------------------------------------------
+    # shutdown shedding
+    # ------------------------------------------------------------------
+    def _shed_backlog_locked(self, reason: str) -> None:
+        for batch in self._solve_lane.drain():
+            self.telemetry.record_shed("solve", reason, count=batch.size)
+            for req in batch.requests:
+                self._solve_admitted.pop(req.request_id, None)
+                future = self._futures.pop(req.request_id, None)
+                if future is not None:
+                    future._reject(
+                        AdmissionError(
+                            f"request {req.request_id} shed: {reason}",
+                            lane="solve",
+                            request_id=req.request_id,
+                        )
+                    )
+        for item in self._ridge_lane:
+            self.telemetry.record_shed("ridge", reason)
+            item.future._reject(AdmissionError(f"ridge request shed: {reason}", lane="ridge"))
+        self._ridge_lane.clear()
+        for session_id, queue in self._stream_queues.items():
+            for item in queue:
+                self.telemetry.record_shed("stream", reason)
+                item.future._reject(
+                    AdmissionError(f"stream work shed: {reason}", lane="stream")
+                )
+            queue.clear()
+        self._stream_ready.clear()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Server statistics plus the runtime's own headline numbers."""
+        out = self.server.stats()
+        with self._lock:
+            out["queue_depth"] = float(self._queue_depth_locked())
+            out["in_flight"] = float(self._in_flight)
+        out["workers"] = float(self.runtime_config.workers)
+        out["queue_bound"] = float(self.runtime_config.queue_depth)
+        return out
+
+    def scale_events(self):
+        """The scheduler's recorded :class:`ScaleEvent` timeline."""
+        return list(self.scheduler.scale_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsyncSketchServer(workers={self.runtime_config.workers}, "
+            f"queue_depth={self.runtime_config.queue_depth}, "
+            f"active_shards={self.active_shards}/{self.server.pool.size})"
+        )

@@ -10,6 +10,13 @@ shard runs each micro-batch.  Two policies compose:
   to the shard with the least accumulated simulated time, balancing load
   across distinct problem shapes.
 
+A third, *elastic* axis rides on top for the concurrent runtime: the
+scheduler keeps an **active shard count** and only hands least-loaded work
+to active shards.  :class:`ElasticShardPolicy` decides when to grow or
+shrink that count from queue-depth and p95-latency telemetry, and every
+transition is recorded as a :class:`ScaleEvent` so load tests can assert
+the scale-up *and* the scale-back-down actually happened.
+
 Cross-shard traffic (shipping a batch's solution back to the front end,
 replicating operator state) is charged with the same alpha-beta model the
 distributed layer uses (:class:`repro.distributed.comm.CommCostModel`) and
@@ -19,10 +26,105 @@ experiments report communication with the exact accounting of Section 7.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.distributed.comm import CommCostModel, CommRecord
 from repro.gpu.pool import ExecutorPool
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One elastic-scaling transition of the active shard set.
+
+    ``at_seconds`` is the pool makespan when the decision was taken, so a
+    sequence of events reads as a timeline on the simulated clock.
+    """
+
+    at_seconds: float
+    from_shards: int
+    to_shards: int
+    reason: str
+    queue_depth: int = 0
+    p95_seconds: float = 0.0
+
+    @property
+    def direction(self) -> str:
+        """``"up"`` or ``"down"``."""
+        return "up" if self.to_shards > self.from_shards else "down"
+
+
+@dataclass
+class ElasticShardPolicy:
+    """Grow/shrink the active shard count from load telemetry.
+
+    The decision inputs are the two signals a serving runtime always has:
+    the admission-queue depth (how much work is waiting) and the recent p95
+    request latency (how badly the current capacity is keeping up).  The
+    policy is deliberately asymmetric -- it doubles on pressure and steps
+    down by one shard at a time -- because under-provisioning sheds user
+    traffic while over-provisioning merely parks simulated silicon.
+
+    Parameters
+    ----------
+    min_shards / max_shards:
+        Bounds on the active count.
+    queue_high:
+        Scale *up* when the queue holds more than this many pending work
+        items per active shard.
+    queue_low:
+        Scale *down* when the queue holds fewer than this many pending
+        items per active shard (and the latency signal agrees).
+    p95_budget:
+        Optional latency target: p95 above it forces a scale-up even at
+        modest queue depth, p95 must be under it before scaling down.
+    cooldown_batches:
+        Minimum completed dispatches between two evaluations, so one burst
+        cannot thrash the active set up and down.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    queue_high: float = 4.0
+    queue_low: float = 1.0
+    p95_budget: Optional[float] = None
+    cooldown_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_shards <= 0:
+            raise ValueError("min_shards must be positive")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue_low must not exceed queue_high")
+
+    def decide(
+        self, active: int, queue_depth: int, p95_seconds: Optional[float] = None
+    ) -> Tuple[int, str]:
+        """Return ``(new_active, reason)``; ``new_active == active`` means hold."""
+        per_shard = queue_depth / max(active, 1)
+        latency_breach = (
+            self.p95_budget is not None
+            and p95_seconds is not None
+            and p95_seconds > self.p95_budget
+        )
+        if active < self.max_shards and (per_shard > self.queue_high or latency_breach):
+            target = min(self.max_shards, max(active * 2, active + 1))
+            why = (
+                f"p95 {p95_seconds:.3e}s over budget {self.p95_budget:.3e}s"
+                if latency_breach and per_shard <= self.queue_high
+                else f"queue depth {queue_depth} over {self.queue_high:g}/shard"
+            )
+            return target, why
+        latency_ok = (
+            self.p95_budget is None
+            or p95_seconds is None
+            or p95_seconds <= self.p95_budget
+        )
+        if active > self.min_shards and per_shard < self.queue_low and latency_ok:
+            return active - 1, f"queue depth {queue_depth} under {self.queue_low:g}/shard"
+        return active, "hold"
 
 
 class ShardScheduler:
@@ -36,31 +138,141 @@ class ShardScheduler:
         Alpha-beta communication model for front-end <-> shard transfers;
         defaults to the distributed layer's defaults (10 us latency,
         25 GB/s links).
+    active_shards:
+        Initial size of the *active* shard set (defaults to the whole
+        pool).  Shards ``0..active_shards-1`` receive least-loaded
+        placements; parked shards only run work explicitly pinned to them
+        (cache affinity to state that already lives there).
     """
 
-    def __init__(self, pool: ExecutorPool, cost_model: Optional[CommCostModel] = None) -> None:
+    def __init__(
+        self,
+        pool: ExecutorPool,
+        cost_model: Optional[CommCostModel] = None,
+        *,
+        active_shards: Optional[int] = None,
+    ) -> None:
         self.pool = pool
         self.cost_model = cost_model if cost_model is not None else CommCostModel()
         self.records: List[CommRecord] = []
+        self.scale_events: List[ScaleEvent] = []
         self._batches_per_shard: List[int] = [0] * pool.size
+        # Estimated seconds of work placed but not yet executed, per shard.
+        # Simulated clocks only advance when kernels run, so without this a
+        # burst of concurrent placements all sees the same stale loads and
+        # piles onto one shard (thundering herd); reservations make
+        # least-loaded placement queue-aware.
+        self._reserved: List[float] = [0.0] * pool.size
+        self._lock = threading.Lock()
+        if active_shards is None:
+            active_shards = pool.size
+        if not (1 <= active_shards <= pool.size):
+            raise ValueError(f"active_shards must be in [1, {pool.size}]")
+        self._active = int(active_shards)
+
+    # ------------------------------------------------------------------
+    # elastic active set
+    # ------------------------------------------------------------------
+    @property
+    def active_shards(self) -> int:
+        """Current size of the active shard set."""
+        return self._active
+
+    def active_set(self) -> Tuple[int, ...]:
+        """Indices of the shards currently receiving least-loaded work."""
+        return tuple(range(self._active))
+
+    def set_active(
+        self,
+        count: int,
+        *,
+        reason: str = "",
+        queue_depth: int = 0,
+        p95_seconds: float = 0.0,
+    ) -> bool:
+        """Resize the active set, recording a :class:`ScaleEvent` on change.
+
+        Returns whether the count actually changed.  Shrinking never drops
+        in-flight state: parked shards keep their executors and cached
+        operators, they just stop receiving new least-loaded placements.
+        """
+        count = int(count)
+        if not (1 <= count <= self.pool.size):
+            raise ValueError(f"active shard count must be in [1, {self.pool.size}]")
+        with self._lock:
+            if count == self._active:
+                return False
+            event = ScaleEvent(
+                at_seconds=self.pool.makespan(),
+                from_shards=self._active,
+                to_shards=count,
+                reason=reason,
+                queue_depth=queue_depth,
+                p95_seconds=p95_seconds,
+            )
+            self._active = count
+            self.scale_events.append(event)
+        return True
+
+    def scale_transitions(self) -> Dict[str, int]:
+        """``{"up": ..., "down": ...}`` counts of recorded scale events."""
+        with self._lock:
+            ups = sum(1 for e in self.scale_events if e.direction == "up")
+            downs = len(self.scale_events) - ups
+        return {"up": ups, "down": downs}
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
-    def place(self, preferred: Optional[int] = None) -> int:
+    def place(self, preferred: Optional[int] = None, reserve_seconds: float = 0.0) -> int:
         """Pick the shard for a batch.
 
-        ``preferred`` (cache affinity) wins when given; otherwise the least
-        loaded shard by simulated busy time is chosen.
+        ``preferred`` (cache affinity) wins when given -- even for a parked
+        shard, because pinned device state (a session's window sketch, an
+        unseeded operator) cannot move; otherwise the least loaded *active*
+        shard by *effective* (executed plus reserved) simulated busy time
+        is chosen.  ``reserve_seconds`` books the batch's estimated service
+        time on the chosen shard; callers that overlap placement with
+        execution pass the planner's estimate and :meth:`release` it when
+        the batch completes.
         """
-        if preferred is not None:
-            if not (0 <= preferred < self.pool.size):
-                raise ValueError(f"shard {preferred} out of range for pool of {self.pool.size}")
-            shard = preferred
-        else:
-            shard = self.pool.least_loaded()
-        self._batches_per_shard[shard] += 1
-        return shard
+        with self._lock:
+            if preferred is not None:
+                if not (0 <= preferred < self.pool.size):
+                    raise ValueError(
+                        f"shard {preferred} out of range for pool of {self.pool.size}"
+                    )
+                shard = preferred
+            else:
+                loads = self.pool.loads()
+                shard = min(
+                    range(self._active), key=lambda s: loads[s] + self._reserved[s]
+                )
+            self._batches_per_shard[shard] += 1
+            if reserve_seconds > 0.0:
+                self._reserved[shard] += float(reserve_seconds)
+            return shard
+
+    def reserve(self, shard: int, seconds: float) -> None:
+        """Book estimated in-flight work on a shard (see :meth:`place`)."""
+        with self._lock:
+            self._reserved[shard] += float(seconds)
+
+    def release(self, shard: int, seconds: float) -> None:
+        """Return a reservation once its batch has executed."""
+        with self._lock:
+            self._reserved[shard] = max(0.0, self._reserved[shard] - float(seconds))
+
+    def effective_loads(self) -> List[float]:
+        """Per-shard executed-plus-reserved simulated seconds."""
+        loads = self.pool.loads()
+        with self._lock:
+            return [l + r for l, r in zip(loads, self._reserved)]
+
+    def min_effective_load(self) -> float:
+        """Earliest instant (effective) at which an active shard frees up."""
+        loads = self.effective_loads()
+        return min(loads[s] for s in range(self._active))
 
     @property
     def batches_per_shard(self) -> List[int]:
@@ -70,6 +282,16 @@ class ShardScheduler:
     # ------------------------------------------------------------------
     # cross-shard traffic accounting
     # ------------------------------------------------------------------
+    def estimate_transfer(self, nbytes: float) -> float:
+        """Seconds one front-end <-> shard transfer *would* cost (not recorded).
+
+        The runtime's deadline projection uses this for the result-return
+        term, so a request is shed when queue wait + service + transfer
+        would breach the budget -- the same three terms the completed
+        request's queue-inclusive latency is built from.
+        """
+        return self.cost_model.latency + float(nbytes) / self.cost_model.bandwidth
+
     def charge_transfer(self, name: str, nbytes: float) -> float:
         """Charge one front-end <-> shard point-to-point transfer.
 
@@ -78,30 +300,37 @@ class ShardScheduler:
         Returns the simulated seconds charged.
         """
         seconds = self.cost_model.latency + float(nbytes) / self.cost_model.bandwidth
-        self.records.append(CommRecord(name=name, bytes_moved=float(nbytes), seconds=seconds))
+        with self._lock:
+            self.records.append(CommRecord(name=name, bytes_moved=float(nbytes), seconds=seconds))
         return seconds
 
     def charge_replication(self, state_bytes: float, n_replicas: int) -> float:
         """Charge broadcasting operator state to ``n_replicas`` shards."""
         seconds = self.cost_model.broadcast_time(float(state_bytes), max(n_replicas, 1) + 1)
-        self.records.append(
-            CommRecord(name="operator_replication", bytes_moved=float(state_bytes), seconds=seconds)
-        )
+        with self._lock:
+            self.records.append(
+                CommRecord(
+                    name="operator_replication", bytes_moved=float(state_bytes), seconds=seconds
+                )
+            )
         return seconds
 
     def comm_seconds(self) -> float:
         """Total cross-shard communication seconds charged so far."""
-        return float(sum(r.seconds for r in self.records))
+        with self._lock:
+            return float(sum(r.seconds for r in self.records))
 
     def comm_bytes(self) -> float:
         """Total cross-shard bytes moved so far."""
-        return float(sum(r.bytes_moved for r in self.records))
+        with self._lock:
+            return float(sum(r.bytes_moved for r in self.records))
 
     def comm_by_name(self) -> Dict[str, float]:
         """Seconds per transfer name."""
         out: Dict[str, float] = {}
-        for r in self.records:
-            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        with self._lock:
+            for r in self.records:
+                out[r.name] = out.get(r.name, 0.0) + r.seconds
         return out
 
     # ------------------------------------------------------------------

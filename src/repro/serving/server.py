@@ -101,6 +101,12 @@ class ServerConfig:
         operator the server builds.
     shards:
         Number of simulated GPU workers in the executor pool.
+    active_shards:
+        Initial size of the scheduler's *active* shard set (``None`` means
+        all of them).  The concurrent runtime provisions the pool at its
+        elastic maximum but starts with only this many shards taking new
+        work; the :class:`~repro.serving.scheduler.ElasticShardPolicy`
+        grows and shrinks the set from load telemetry.
     cache_capacity:
         Maximum number of live sketch operators across all shards.
     max_batch:
@@ -127,6 +133,7 @@ class ServerConfig:
     latency_budget: Optional[float] = None
     oversampling: float = 2.0
     shards: int = 2
+    active_shards: Optional[int] = None
     cache_capacity: int = 64
     max_batch: int = 32
     seed: int = 0
@@ -141,10 +148,35 @@ class ServerConfig:
         self.policy = normalize_policy(self.policy)
         if self.shards <= 0:
             raise ValueError("shards must be positive")
+        if self.active_shards is not None and not (1 <= self.active_shards <= self.shards):
+            raise ValueError("active_shards must be in [1, shards]")
         if self.oversampling <= 1.0:
             raise ValueError("oversampling must exceed 1")
         if self.accuracy_target <= 0.0:
             raise ValueError("accuracy_target must be positive")
+
+
+@dataclass
+class PlacedBatch:
+    """A planned micro-batch bound to a shard, ready to execute.
+
+    Produced by :meth:`SketchServer._plan_and_place`, consumed by
+    :meth:`SketchServer._run_placed`.  The concurrent runtime holds one of
+    these per in-flight dispatch: the plan's cost estimate
+    (``plan.costs[plan.solver]``) is the service-time term of its
+    deadline-shedding projection.
+    """
+
+    plan: SolvePlan
+    spec: SolveSpec
+    entry: Optional[CacheEntry]
+    shard: int
+    cache_hit: bool
+
+    @property
+    def estimated_service_seconds(self) -> float:
+        """Planner's analytic estimate of the batch's solve time."""
+        return float(self.plan.costs.get(self.plan.solver, 0.0))
 
 
 class SketchServer:
@@ -163,7 +195,9 @@ class SketchServer:
             seed=config.seed,
             track_memory=False,
         )
-        self.scheduler = ShardScheduler(self.pool, cost_model=config.comm)
+        self.scheduler = ShardScheduler(
+            self.pool, cost_model=config.comm, active_shards=config.active_shards
+        )
         self.cache = OperatorCache(capacity=config.cache_capacity)
         self.telemetry = ServingTelemetry()
         self._batcher = MicroBatcher(max_batch=config.max_batch)
@@ -285,10 +319,14 @@ class SketchServer:
         across the pool.  The rebuild's generation time lands on the new
         shard's clock via its executor.
         """
-        loads = self.pool.loads()
+        loads = self.scheduler.effective_loads()
         owned = entry.shard_set()
-        best_owned = min(owned, key=lambda s: loads[s])
-        least = self.pool.least_loaded()
+        active = set(self.scheduler.active_set())
+        # Prefer copies on active shards: a parked owner only runs the batch
+        # when no active shard has (or can be given) the state.
+        active_owned = [s for s in owned if s in active]
+        best_owned = min(active_owned or owned, key=lambda s: loads[s])
+        least = min(sorted(active), key=lambda s: loads[s])
         # A replica is a rebuild from the seed; unseeded operators draw from
         # their executor's stream and are not reproducible, so they stay
         # pinned to their owning shard.
@@ -411,16 +449,20 @@ class SketchServer:
             self.cache.put(key, CacheEntry(operator=operator, shard=shard))
         return operator
 
-    def _execute_batch(self, batch: MicroBatch) -> List[SolveResponse]:
-        """Plan, place and run one fused micro-batch; fan out the responses.
+    def _plan_and_place(
+        self, batch: MicroBatch, planned: Optional[Tuple[SolvePlan, SolveSpec]] = None
+    ) -> "PlacedBatch":
+        """Plan a micro-batch and bind it to a shard (no kernels run yet).
 
         The planned solver decides operator resolution (sketch-based
         families go through the cache under their own family key; direct
-        solvers skip it) and the plan's fallback chain runs on the chosen
-        shard, so a POTRF breakdown mid-batch is rescued instead of fanning
-        ``failed=True`` out to every rider.
+        solvers skip it).  ``planned`` lets a caller that already planned
+        the batch (the concurrent runtime plans first for its deadline
+        check) skip re-planning.  Splitting this from :meth:`_run_placed`
+        is what lets the runtime hold its dispatch lock only for the cheap
+        planning/placement step while the expensive solve runs outside it.
         """
-        plan_, spec = self._plan_batch(batch)
+        plan_, spec = planned if planned is not None else self._plan_batch(batch)
         needs_sketch = get_solver(plan_.solver).capabilities.needs_sketch
         entry: Optional[CacheEntry] = None
         cache_hit = False
@@ -435,6 +477,26 @@ class SketchServer:
                 shard = self._place_warm_batch(entry, batch.kind, batch.a, k=plan_.embedding_dim)
         else:
             shard = self.scheduler.place()
+        return PlacedBatch(plan=plan_, spec=spec, entry=entry, shard=shard, cache_hit=cache_hit)
+
+    def _run_placed(
+        self,
+        batch: MicroBatch,
+        placed: "PlacedBatch",
+        *,
+        admitted_at: Optional[float] = None,
+    ) -> List[SolveResponse]:
+        """Execute a placed micro-batch and fan out the responses.
+
+        The plan's fallback chain runs on the bound shard, so a POTRF
+        breakdown mid-batch is rescued instead of fanning ``failed=True``
+        out to every rider.  ``admitted_at`` (a point on the simulated
+        clock) switches latency accounting from service-only (the
+        synchronous server: a request's latency is its batch's compute plus
+        the result transfer) to queue-inclusive (the concurrent runtime:
+        everything from admission to completion, queueing delay included).
+        """
+        plan_, spec, entry, shard = placed.plan, placed.spec, placed.entry, placed.shard
         executor = self.pool[shard]
 
         rhs = batch.rhs_block() if batch.size > 1 else batch.requests[0].b
@@ -464,7 +526,10 @@ class SketchServer:
         result_bytes = float(n) * batch.size * batch.a.dtype.itemsize
         comm_seconds = self.scheduler.charge_transfer("result_return", result_bytes)
 
-        latency = compute_seconds + comm_seconds
+        if admitted_at is None:
+            latency = compute_seconds + comm_seconds
+        else:
+            latency = max(0.0, executor.elapsed - admitted_at) + comm_seconds
         self.telemetry.record_batch(batch.size, compute_seconds)
         responses = []
         for j, req in enumerate(batch.requests):
@@ -479,7 +544,7 @@ class SketchServer:
                     comm_seconds=comm_seconds,
                     shard=shard,
                     batch_size=batch.size,
-                    cache_hit=cache_hit,
+                    cache_hit=placed.cache_hit,
                     kind=batch.kind,
                     solver=batch.solver,
                     method=result.method,
@@ -495,6 +560,10 @@ class SketchServer:
                 )
             )
         return responses
+
+    def _execute_batch(self, batch: MicroBatch) -> List[SolveResponse]:
+        """Plan, place and run one fused micro-batch (synchronous path)."""
+        return self._run_placed(batch, self._plan_and_place(batch))
 
     @staticmethod
     def _column(result: LeastSquaresResult, j: int, size: int) -> Optional[np.ndarray]:
@@ -594,7 +663,7 @@ class SketchServer:
             self.cache.put(key, CacheEntry(operator=operator, shard=shard))
         return operator
 
-    def solve_ridge(
+    def _plan_ridge(
         self,
         a: np.ndarray,
         b: np.ndarray,
@@ -604,18 +673,8 @@ class SketchServer:
         solver: Optional[str] = None,
         accuracy_target: Optional[float] = None,
         latency_budget: Optional[float] = None,
-    ) -> SolveResponse:
-        """Serve ``min_x ||b - A x||^2 + lam ||x||^2`` through the planner.
-
-        The request routes exactly like batch least-squares traffic -- the
-        cached spectrum probe feeds the planner, the cheapest admissible
-        *ridge* solver runs first, breakdowns walk the ridge fallback chain
-        on the chosen shard -- with two differences: sketch operators live
-        under the ``problem="ridge"`` cache namespace at the augmented
-        ``(d + n)``-row height, and an explicit ``solver`` pins the routing
-        (otherwise a ``"fixed"``-policy server routes ridge adaptively,
-        since its configured default solver answers the wrong problem).
-        """
+    ) -> Tuple[SolvePlan, SolveSpec, str, str]:
+        """Validate and plan one ridge request; returns (plan, spec, policy, kind)."""
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or a.shape[0] <= a.shape[1]:
@@ -651,18 +710,84 @@ class SketchServer:
         else:
             policy = self.config.policy if self.config.policy != "fixed" else "cheapest_accurate"
             plan_ = plan(None, spec, policy=policy, solver=solver, device=self.config.device)
+        return plan_, spec, policy, kind
 
-        rows_aug = d + n
+    def _place_ridge(self, plan_: SolvePlan, spec: SolveSpec, kind: str) -> "PlacedBatch":
+        """Bind a planned ridge request to a shard (operators under ``problem="ridge"``)."""
+        rows_aug = spec.d + spec.n
         entry: Optional[CacheEntry] = None
         cache_hit = False
         if get_solver(plan_.solver).capabilities.needs_sketch:
             entry, built = self._problem_operator(
-                kind, rows_aug, n, plan_.embedding_dim, solver=plan_.solver, problem="ridge"
+                kind, rows_aug, spec.n, plan_.embedding_dim, solver=plan_.solver, problem="ridge"
             )
             cache_hit = not built
             shard = entry.shard
         else:
             shard = self.scheduler.place()
+        return PlacedBatch(plan=plan_, spec=spec, entry=entry, shard=shard, cache_hit=cache_hit)
+
+    def solve_ridge(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lam: float,
+        *,
+        kind: Optional[str] = None,
+        solver: Optional[str] = None,
+        accuracy_target: Optional[float] = None,
+        latency_budget: Optional[float] = None,
+    ) -> SolveResponse:
+        """Serve ``min_x ||b - A x||^2 + lam ||x||^2`` through the planner.
+
+        The request routes exactly like batch least-squares traffic -- the
+        cached spectrum probe feeds the planner, the cheapest admissible
+        *ridge* solver runs first, breakdowns walk the ridge fallback chain
+        on the chosen shard -- with two differences: sketch operators live
+        under the ``problem="ridge"`` cache namespace at the augmented
+        ``(d + n)``-row height, and an explicit ``solver`` pins the routing
+        (otherwise a ``"fixed"``-policy server routes ridge adaptively,
+        since its configured default solver answers the wrong problem).
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        plan_, spec, policy, kind = self._plan_ridge(
+            a,
+            b,
+            lam,
+            kind=kind,
+            solver=solver,
+            accuracy_target=accuracy_target,
+            latency_budget=latency_budget,
+        )
+        placed = self._place_ridge(plan_, spec, kind)
+        return self._run_ridge(
+            a, b, lam, placed, policy=policy, kind=kind, solver=solver
+        )
+
+    def _run_ridge(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        lam: float,
+        placed: "PlacedBatch",
+        *,
+        policy: str,
+        kind: str,
+        solver: Optional[str],
+        admitted_at: Optional[float] = None,
+        request_id: Optional[int] = None,
+    ) -> SolveResponse:
+        """Execute a placed ridge request (see :meth:`_run_placed` for accounting).
+
+        ``request_id`` lets the concurrent runtime pass the id it reserved
+        at admission; the synchronous path draws one here.
+        """
+        plan_, spec, entry, shard = placed.plan, placed.spec, placed.entry, placed.shard
+        cache_hit = placed.cache_hit
+        d, n = a.shape
+        nrhs = spec.nrhs
+        rows_aug = d + n
         executor = self.pool[shard]
         operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
         result = execute_plan(
@@ -685,11 +810,17 @@ class SketchServer:
         compute_seconds = result.total_seconds
         result_bytes = float(n) * nrhs * a.dtype.itemsize
         comm_seconds = self.scheduler.charge_transfer("result_return", result_bytes)
-        latency = compute_seconds + comm_seconds
+        if admitted_at is None:
+            latency = compute_seconds + comm_seconds
+        else:
+            latency = max(0.0, executor.elapsed - admitted_at) + comm_seconds
         self.telemetry.record_batch(1, compute_seconds)
         self.telemetry.record_request(latency, solver=executed)
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id += 1
         response = SolveResponse(
-            request_id=self._next_id,
+            request_id=request_id,
             x=result.x,
             relative_residual=result.relative_residual,
             simulated_seconds=latency,
@@ -713,7 +844,6 @@ class SketchServer:
             fallbacks=fallbacks,
             problem="ridge",
         )
-        self._next_id += 1
         return response
 
     def approx_lowrank(
@@ -841,6 +971,10 @@ class SketchServer:
         out["comm_seconds"] = self.scheduler.comm_seconds()
         out["comm_bytes"] = self.scheduler.comm_bytes()
         out["shards"] = float(self.pool.size)
+        out["active_shards"] = float(self.scheduler.active_shards)
+        transitions = self.scheduler.scale_transitions()
+        out["scale_ups"] = float(transitions["up"])
+        out["scale_downs"] = float(transitions["down"])
         out["open_streams"] = float(len(self.streams))
         for i, load in enumerate(self.pool.loads()):
             out[f"shard{i}_busy_seconds"] = load
@@ -894,19 +1028,64 @@ def naive_solve_loop(
 # ---------------------------------------------------------------------------
 # Console entry point (`repro-serve`)
 # ---------------------------------------------------------------------------
-def main() -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """Serving demo for the ``repro-serve`` console script.
 
-    Thin wrapper over the harness experiment so the demo, the harness rows
-    and the benchmark all share one traffic-synthesis and comparison path.
+    Thin wrapper over the harness experiments so the demo, the harness rows
+    and the benchmarks all share one traffic-synthesis and comparison path.
+    With ``--workers N`` (N > 0) the demo runs the *concurrent runtime*
+    experiment instead of the synchronous throughput comparison:
+    ``--workers``/``--queue-depth`` size the dispatcher pool and the bounded
+    admission queue of the :class:`~repro.serving.runtime.AsyncSketchServer`.
     """
-    from repro.harness.experiments import serving_throughput
+    import argparse
+
+    from repro.harness.experiments import concurrent_load, serving_throughput
     from repro.harness.report import format_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Sketch-and-solve serving demo (simulated H100 seconds).",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="dispatcher threads for the concurrent runtime demo "
+        "(0 = synchronous serving demo; default 0)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=512,
+        help="admission-queue bound for the concurrent runtime demo (default 512)",
+    )
+    parser.add_argument("--shards", type=int, default=2, help="base shard count (default 2)")
+    parser.add_argument("--seed", type=int, default=7, help="traffic/operator seed (default 7)")
+    args = parser.parse_args(argv)
+
+    if args.workers > 0:
+        rows = concurrent_load(
+            shards=args.shards,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            seed=args.seed,
+        )
+        print(format_table(
+            rows,
+            columns=["mode", "requests", "requests_per_second", "speedup",
+                     "worst_relative_residual", "active_max", "scale_ups", "scale_downs",
+                     "requests_shed", "queue_full_rejects", "deadline_violations"],
+            title=(f"repro-serve concurrent demo: mixed lstsq+ridge+streaming load, "
+                   f"{args.workers} workers, queue depth {args.queue_depth} "
+                   "-- simulated H100 seconds"),
+        ))
+        return 0
 
     rows = serving_throughput(
         d=1 << 14, n=32, n_requests=128, n_matrices=2,
         kinds=("multisketch", "countsketch", "gaussian"),
-        shards=2, max_batch=8, seed=7,
+        shards=args.shards, max_batch=8, seed=args.seed,
     )
     print(format_table(
         rows,

@@ -9,6 +9,7 @@ without a physical GPU in the loop.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -54,9 +55,15 @@ def _summarise(latencies: List[float]) -> Optional[LatencySummary]:
 
 
 class ServingTelemetry:
-    """Accumulates per-request and per-batch measurements for one server."""
+    """Accumulates per-request and per-batch measurements for one server.
+
+    All recorders take an internal lock, so a concurrent runtime's worker
+    threads can report into one instance without corrupting counters; the
+    lock is uncontended (and cheap) for the synchronous server.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._latencies: List[float] = []
         self._batch_sizes: List[int] = []
         self._batch_seconds: List[float] = []
@@ -67,6 +74,14 @@ class ServingTelemetry:
         self.batches_executed = 0
         self.fallback_batches = 0
         self.failed_requests = 0
+        # Concurrent-runtime counters (see repro.serving.runtime).
+        self._lane_latencies: Dict[str, List[float]] = {}
+        self._queue_depths: List[int] = []
+        self._sheds_by_reason: Dict[str, int] = {}
+        self._sheds_by_lane: Dict[str, int] = {}
+        self.requests_shed = 0
+        self.requests_admitted = 0
+        self.admission_rejects = 0
         # Streaming-session counters (see repro.serving.streaming).
         self.streams_opened = 0
         self.streams_closed = 0
@@ -87,32 +102,119 @@ class ServingTelemetry:
         histogram, so the per-solver p50/p99 the planner's routing produces
         are directly observable.
         """
-        self._latencies.append(float(latency_seconds))
-        self.requests_served += 1
-        if solver:
-            self._solver_latencies.setdefault(solver, []).append(float(latency_seconds))
+        with self._lock:
+            self._latencies.append(float(latency_seconds))
+            self.requests_served += 1
+            if solver:
+                self._solver_latencies.setdefault(solver, []).append(float(latency_seconds))
 
     def record_fallback(self, from_solver: str, to_solver: str) -> None:
         """Record one fallback hop a batch took (planned -> executed)."""
-        self._fallback_hops[f"{from_solver}->{to_solver}"] = (
-            self._fallback_hops.get(f"{from_solver}->{to_solver}", 0) + 1
-        )
-        self.fallback_batches += 1
+        with self._lock:
+            self._fallback_hops[f"{from_solver}->{to_solver}"] = (
+                self._fallback_hops.get(f"{from_solver}->{to_solver}", 0) + 1
+            )
+            self.fallback_batches += 1
 
     def record_failure(self, count: int = 1) -> None:
         """Record requests whose whole fallback chain failed."""
-        self.failed_requests += int(count)
+        with self._lock:
+            self.failed_requests += int(count)
 
     def record_sketch(self, latency_seconds: float) -> None:
         """Record one served sketch request's latency."""
-        self._latencies.append(float(latency_seconds))
-        self.sketch_requests += 1
+        with self._lock:
+            self._latencies.append(float(latency_seconds))
+            self.sketch_requests += 1
 
     def record_batch(self, size: int, seconds: float) -> None:
         """Record one executed micro-batch."""
-        self._batch_sizes.append(int(size))
-        self._batch_seconds.append(float(seconds))
-        self.batches_executed += 1
+        with self._lock:
+            self._batch_sizes.append(int(size))
+            self._batch_seconds.append(float(seconds))
+            self.batches_executed += 1
+
+    # ------------------------------------------------------------------
+    # concurrent runtime (admission queue, lanes, shedding)
+    # ------------------------------------------------------------------
+    def record_admission(self, lane: str) -> None:
+        """Record one request admitted into the bounded queue."""
+        with self._lock:
+            self.requests_admitted += 1
+            self._sheds_by_lane.setdefault(lane, 0)  # lane becomes visible at 0 sheds
+
+    def record_admission_reject(self, lane: str) -> None:
+        """Record one request bounced at admission (queue full)."""
+        with self._lock:
+            self.admission_rejects += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the admission-queue depth (taken at submit and dispatch)."""
+        with self._lock:
+            self._queue_depths.append(int(depth))
+
+    def record_shed(self, lane: str, reason: str, count: int = 1) -> None:
+        """Record requests shed by the dispatcher (deadline, shutdown, ...)."""
+        with self._lock:
+            self.requests_shed += int(count)
+            self._sheds_by_reason[reason] = self._sheds_by_reason.get(reason, 0) + int(count)
+            self._sheds_by_lane[lane] = self._sheds_by_lane.get(lane, 0) + int(count)
+
+    def record_lane_latency(self, lane: str, latency_seconds: float) -> None:
+        """Record one completed request's latency under its admission lane.
+
+        Lane latencies are *queue-inclusive* (admission to completion on the
+        simulated clock), unlike the per-solver histograms which measure
+        service time only -- the difference between the two is the queueing
+        delay the elastic policy exists to keep bounded.
+        """
+        with self._lock:
+            self._lane_latencies.setdefault(lane, []).append(float(latency_seconds))
+
+    def lane_latency_summary(self, lane: str) -> Optional[LatencySummary]:
+        """Queue-inclusive latency percentiles for one lane (None if unused)."""
+        with self._lock:
+            return _summarise(list(self._lane_latencies.get(lane, [])))
+
+    def lanes_seen(self) -> List[str]:
+        """Lanes with at least one completed request."""
+        with self._lock:
+            return list(self._lane_latencies)
+
+    def shed_counts(self) -> Dict[str, int]:
+        """Per-reason shed counters."""
+        with self._lock:
+            return dict(self._sheds_by_reason)
+
+    def sheds_by_lane(self) -> Dict[str, int]:
+        """Per-lane shed counters."""
+        with self._lock:
+            return dict(self._sheds_by_lane)
+
+    def queue_depth_max(self) -> int:
+        """Deepest admission queue observed (0 when never sampled)."""
+        with self._lock:
+            return max(self._queue_depths, default=0)
+
+    def queue_depth_mean(self) -> float:
+        """Mean sampled admission-queue depth (0 when never sampled)."""
+        with self._lock:
+            if not self._queue_depths:
+                return 0.0
+            return float(np.mean(self._queue_depths))
+
+    def recent_p95(self, window: int = 64) -> Optional[float]:
+        """p95 of the most recent ``window`` request latencies.
+
+        This is the latency signal the elastic policy scales on: recent
+        enough to track the current load phase rather than the whole
+        history.  ``None`` before any request completes.
+        """
+        with self._lock:
+            if not self._latencies:
+                return None
+            tail = self._latencies[-int(window):]
+        return float(np.percentile(np.asarray(tail, dtype=np.float64), 95.0))
 
     # ------------------------------------------------------------------
     # streaming sessions
@@ -164,25 +266,30 @@ class ServingTelemetry:
     # ------------------------------------------------------------------
     def latency_summary(self) -> Optional[LatencySummary]:
         """p50/p95/p99 latency over everything served so far (None when idle)."""
-        return _summarise(self._latencies)
+        with self._lock:
+            return _summarise(list(self._latencies))
 
     def solver_latency_summary(self, solver: str) -> Optional[LatencySummary]:
         """Latency percentiles for one executed solver (None if never used)."""
-        return _summarise(self._solver_latencies.get(solver, []))
+        with self._lock:
+            return _summarise(list(self._solver_latencies.get(solver, [])))
 
     def solvers_seen(self) -> List[str]:
         """Executed-solver names with at least one recorded request."""
-        return list(self._solver_latencies)
+        with self._lock:
+            return list(self._solver_latencies)
 
     def fallback_counts(self) -> Dict[str, int]:
         """``"from->to"`` fallback-hop counters."""
-        return dict(self._fallback_hops)
+        with self._lock:
+            return dict(self._fallback_hops)
 
     def mean_batch_size(self) -> float:
         """Average fused batch size (0 when no batch ran)."""
-        if not self._batch_sizes:
-            return 0.0
-        return float(np.mean(self._batch_sizes))
+        with self._lock:
+            if not self._batch_sizes:
+                return 0.0
+            return float(np.mean(self._batch_sizes))
 
     def throughput(self, makespan_seconds: float) -> float:
         """Requests per simulated second given the pool's makespan."""
@@ -205,6 +312,24 @@ class ServingTelemetry:
             out.update(summary.as_dict())
         out["fallback_batches"] = float(self.fallback_batches)
         out["failed_requests"] = float(self.failed_requests)
+        if self.requests_admitted or self.requests_shed or self.admission_rejects:
+            out["requests_admitted"] = float(self.requests_admitted)
+            out["requests_shed"] = float(self.requests_shed)
+            out["admission_rejects"] = float(self.admission_rejects)
+            out["queue_depth_max"] = float(self.queue_depth_max())
+            out["queue_depth_mean"] = self.queue_depth_mean()
+            for reason, count in self.shed_counts().items():
+                out[f"shed_{reason}"] = float(count)
+            for lane in self.lanes_seen():
+                s = self.lane_latency_summary(lane)
+                if s is None:
+                    continue
+                out[f"lane_{lane}_requests"] = float(s.count)
+                out[f"lane_{lane}_p50_seconds"] = s.p50
+                out[f"lane_{lane}_p95_seconds"] = s.p95
+                out[f"lane_{lane}_p99_seconds"] = s.p99
+            for lane, count in self.sheds_by_lane().items():
+                out[f"lane_{lane}_shed"] = float(count)
         if self.streams_opened or self.streams_closed or self.stream_batches:
             out["streams_opened"] = float(self.streams_opened)
             out["streams_closed"] = float(self.streams_closed)
@@ -249,3 +374,10 @@ class ServingTelemetry:
         self.stream_ingest_seconds = 0.0
         self.stream_resolve_seconds = 0.0
         self._stream_staleness.clear()
+        self._lane_latencies.clear()
+        self._queue_depths.clear()
+        self._sheds_by_reason.clear()
+        self._sheds_by_lane.clear()
+        self.requests_shed = 0
+        self.requests_admitted = 0
+        self.admission_rejects = 0

@@ -26,9 +26,14 @@ _PLANNER_PREFIXES = ("test_registry", "test_planner", "test_solver_routing")
 #: ``pytest -m streaming``).
 _STREAMING_PREFIXES = ("test_streaming",)
 
+#: Module-name prefixes auto-marked ``runtime`` (concurrent serving runtime;
+#: mirrors benchmarks/conftest.py so ``pytest -m runtime`` runs the unit
+#: tests and the acceptance benchmark together).
+_RUNTIME_PREFIXES = ("test_runtime", "test_concurrent_runtime")
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner``/``streaming`` markers by module prefix."""
+    """Auto-apply the ``planner``/``streaming``/``runtime`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -38,6 +43,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.planner)
         if name.startswith(_STREAMING_PREFIXES):
             item.add_marker(pytest.mark.streaming)
+        if name.startswith(_RUNTIME_PREFIXES):
+            item.add_marker(pytest.mark.runtime)
 
 
 @pytest.fixture

@@ -1,0 +1,129 @@
+"""Golden regression tests locking the planner's fallback chains.
+
+Refactors of the registry/planner must not silently reorder the fallback
+chains: the chain order *is* the robustness contract (a breakdown has just
+disproved the conditioning estimate, so each next link must be strictly
+more robust, ending at the exact-QR solver of record).  These tests pin
+the exact planned chains and the exact executed ``attempted_solvers``
+sequences for both problem classes on ill-conditioned inputs, with seeded
+matrices and seeded probes so the goldens are bit-stable.
+
+If a deliberate planner change alters a chain, update the golden here *in
+the same commit* and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.linalg.conditioning import matrix_with_condition
+from repro.linalg.planner import plan, plan_and_execute
+from repro.workloads.ridge import make_ridge_problem
+
+D, N = 1 << 16, 64
+SCALE = math.sqrt(float(D) * N)
+
+pytestmark = pytest.mark.planner
+
+
+def _lstsq_problem(cond: float, seed: int):
+    a = matrix_with_condition(D, N, cond, seed=seed) * SCALE
+    return a, a @ np.ones(N)
+
+
+class TestLeastSquaresGoldenChains:
+    def test_easy_problem_chain_is_locked(self):
+        a, b = _lstsq_problem(1e3, seed=2)
+        plan_ = plan(a, policy="cheapest_accurate", accuracy_target=1e-6, seed=0)
+        assert plan_.chain == (
+            "normal_equations",
+            "rand_cholqr",
+            "qr",
+            "sketch_precond_lsqr",
+        )
+        result = plan_and_execute(
+            a, b, policy="cheapest_accurate", accuracy_target=1e-6, seed=0
+        )
+        assert result.attempted_solvers == ("normal_equations",)
+        assert not result.failed
+
+    def test_ill_conditioned_chain_is_locked(self):
+        # kappa ~ 1e10: the probe excludes the normal equations outright and
+        # the distortion-bearing sketch-and-solve never joins a chain.
+        a, b = _lstsq_problem(1e10, seed=2)
+        plan_ = plan(a, policy="cheapest_accurate", accuracy_target=1e-6, seed=0)
+        assert plan_.chain == ("rand_cholqr", "qr", "sketch_precond_lsqr")
+        result = plan_and_execute(
+            a, b, policy="cheapest_accurate", accuracy_target=1e-6, seed=0
+        )
+        assert result.attempted_solvers == ("rand_cholqr",)
+        assert not result.failed
+        assert result.relative_residual < 1e-6
+
+    def test_potrf_breakdown_rescue_sequence_is_locked(self):
+        # An optimistic conditioning estimate routes the normal equations
+        # first; the POTRF breakdown on the kappa~1e10 matrix must walk to
+        # rand_cholQR -- exactly this sequence, nothing reordered.
+        a, b = _lstsq_problem(1e10, seed=4)
+        plan_ = plan(
+            a, policy="cheapest_accurate", accuracy_target=1e-6,
+            cond_estimate=1e3, seed=0,
+        )
+        assert plan_.chain == (
+            "normal_equations",
+            "rand_cholqr",
+            "qr",
+            "sketch_precond_lsqr",
+        )
+        result = plan_and_execute(
+            a, b, policy="cheapest_accurate", accuracy_target=1e-6,
+            cond_estimate=1e3, seed=0,
+        )
+        assert result.attempted_solvers == ("normal_equations", "rand_cholqr")
+        assert not result.failed
+        assert result.extra["fallbacks"] == 1.0
+        assert result.relative_residual < 1e-8
+
+
+class TestRidgeGoldenChains:
+    def test_tiny_lambda_ill_conditioned_chain_is_locked(self):
+        # lam far below sigma_min^2 is effectively unregularized: at the
+        # probed kappa~1e10 the lambda-aware floors exclude the ridge
+        # normal equations and the chain starts at the solver of record.
+        p = make_ridge_problem(4096, 32, cond=1e10, lam_rel=1e-14, seed=5)
+        plan_ = plan(
+            p.a, regularization=p.lam, policy="cheapest_accurate",
+            accuracy_target=1e-8, seed=0,
+        )
+        assert plan_.chain == ("ridge_qr", "ridge_precond_lsqr")
+        result = plan_and_execute(
+            p.a, p.b, regularization=p.lam, policy="cheapest_accurate",
+            accuracy_target=1e-8, seed=0,
+        )
+        assert result.attempted_solvers == ("ridge_qr",)
+        assert not result.failed
+
+    def test_ridge_breakdown_rescue_sequence_is_locked(self):
+        # Optimistic claimed conditioning admits ridge_normal_equations;
+        # the Gram+lam*I POTRF breaks on the kappa~1e12 / lam~1e-20 system
+        # and the rescue must go to ridge_qr -- this exact sequence.
+        p = make_ridge_problem(D, N, cond=1e12, lam_rel=1e-20, seed=4)
+        plan_ = plan(
+            p.a, regularization=p.lam, policy="cheapest_accurate",
+            accuracy_target=1e-8, cond_estimate=1e2, smax_estimate=p.smax, seed=0,
+        )
+        assert plan_.chain == (
+            "ridge_normal_equations",
+            "ridge_qr",
+            "ridge_precond_lsqr",
+        )
+        result = plan_and_execute(
+            p.a, p.b, regularization=p.lam, policy="cheapest_accurate",
+            accuracy_target=1e-8, cond_estimate=1e2, smax_estimate=p.smax, seed=0,
+        )
+        assert result.attempted_solvers == ("ridge_normal_equations", "ridge_qr")
+        assert not result.failed
+        assert result.extra["fallbacks"] == 1.0

@@ -1,0 +1,150 @@
+"""Concurrency stress tests for the OperatorCache.
+
+The concurrent runtime's workers all funnel through one cache, so its LRU
+bookkeeping must be race-free: an unlocked eviction loop can double-pop for
+the same free slot, and unlocked counter increments (hits/misses/evictions)
+are read-modify-write races that silently lose updates.  These tests churn
+the cache from many threads and assert the conservation laws that the
+per-cache lock guarantees:
+
+* every inserted entry is, at the end, exactly one of {still cached,
+  evicted, discarded} -- nothing lost, nothing double-counted;
+* hit + miss counters equal the number of lookups issued;
+* entries kept warm (touched) in an uncrowded cache are never lost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gpu.executor import GPUExecutor
+from repro.gpu.device import H100_SXM5
+from repro.serving.cache import CacheEntry, OperatorCache, build_operator
+
+
+@pytest.fixture(scope="module")
+def operator():
+    """One tiny shared operator: entry identity, not sketch state, is under test."""
+    executor = GPUExecutor(H100_SXM5, numeric=False, seed=0, track_memory=False)
+    return build_operator("countsketch", 64, 4, k=16, executor=executor, seed=0)
+
+
+def _churn(cache, operator, thread_id, iterations, counters, barrier):
+    rng = np.random.default_rng(thread_id)
+    my_keys = []
+    barrier.wait()
+    for i in range(iterations):
+        key = ("churn", thread_id, i)
+        cache.put(key, CacheEntry(operator=operator, shard=0))
+        my_keys.append(key)
+        counters["puts"][thread_id] += 1
+        # Look up a random recent key (own or not necessarily present).
+        probe = ("churn", thread_id, int(rng.integers(0, i + 1)))
+        cache.get(probe)
+        counters["gets"][thread_id] += 1
+        # Discard an old own key every few iterations.
+        if i % 3 == 2:
+            victim = my_keys[int(rng.integers(0, len(my_keys)))]
+            if cache.discard(victim):
+                counters["discards"][thread_id] += 1
+
+
+def test_eviction_accounting_survives_threaded_churn(operator):
+    threads_n, iterations = 4, 1500
+    cache = OperatorCache(capacity=16)
+    counters = {
+        "puts": [0] * threads_n,
+        "gets": [0] * threads_n,
+        "discards": [0] * threads_n,
+    }
+    barrier = threading.Barrier(threads_n)
+    threads = [
+        threading.Thread(
+            target=_churn, args=(cache, operator, t, iterations, counters, barrier)
+        )
+        for t in range(threads_n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads)
+
+    # Conservation: every unique inserted key ended in exactly one place.
+    puts = sum(counters["puts"])
+    discards = sum(counters["discards"])
+    assert len(cache) + cache.stats.evictions + discards == puts, (
+        f"lost/double-counted entries: {len(cache)} cached + "
+        f"{cache.stats.evictions} evicted + {discards} discarded != {puts} put"
+    )
+    assert len(cache) <= cache.capacity
+    # Every lookup was counted exactly once as a hit or a miss.
+    assert cache.stats.hits + cache.stats.misses == sum(counters["gets"])
+
+
+def test_pinned_entries_survive_uncrowded_churn(operator):
+    # Capacity exceeds the whole working set, so nothing may ever be
+    # evicted -- and the pinned (session-style) entries must all survive
+    # arbitrary interleavings of put/get/touch/discard.
+    cache = OperatorCache(capacity=512)
+    pins = [("session", i) for i in range(8)]
+    for key in pins:
+        cache.put(key, CacheEntry(operator=operator, shard=1))
+    stop = threading.Event()
+    errors = []
+
+    def pinner():
+        while not stop.is_set():
+            for key in pins:
+                if not cache.touch(key):
+                    errors.append(f"pin {key} lost")  # pragma: no cover
+                    return
+
+    def churner(thread_id):
+        for i in range(1500):
+            key = ("churn", thread_id, i)
+            cache.put(key, CacheEntry(operator=operator, shard=0))
+            cache.get(key)
+            cache.discard(key)
+
+    pin_thread = threading.Thread(target=pinner)
+    churn_threads = [threading.Thread(target=churner, args=(t,)) for t in range(4)]
+    pin_thread.start()
+    for t in churn_threads:
+        t.start()
+    for t in churn_threads:
+        t.join(timeout=120.0)
+    stop.set()
+    pin_thread.join(timeout=30.0)
+
+    assert not errors
+    assert cache.stats.evictions == 0
+    for key in pins:
+        entry = cache.peek(key)
+        assert entry is not None and entry.shard == 1
+    # All transient keys were discarded by their own thread.
+    assert len(cache) == len(pins)
+
+
+def test_concurrent_same_key_puts_keep_one_live_entry(operator):
+    cache = OperatorCache(capacity=8)
+    key = ("contested",)
+    barrier = threading.Barrier(8)
+
+    def writer(shard):
+        barrier.wait()
+        for _ in range(500):
+            cache.put(key, CacheEntry(operator=operator, shard=shard))
+
+    threads = [threading.Thread(target=writer, args=(s,)) for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    entry = cache.peek(key)
+    assert entry is not None and entry.shard in range(8)
+    assert len(cache) == 1
+    assert cache.stats.evictions == 0  # replacement is not eviction
