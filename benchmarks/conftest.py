@@ -34,6 +34,13 @@ _STREAMING_PREFIXES = ("test_streaming",)
 #: includes it next to serving/planner/streaming.
 _RUNTIME_PREFIXES = ("test_runtime", "test_concurrent_runtime")
 
+#: Module-name prefixes that carry the ``obs`` marker automatically
+#: (tracing, metrics, exporters, perf-trajectory record -- kept in sync
+#: with tests/conftest.py so ``-m obs`` runs units and benchmarks alike).
+_OBS_PREFIXES = (
+    "test_obs", "test_metrics", "test_trace", "test_exporters", "test_record_bench",
+)
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -58,6 +65,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.streaming)
         if path.name.startswith(_RUNTIME_PREFIXES):
             item.add_marker(pytest.mark.runtime)
+        if path.name.startswith(_OBS_PREFIXES):
+            item.add_marker(pytest.mark.obs)
 
 
 def accuracy_scale() -> str:

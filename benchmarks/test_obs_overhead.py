@@ -1,0 +1,99 @@
+"""Observability acceptance: tracing costs nothing on the simulated clock.
+
+ISSUE 6's acceptance bar: under a mixed load, (a) at least 99% of admitted
+requests produce a *complete* span tree, and (b) enabling tracing costs at
+most 5% of simulated-clock throughput.  The tracer only *reads* shard
+clocks that the executors already advanced, so on the simulated clock the
+overhead is zero by construction -- these benchmarks pin that property so a
+future change that starts charging device time for instrumentation fails
+loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import AsyncSketchServer
+from repro.serving.server import ServerConfig, SketchServer
+
+pytestmark = pytest.mark.serving
+
+
+def _drive_sync(tracing: bool, seed: int = 0, n_requests: int = 24):
+    """Identical request stream against a fresh server; returns (server, rps)."""
+    rng = np.random.default_rng(seed)
+    server = SketchServer(
+        ServerConfig(shards=2, seed=7, max_batch=8, tracing=tracing)
+    )
+    for _ in range(n_requests):
+        a = rng.standard_normal((384, 16))
+        b = rng.standard_normal(384)
+        server.submit(a, b)
+    server.flush()
+    stats = server.stats()
+    return server, stats["requests_per_second"], stats["makespan_seconds"]
+
+
+def test_tracing_overhead_within_five_percent_of_throughput():
+    _, rps_off, makespan_off = _drive_sync(tracing=False)
+    server_on, rps_on, makespan_on = _drive_sync(tracing=True)
+    assert server_on.tracer.traces_completed == 24
+    # Identical request stream, identical placement: the simulated clock
+    # must not notice the tracer at all (acceptance bar allows 5%).
+    assert rps_on >= 0.95 * rps_off
+    assert makespan_on == pytest.approx(makespan_off)
+
+
+def test_mixed_load_span_trees_are_complete_for_admitted_requests():
+    rng = np.random.default_rng(1)
+    runtime = AsyncSketchServer(shards=2, seed=3, workers=3, queue_depth=128)
+    try:
+        futures = []
+        for _ in range(16):
+            a = rng.standard_normal((256, 12))
+            futures.append(runtime.submit(a, rng.standard_normal(256)))
+        for _ in range(6):
+            a = rng.standard_normal((192, 10))
+            futures.append(runtime.submit_ridge(a, rng.standard_normal(192), 0.1))
+        session = runtime.open_stream(12)
+        for _ in range(4):
+            rows = rng.standard_normal((96, 12))
+            futures.append(runtime.append_rows(session, rows, rng.standard_normal(96)))
+        futures.append(runtime.query_solution(session))
+        runtime.drain()
+        for f in futures:
+            assert f.exception() is None
+
+        tracer = runtime.tracer
+        admitted = tracer.traces_started
+        assert admitted == len(futures)
+        complete = sum(1 for root in tracer.traces() if root.is_complete())
+        assert tracer.traces_completed == complete
+        assert complete >= 0.99 * admitted  # acceptance: >= 99% (here: all)
+    finally:
+        runtime.stop()
+
+
+def test_runtime_tracing_leaves_simulated_latencies_unchanged():
+    """Same single-worker load with tracing on/off: identical lane latency."""
+
+    def drive(tracing: bool):
+        rng = np.random.default_rng(5)
+        runtime = AsyncSketchServer(
+            config=ServerConfig(shards=2, seed=11, max_batch=4, tracing=tracing),
+            workers=1,
+            queue_depth=64,
+        )
+        try:
+            futures = []
+            for _ in range(12):
+                a = rng.standard_normal((256, 12))
+                futures.append(runtime.submit(a, rng.standard_normal(256)))
+            runtime.drain()
+            latencies = sorted(f.result().simulated_seconds for f in futures)
+        finally:
+            runtime.stop()
+        return latencies
+
+    np.testing.assert_allclose(drive(True), drive(False))

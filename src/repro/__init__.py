@@ -39,6 +39,12 @@ The package is organised as:
   (or a Frequent Directions spectral summary, ``mode="fd"``), detects
   drift from residual energy and condition probes, and lazily re-solves
   the window through the planner; ``SketchServer.open_stream`` serves it.
+* :mod:`repro.obs` -- the observability layer: per-request span trees on
+  the simulated clock (:class:`~repro.obs.trace.Tracer`), a bounded
+  metrics registry (counters / gauges / ring+P² histograms,
+  :class:`~repro.obs.metrics.MetricsRegistry`), Prometheus / JSON / trace
+  waterfall exporters (:mod:`repro.obs.export`) and the per-PR
+  ``BENCH_<pr>.json`` perf-trajectory schema (:mod:`repro.obs.bench`).
 * :mod:`repro.problems` -- problem classes beyond plain least squares:
   ridge regression (``solve_ridge``, three registered solvers with
   lambda-aware stability floors) and sketched low-rank approximation
@@ -96,6 +102,17 @@ from repro.linalg import (
     sketch_precond_lsqr,
     solve,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    Span,
+    Tracer,
+    to_json,
+    to_prometheus,
+)
 from repro.problems import (
     FrequentDirections,
     LowRankResult,
@@ -132,7 +149,7 @@ from repro.streaming import (
     StreamingSolver,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CountSketch",
@@ -162,6 +179,15 @@ __all__ = [
     "sketch_and_solve",
     "sketch_precond_lsqr",
     "solve",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "P2Quantile",
+    "Span",
+    "Tracer",
+    "to_json",
+    "to_prometheus",
     "FrequentDirections",
     "LowRankResult",
     "lowrank_approx",

@@ -11,7 +11,9 @@
   routing), ``streaming_drift`` (online engine), ``problem_classes``
   (ridge routing + low-rank accuracy, :mod:`repro.problems`) and
   ``concurrent_load`` (the async runtime: admission control, deadline
-  shedding, elastic shard scaling vs the synchronous server).
+  shedding, elastic shard scaling vs the synchronous server) and
+  ``perf_trajectory`` (the ``BENCH_<pr>.json`` payload recorded per PR,
+  see :mod:`repro.obs.bench` and ``tools/record_bench.py``).
 * :mod:`repro.harness.report` -- plain-text renderers that print the same
   rows / series the paper's figures show.
 """
@@ -31,6 +33,7 @@ from repro.harness.experiments import (
     figure7,
     figure8,
     headline_speedup,
+    perf_trajectory,
     problem_classes,
     section7_distributed,
     serving_throughput,
@@ -56,6 +59,7 @@ __all__ = [
     "figure7",
     "figure8",
     "headline_speedup",
+    "perf_trajectory",
     "problem_classes",
     "section7_distributed",
     "concurrent_load",

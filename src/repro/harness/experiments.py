@@ -940,8 +940,15 @@ def concurrent_load(
             "scale_downs": rt_stats["scale_downs"],
             "queue_depth_max": rt_stats.get("queue_depth_max", 0.0),
             "requests_shed": rt_stats.get("requests_shed", 0.0),
-            "lane_solve_p95_seconds": rt_stats.get("lane_solve_p95_seconds", 0.0),
+            "fallback_batches": rt_stats.get("fallback_batches", 0.0),
             "lane_stream_requests": rt_stats.get("lane_stream_requests", 0.0),
+            # Queue-inclusive per-lane latency percentiles: the bench
+            # record's ``lanes`` section (see repro.obs.bench) reads these.
+            **{
+                f"lane_{lane}_{q}_seconds": rt_stats.get(f"lane_{lane}_{q}_seconds", 0.0)
+                for lane in ("solve", "ridge", "stream")
+                for q in ("p50", "p95", "p99")
+            },
         }
     )
 
@@ -998,3 +1005,86 @@ def concurrent_load(
         }
     )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Perf trajectory: the numbers this revision of the codebase ships with
+# ---------------------------------------------------------------------------
+def perf_trajectory(
+    *,
+    pr: int,
+    d: int = 2048,
+    n: int = 16,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """One ``BENCH_<pr>.json`` payload: the headline numbers of this revision.
+
+    Composes the existing experiments at a reduced (CI-friendly) scale --
+    batched-vs-naive serving throughput, the concurrent runtime over mixed
+    traffic (per-lane queue-inclusive latency percentiles), deadline
+    shedding under saturation, the planner's ridge residual ratio against
+    the dense reference, and the drift-detecting streaming engine -- into
+    the schema :func:`repro.obs.bench.validate_bench` checks.  Driven by
+    ``tools/record_bench.py``; asserted by ``benchmarks/test_obs_overhead.py``.
+    """
+    from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+    serving = serving_throughput(
+        d=d, n=n, n_requests=32, n_matrices=2, kinds=("multisketch",),
+        shards=2, max_batch=8, seed=seed,
+    )[0]
+    conc_rows = concurrent_load(
+        d=d, n=n, n_matrices=4, rhs_per_matrix=8, ridge_requests=4,
+        stream_batches=4, stream_batch_rows=128, shed_requests=24, seed=seed,
+    )
+    sync_row = next(r for r in conc_rows if r["mode"] == "synchronous")
+    conc_row = next(r for r in conc_rows if r["mode"] == "concurrent")
+    shed_row = next(r for r in conc_rows if r["mode"] == "shedding")
+    ridge_rows = problem_classes(
+        d=max(d // 2, 512), n=n, ridge_cases=((1e4, 1e-4),), seed=seed
+    )
+    ridge_row = next(r for r in ridge_rows if r["problem"] == "ridge")
+    drift_row = streaming_drift(
+        n=n, rows_per_segment=1024, batch_size=128, seed=seed
+    )[0]  # the detector-on configuration
+
+    worst_sync = float(sync_row["worst_relative_residual"])
+    worst_conc = float(conc_row["worst_relative_residual"])
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "pr": int(pr),
+        "config": {"d": int(d), "n": int(n), "seed": int(seed)},
+        "throughput": {
+            "serving_requests_per_second": float(serving["batched_rps"]),
+            "concurrent_requests_per_second": float(conc_row["requests_per_second"]),
+            "speedup_vs_naive": float(serving["speedup"]),
+            "concurrent_speedup_vs_sync": float(conc_row["speedup"]),
+        },
+        "lanes": {
+            lane: {
+                f"{q}_seconds": float(conc_row[f"lane_{lane}_{q}_seconds"])
+                for q in ("p50", "p95", "p99")
+            }
+            for lane in ("solve", "ridge", "stream")
+        },
+        "residuals": {
+            "worst_sync": worst_sync,
+            "worst_concurrent": worst_conc,
+            "concurrent_over_sync_ratio": (
+                worst_conc / worst_sync if worst_sync > 0 else 1.0
+            ),
+            "ridge_residual_ratio": float(ridge_row["residual_ratio"]),
+        },
+        "counters": {
+            "requests_shed": float(shed_row["requests_shed"]),
+            "queue_full_rejects": float(shed_row["queue_full_rejects"]),
+            "deadline_violations": float(shed_row["deadline_violations"]),
+            "fallback_batches": float(conc_row["fallback_batches"]),
+            "drift_events": float(drift_row["drift_events"]),
+        },
+        "streaming": {
+            "ingest_rows_per_second": float(drift_row["ingest_rows_per_second"]),
+            "resolves": float(drift_row["resolves"]),
+            "final_residual": float(drift_row["final_residual"]),
+        },
+    }

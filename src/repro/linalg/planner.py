@@ -40,7 +40,7 @@ Policies
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -338,6 +338,7 @@ def execute_plan(
     executor: Optional[GPUExecutor] = None,
     operators: Optional[Dict[str, SketchOperator]] = None,
     operator_provider=None,
+    span_log: Optional[List[Dict[str, object]]] = None,
 ) -> LeastSquaresResult:
     """Run a plan, walking the fallback chain on solver breakdown.
 
@@ -349,6 +350,12 @@ def execute_plan(
     :meth:`~repro.linalg.lstsq.LeastSquaresResult.record_attempt_chain`, so
     a rescued solve still reports what broke and a failed solve carries the
     last reason instead of swallowing it.
+
+    ``span_log``, when given a list, receives one dict per attempted chain
+    link -- ``{"solver", "start", "end", "failed", "reason", "hop"}`` with
+    start/end read off the executor's simulated clock (zeros without an
+    executor) -- which the serving layer turns into per-attempt trace spans
+    without the planner knowing about tracers.
     """
     if spec is None:
         a_np = a.data if isinstance(a, DeviceArray) else np.asarray(a)
@@ -357,6 +364,21 @@ def execute_plan(
     attempts = []
     reasons = []
     last_result: Optional[LeastSquaresResult] = None
+
+    def _log_attempt(name: str, start: float, failed: bool, reason: Optional[str]) -> None:
+        if span_log is None:
+            return
+        span_log.append(
+            {
+                "solver": name,
+                "start": start,
+                "end": executor.elapsed if executor is not None else 0.0,
+                "failed": failed,
+                "reason": reason,
+                "hop": len(attempts) - 1,
+            }
+        )
+
     for name in plan_.chain:
         solver = get_solver(name)
         operator = None
@@ -366,14 +388,18 @@ def execute_plan(
             elif operator_provider is not None:
                 operator = operator_provider(name)
         attempts.append(name)
+        attempt_start = executor.elapsed if executor is not None else 0.0
         try:
             result = solver.solve(a, b, spec, operator=operator, executor=executor)
         except np.linalg.LinAlgError as exc:  # defensive: adapters usually catch
             reasons.append(f"{name}: {exc}")
+            _log_attempt(name, attempt_start, True, str(exc))
             continue
         if not result.failed:
+            _log_attempt(name, attempt_start, False, None)
             return result.record_attempt_chain(attempts, reasons)
         reasons.append(f"{name}: {result.failure_reason}" if result.failure_reason else name)
+        _log_attempt(name, attempt_start, True, result.failure_reason)
         last_result = result
     if last_result is None:  # pragma: no cover - chain is never empty
         raise RuntimeError("solve plan had no executable links")

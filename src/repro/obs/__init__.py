@@ -1,0 +1,51 @@
+"""repro.obs: the observability layer -- tracing, bounded metrics, exporters.
+
+Three pieces, layered under the serving stack:
+
+* :mod:`repro.obs.trace` -- :class:`~repro.obs.trace.Tracer` /
+  :class:`~repro.obs.trace.Span`: per-request span trees on the simulated
+  clock, threaded through admission, queueing, planning, placement, fused
+  batch execution, the planner's fallback chain and streaming sessions.
+* :mod:`repro.obs.metrics` -- :class:`~repro.obs.metrics.MetricsRegistry`
+  with counters, gauges and bounded ring+P² histograms;
+  :class:`~repro.serving.telemetry.ServingTelemetry` sits on top of it.
+* :mod:`repro.obs.export` -- Prometheus text exposition, JSON snapshots,
+  and per-trace waterfall / critical-path reports
+  (``repro-serve --metrics`` / ``--dump-trace``).
+
+:mod:`repro.obs.bench` defines the ``BENCH_<pr>.json`` perf-trajectory
+schema recorded by ``tools/record_bench.py`` and enforced in CI.
+"""
+
+from repro.obs.bench import BENCH_SCHEMA_VERSION, load_bench, validate_bench, write_bench
+from repro.obs.export import (
+    critical_path,
+    registry_to_dict,
+    render_critical_path,
+    render_waterfall,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, P2Quantile
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "P2Quantile",
+    "Span",
+    "Tracer",
+    "critical_path",
+    "load_bench",
+    "registry_to_dict",
+    "render_critical_path",
+    "render_waterfall",
+    "to_json",
+    "to_prometheus",
+    "validate_bench",
+    "write_bench",
+]

@@ -1,0 +1,122 @@
+"""The perf-trajectory record: schema and validation for ``BENCH_<pr>.json``.
+
+Every PR from now on records the serving/runtime/streaming numbers it ships
+with, so a regression between PR N and PR N+1 is one ``diff`` away instead
+of an archaeology project.  The payload is produced by the harness entry
+:func:`repro.harness.experiments.perf_trajectory` (driven by
+``tools/record_bench.py``) and validated here -- CI fails the build when the
+file is missing or schema-invalid.
+
+Schema (version 1) -- all numbers are simulated-clock quantities:
+
+* ``schema_version`` (int, == 1), ``pr`` (int), ``config`` (dict)
+* ``throughput``: serving and concurrent-runtime requests/second plus the
+  speedups vs the naive loop and the synchronous server
+* ``lanes``: per-lane ``p50_seconds``/``p95_seconds``/``p99_seconds``
+  (queue-inclusive, from the concurrent runtime)
+* ``residuals``: worst relative residuals (sync and concurrent), their
+  ratio, and the ridge-vs-dense residual ratio
+* ``counters``: shed / reject / deadline / fallback / drift totals
+* ``streaming``: ingest rate, re-solve count, final residual
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+__all__ = ["BENCH_SCHEMA_VERSION", "validate_bench", "write_bench", "load_bench"]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Required numeric fields per section (section -> field names).
+_REQUIRED_NUMBERS: Dict[str, tuple] = {
+    "throughput": (
+        "serving_requests_per_second",
+        "concurrent_requests_per_second",
+        "speedup_vs_naive",
+        "concurrent_speedup_vs_sync",
+    ),
+    "residuals": (
+        "worst_sync",
+        "worst_concurrent",
+        "concurrent_over_sync_ratio",
+        "ridge_residual_ratio",
+    ),
+    "counters": (
+        "requests_shed",
+        "queue_full_rejects",
+        "deadline_violations",
+        "fallback_batches",
+        "drift_events",
+    ),
+    "streaming": (
+        "ingest_rows_per_second",
+        "resolves",
+        "final_residual",
+    ),
+}
+
+_LANE_FIELDS = ("p50_seconds", "p95_seconds", "p99_seconds")
+
+
+def _is_finite_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and math.isfinite(value)
+
+
+def validate_bench(payload: object) -> List[str]:
+    """Schema-check a perf-trajectory payload; returns error strings ([] = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, got {payload.get('schema_version')!r}"
+        )
+    if not isinstance(payload.get("pr"), int) or isinstance(payload.get("pr"), bool):
+        errors.append(f"pr must be an int, got {payload.get('pr')!r}")
+    if not isinstance(payload.get("config"), dict):
+        errors.append("config must be an object")
+    for section, fields in _REQUIRED_NUMBERS.items():
+        body = payload.get(section)
+        if not isinstance(body, dict):
+            errors.append(f"missing section {section!r}")
+            continue
+        for field in fields:
+            if field not in body:
+                errors.append(f"{section}.{field} missing")
+            elif not _is_finite_number(body[field]):
+                errors.append(f"{section}.{field} must be a finite number, got {body[field]!r}")
+    lanes = payload.get("lanes")
+    if not isinstance(lanes, dict) or not lanes:
+        errors.append("lanes must be a non-empty object")
+    else:
+        for lane, stats in lanes.items():
+            if not isinstance(stats, dict):
+                errors.append(f"lanes.{lane} must be an object")
+                continue
+            for field in _LANE_FIELDS:
+                if field not in stats:
+                    errors.append(f"lanes.{lane}.{field} missing")
+                elif not _is_finite_number(stats[field]) or stats[field] < 0:
+                    errors.append(
+                        f"lanes.{lane}.{field} must be a finite non-negative number, "
+                        f"got {stats[field]!r}"
+                    )
+    return errors
+
+
+def write_bench(payload: Dict[str, object], path: str) -> None:
+    """Validate then write the payload (raises ValueError when invalid)."""
+    errors = validate_bench(payload)
+    if errors:
+        raise ValueError("invalid bench payload: " + "; ".join(errors))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

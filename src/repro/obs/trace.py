@@ -1,0 +1,260 @@
+"""Per-request tracing on the simulated clock: spans, trees, and a tracer.
+
+A :class:`Span` is one named interval of a request's life -- ``queue``,
+``plan``, ``batch``, ``solver:rand_cholqr`` -- with a start/end in
+*simulated* seconds (shard executor clocks and the alpha-beta comm model,
+never a wall clock), a bag of attributes (solver family, shard id, cache
+hit, fallback hop) and child spans.  A trace is the span tree hanging off
+one root; every admitted request gets exactly one.
+
+The :class:`Tracer` hands out spans and retains a bounded number of
+completed traces (a long-lived server must not grow per-request state
+without limit).  Timestamps are always passed in explicitly by the caller
+-- the tracer never reads a clock -- which is what keeps the tracing
+overhead zero *on the simulated clock*: instrumentation only reads clocks
+the cost model already advanced.
+
+Two invariants the instrumentation (and the test-suite) relies on:
+
+* child spans nest inside their parent on the simulated clock --
+  ``start_span`` clamps a child's start up to its parent's, and finishing
+  a span extends its end over its children;
+* a disabled tracer costs one attribute lookup per call: every method
+  returns the shared :data:`NULL_SPAN`, which swallows all mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+#: Span status values: ``ok``, ``error`` (chain exhausted / ingest failed),
+#: ``shed`` (dropped by admission control or the deadline dispatcher).
+STATUSES = ("ok", "error", "shed")
+
+
+class Span:
+    """One named interval in a trace, with attributes and children."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end", "status", "attributes", "children")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = float(start)
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self, end: float, status: str = "ok", **attributes: object) -> "Span":
+        """Close the span at ``end`` (clamped over its start and children)."""
+        if attributes:
+            self.attributes.update(attributes)
+        end = float(end)
+        for child in self.children:
+            if child.end is not None and child.end > end:
+                end = child.end
+        if end < self.start:
+            end = self.start
+        self.end = end
+        self.status = status
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first pre-order over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with ``name``, pre-order."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def is_complete(self) -> bool:
+        """Every span in the tree closed, children nested inside parents."""
+        if self.end is None:
+            return False
+        for child in self.children:
+            if not child.is_complete():
+                return False
+            if child.start < self.start or child.end > self.end:
+                return False
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the whole subtree."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_seconds": self.start,
+            "end_seconds": self.end,
+            "duration_seconds": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"[{self.start:.3e}, {self.end if self.end is None else format(self.end, '.3e')}], "
+            f"status={self.status}, children={len(self.children)})"
+        )
+
+
+class _NullSpan(Span):
+    """Inert span returned by a disabled tracer; swallows all mutation."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "", "", None, 0.0)
+        self.end = 0.0
+
+    def set(self, **attributes: object) -> "Span":
+        return self
+
+    def finish(self, end: float, status: str = "ok", **attributes: object) -> "Span":
+        return self
+
+    def is_complete(self) -> bool:
+        return False
+
+
+#: Shared inert span: identity-comparable (``span is NULL_SPAN``) and safe
+#: to call anything on.  All tracer methods return it when tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and retains a bounded deque of completed traces.
+
+    Parameters
+    ----------
+    enabled:
+        When False every method is a no-op returning :data:`NULL_SPAN`, so
+        instrumented code needs no branches.
+    max_traces:
+        Completed-trace retention bound (oldest evicted first).  Eviction
+        only drops the tree, not the counters: ``traces_started`` /
+        ``traces_completed`` keep counting, so span-tree completeness is
+        checkable even past the bound.
+    """
+
+    def __init__(self, enabled: bool = True, max_traces: int = 512) -> None:
+        if max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        self.enabled = bool(enabled)
+        self.max_traces = int(max_traces)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._active: Dict[str, Span] = {}
+        self._completed: Deque[Span] = deque(maxlen=self.max_traces)
+        self.traces_started = 0
+        self.traces_completed = 0
+
+    # ------------------------------------------------------------------
+    def _next_id(self, prefix: str) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{prefix}{self._seq:08x}"
+
+    def start_trace(self, name: str, start: float, **attributes: object) -> Span:
+        """Open a new trace; returns its root span."""
+        if not self.enabled:
+            return NULL_SPAN
+        trace_id = self._next_id("t")
+        root = Span(name, trace_id, self._next_id("s"), None, start, attributes)
+        with self._lock:
+            self._active[trace_id] = root
+            self.traces_started += 1
+        return root
+
+    def start_span(self, name: str, parent: Span, start: float, **attributes: object) -> Span:
+        """Open a child span under ``parent`` (start clamped to nest)."""
+        if not self.enabled or parent is NULL_SPAN:
+            return NULL_SPAN
+        start = float(start)
+        if start < parent.start:
+            start = parent.start
+        span = Span(name, parent.trace_id, self._next_id("s"), parent.span_id, start, attributes)
+        parent.children.append(span)
+        return span
+
+    def event(self, name: str, parent: Span, at: float, status: str = "ok", **attributes: object) -> Span:
+        """Zero-duration child span (plan decisions, cache hits, drift)."""
+        span = self.start_span(name, parent, at, **attributes)
+        span.finish(at, status=status)
+        return span
+
+    def end_trace(self, root: Span, end: float, status: str = "ok", **attributes: object) -> Span:
+        """Close the root and move the trace to the completed deque."""
+        if not self.enabled or root is NULL_SPAN:
+            return root
+        root.finish(end, status=status, **attributes)
+        with self._lock:
+            if self._active.pop(root.trace_id, None) is not None:
+                self._completed.append(root)
+                self.traces_completed += 1
+        return root
+
+    # ------------------------------------------------------------------
+    def traces(self) -> List[Span]:
+        """Completed traces, oldest first (bounded by ``max_traces``)."""
+        with self._lock:
+            return list(self._completed)
+
+    def find_trace(self, trace_id: str) -> Optional[Span]:
+        """A completed or still-active trace by id."""
+        with self._lock:
+            root = self._active.get(trace_id)
+            if root is not None:
+                return root
+            for candidate in self._completed:
+                if candidate.trace_id == trace_id:
+                    return candidate
+        return None
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def clear(self) -> None:
+        """Drop all retained traces (counters survive, like a metrics reset)."""
+        with self._lock:
+            self._active.clear()
+            self._completed.clear()

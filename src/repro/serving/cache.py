@@ -201,6 +201,12 @@ class OperatorCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = int(capacity)
         self.stats = CacheStats()
+        #: Optional ``callable(event, key)`` observability hook, fired (under
+        #: the cache lock) with ``"hit"``/``"miss"`` on lookups and
+        #: ``"store"``/``"evict"`` on insertion -- the server points this at
+        #: its metrics registry so cache behaviour is scrapeable per event.
+        #: The listener must not call back into the cache.
+        self.listener = None
         self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
         # One lock covers lookup, insertion and eviction: the eviction loop
         # in put() reads len() and pops in separate bytecodes, so two
@@ -231,11 +237,17 @@ class OperatorCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                self._notify("miss", key)
                 return None
             self.stats.hits += 1
             entry.uses += 1
             self._entries.move_to_end(key)
+            self._notify("hit", key)
             return entry
+
+    def _notify(self, event: str, key: Tuple) -> None:
+        if self.listener is not None:
+            self.listener(event, key)
 
     def peek(self, key: Tuple) -> Optional[CacheEntry]:
         """Look up without touching the stats or the LRU order (for tests)."""
@@ -266,7 +278,9 @@ class OperatorCache:
             while len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                self._notify("evict", key)
             self._entries[key] = entry
+            self._notify("store", key)
             return entry
 
     def discard(self, key: Tuple) -> bool:

@@ -69,6 +69,7 @@ from repro.serving.requests import (
     SolveRequest,
     SolveResponse,
 )
+from repro.obs.trace import Span
 from repro.serving.batcher import MicroBatcher
 from repro.serving.scheduler import ElasticShardPolicy
 from repro.serving.server import ServerConfig, SketchServer
@@ -194,6 +195,7 @@ class _LaneItem:
     admitted_at: float
     future: RuntimeFuture
     payload: Tuple = ()
+    root: Optional[Span] = None  # the request's trace root (None when tracing is off)
 
     def sort_key(self) -> Tuple[int, int]:
         return (self.priority, self.seq)
@@ -256,6 +258,7 @@ class AsyncSketchServer:
         # many workers.
         self._solve_lane = MicroBatcher(max_batch=config.max_batch)
         self._solve_admitted: Dict[int, float] = {}
+        self._trace_roots: Dict[int, Span] = {}
         self._ridge_lane: List[_LaneItem] = []
         self._stream_queues: Dict[int, Deque[_LaneItem]] = {}
         self._stream_ready: Deque[int] = deque()
@@ -278,6 +281,11 @@ class AsyncSketchServer:
     def telemetry(self):
         """The wrapped server's telemetry (lane/shed/queue metrics land here)."""
         return self.server.telemetry
+
+    @property
+    def tracer(self):
+        """The wrapped server's tracer (request span trees land here)."""
+        return self.server.tracer
 
     @property
     def scheduler(self):
@@ -418,6 +426,43 @@ class AsyncSketchServer:
         self.telemetry.record_queue_depth(depth + 1)
         return self._virtual_now_locked()
 
+    def _start_root_locked(
+        self, lane: str, admitted_at: float, request_id: int, **attrs
+    ) -> Optional[Span]:
+        """Open a request's trace root at its admission timestamp.
+
+        The root carries the queue context (admission event + depth) that
+        the serving layer cannot see; the dispatcher later threads it into
+        the server so plan/batch/solve spans nest under it, and whoever
+        decides the request's fate (response, shed, error) ends the trace.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None
+        root = tracer.start_trace(
+            "request", admitted_at, request_id=request_id, lane=lane, **attrs
+        )
+        tracer.event(
+            "admission", root, admitted_at,
+            queue_depth=self._queue_depth_locked() + 1,
+        )
+        return root
+
+    def _end_root_shed(self, root: Optional[Span], reason: str, at: float) -> None:
+        """Terminal ``shed`` span + trace end for a request that won't run."""
+        tracer = self.tracer
+        if root is None or not tracer.enabled:
+            return
+        tracer.event("shed", root, at, status="shed", reason=reason)
+        tracer.end_trace(root, at, status="shed")
+
+    def _end_root_error(self, root: Optional[Span], error: BaseException, at: float) -> None:
+        """Terminal trace end for a request whose dispatch raised."""
+        tracer = self.tracer
+        if root is None or not tracer.enabled:
+            return
+        tracer.end_trace(root, at, status="error", error=type(error).__name__)
+
     def submit(
         self,
         a: np.ndarray,
@@ -454,6 +499,11 @@ class AsyncSketchServer:
             future = RuntimeFuture("solve", request.request_id)
             self._futures[request.request_id] = future
             self._solve_admitted[request.request_id] = admitted_at
+            root = self._start_root_locked(
+                "solve", admitted_at, request.request_id, kind=request.kind
+            )
+            if root is not None:
+                self._trace_roots[request.request_id] = root
             self._solve_lane.add(request)
             self._work.notify()
         return future
@@ -495,6 +545,7 @@ class AsyncSketchServer:
                 seq=self._seq,
                 admitted_at=admitted_at,
                 future=future,
+                root=self._start_root_locked("ridge", admitted_at, future.request_id),
                 payload=(
                     a,
                     b,
@@ -551,6 +602,9 @@ class AsyncSketchServer:
                 admitted_at=admitted_at,
                 future=future,
                 payload=(session_id,) + payload,
+                root=self._start_root_locked(
+                    "stream", admitted_at, session_id, op=kind
+                ),
             )
             self._seq += 1
             queue = self._stream_queues.setdefault(session_id, deque())
@@ -635,11 +689,16 @@ class AsyncSketchServer:
         )
 
     def _dispatch_solve(self, batch) -> None:
+        roots: Dict[int, Span] = {}
         try:
             with self._lock:
                 admitted_at = min(
                     self._solve_admitted.pop(req.request_id) for req in batch.requests
                 )
+                for req in batch.requests:
+                    root = self._trace_roots.pop(req.request_id, None)
+                    if root is not None:
+                        roots[req.request_id] = root
                 planned = self.server._plan_batch(batch)
                 budget = batch.requests[0].latency_budget
                 if budget is not None:
@@ -655,7 +714,7 @@ class AsyncSketchServer:
                         + self._solve_comm_estimate(batch)
                     )
                     if projected > budget:
-                        self._shed_solve_locked(batch, projected, budget)
+                        self._shed_solve_locked(batch, projected, budget, roots)
                         return
                 placed = self.server._plan_and_place(batch, planned)
                 reservation = placed.estimated_service_seconds
@@ -663,7 +722,7 @@ class AsyncSketchServer:
             try:
                 with self._shard_locks[placed.shard]:
                     responses = self.server._run_placed(
-                        batch, placed, admitted_at=admitted_at
+                        batch, placed, admitted_at=admitted_at, roots=roots
                     )
             finally:
                 self.scheduler.release(placed.shard, reservation)
@@ -677,14 +736,26 @@ class AsyncSketchServer:
             # A failed dispatch must never kill the worker or strand the
             # riders' futures: reject every one with the actual error.
             with self._lock:
+                now = self._virtual_now_locked()
                 for req in batch.requests:
                     self._solve_admitted.pop(req.request_id, None)
+                    root = roots.pop(req.request_id, None) or self._trace_roots.pop(
+                        req.request_id, None
+                    )
+                    self._end_root_error(root, exc, now)
                     future = self._futures.pop(req.request_id, None)
                     if future is not None:
                         future._reject(exc)
 
-    def _shed_solve_locked(self, batch, projected: float, budget: float) -> None:
+    def _shed_solve_locked(
+        self,
+        batch,
+        projected: float,
+        budget: float,
+        roots: Optional[Dict[int, Span]] = None,
+    ) -> None:
         self.telemetry.record_shed("solve", "deadline", count=batch.size)
+        now = self._virtual_now_locked()
         for req in batch.requests:
             future = self._futures.pop(req.request_id, None)
             error = DeadlineExceededError(
@@ -695,6 +766,8 @@ class AsyncSketchServer:
                 projected_seconds=projected,
                 budget_seconds=budget,
             )
+            if roots is not None:
+                self._end_root_shed(roots.pop(req.request_id, None), "deadline", now)
             if future is not None:
                 future._reject(error)
 
@@ -717,6 +790,7 @@ class AsyncSketchServer:
                     )
                     if projected > budget:
                         self.telemetry.record_shed("ridge", "deadline")
+                        self._end_root_shed(item.root, "deadline", self._virtual_now_locked())
                         item.future._reject(
                             DeadlineExceededError(
                                 f"ridge request shed: projected {projected:.3e}s "
@@ -743,12 +817,14 @@ class AsyncSketchServer:
                         solver=options.get("solver"),
                         admitted_at=item.admitted_at,
                         request_id=item.future.request_id,
+                        root=item.root,
                     )
             finally:
                 self.scheduler.release(placed.shard, reservation)
             self.telemetry.record_lane_latency("ridge", response.simulated_seconds)
             item.future._resolve(response)
         except Exception as exc:  # input validation errors reach the caller
+            self._end_root_error(item.root, exc, item.admitted_at)
             item.future._reject(exc)
 
     # -- stream lane ----------------------------------------------------
@@ -759,15 +835,23 @@ class AsyncSketchServer:
             with self._shard_locks[session.shard]:
                 if item.kind == "append":
                     _, rows, targets = item.payload
-                    result: object = self.server.append_rows(session_id, rows, targets)
+                    result: object = self.server.append_rows(
+                        session_id, rows, targets, root=item.root
+                    )
                 else:
-                    result = self.server.query_solution(session_id)
+                    result = self.server.query_solution(session_id, root=item.root)
             done_at = self.server.pool[session.shard].elapsed
             self.telemetry.record_lane_latency(
                 "stream", max(0.0, done_at - item.admitted_at)
             )
+            if item.root is not None:
+                # The session manager nests ingest/resolve/query spans under
+                # the runtime's root but never ends it; close it at the
+                # shard clock (finish() extends over any later respond span).
+                self.tracer.end_trace(item.root, done_at)
             item.future._resolve(result)
         except Exception as exc:
+            self._end_root_error(item.root, exc, item.admitted_at)
             item.future._reject(exc)
         finally:
             with self._work:
@@ -803,10 +887,14 @@ class AsyncSketchServer:
     # shutdown shedding
     # ------------------------------------------------------------------
     def _shed_backlog_locked(self, reason: str) -> None:
+        now = self._virtual_now_locked()
         for batch in self._solve_lane.drain():
             self.telemetry.record_shed("solve", reason, count=batch.size)
             for req in batch.requests:
                 self._solve_admitted.pop(req.request_id, None)
+                self._end_root_shed(
+                    self._trace_roots.pop(req.request_id, None), reason, now
+                )
                 future = self._futures.pop(req.request_id, None)
                 if future is not None:
                     future._reject(
@@ -818,11 +906,13 @@ class AsyncSketchServer:
                     )
         for item in self._ridge_lane:
             self.telemetry.record_shed("ridge", reason)
+            self._end_root_shed(item.root, reason, now)
             item.future._reject(AdmissionError(f"ridge request shed: {reason}", lane="ridge"))
         self._ridge_lane.clear()
         for session_id, queue in self._stream_queues.items():
             for item in queue:
                 self.telemetry.record_shed("stream", reason)
+                self._end_root_shed(item.root, reason, now)
                 item.future._reject(
                     AdmissionError(f"stream work shed: {reason}", lane="stream")
                 )

@@ -169,6 +169,10 @@ class ShardScheduler:
         if not (1 <= active_shards <= pool.size):
             raise ValueError(f"active_shards must be in [1, {pool.size}]")
         self._active = int(active_shards)
+        #: Optional ``callable(count)`` fired after the active set resizes
+        #: (outside the scheduler lock) -- the server points this at its
+        #: telemetry gauge so the current shard count is scrapeable.
+        self.on_scale = None
 
     # ------------------------------------------------------------------
     # elastic active set
@@ -212,6 +216,8 @@ class ShardScheduler:
             )
             self._active = count
             self.scale_events.append(event)
+        if self.on_scale is not None:
+            self.on_scale(count)
         return True
 
     def scale_transitions(self) -> Dict[str, int]:

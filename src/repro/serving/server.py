@@ -62,6 +62,7 @@ from repro.serving.requests import (
     normalize_kind,
     normalize_solver,
 )
+from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.serving.scheduler import ShardScheduler
 from repro.serving.streaming import (
     IngestReport,
@@ -124,6 +125,14 @@ class ServerConfig:
         Forwarded to the executor pool.
     comm:
         Alpha-beta model for front-end <-> shard transfers.
+    tracing:
+        When True (default) every request grows a span tree in the server's
+        :class:`~repro.obs.trace.Tracer` (admission, queueing, planning,
+        placement, fused execution, fallback hops).  Tracing reads only
+        clocks the cost model already advanced, so it costs nothing on the
+        simulated clock; turn it off to shave the host-side bookkeeping.
+    trace_capacity:
+        Completed traces retained (oldest evicted first).
     """
 
     kind: str = "multisketch"
@@ -141,6 +150,8 @@ class ServerConfig:
     device: DeviceSpec = H100_SXM5
     numeric: bool = True
     comm: Optional[CommCostModel] = None
+    tracing: bool = True
+    trace_capacity: int = 512
 
     def __post_init__(self) -> None:
         self.kind = normalize_kind(self.kind)
@@ -154,6 +165,8 @@ class ServerConfig:
             raise ValueError("oversampling must exceed 1")
         if self.accuracy_target <= 0.0:
             raise ValueError("accuracy_target must be positive")
+        if self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
 
 
 @dataclass
@@ -200,13 +213,101 @@ class SketchServer:
         )
         self.cache = OperatorCache(capacity=config.cache_capacity)
         self.telemetry = ServingTelemetry()
+        #: The metrics registry backing the telemetry -- the scrape surface
+        #: for :func:`repro.obs.export.to_prometheus` / ``to_json``.
+        self.metrics = self.telemetry.registry
+        #: Per-request span trees on the simulated clock (see repro.obs.trace).
+        self.tracer = Tracer(enabled=config.tracing, max_traces=config.trace_capacity)
+        self.cache.listener = self._on_cache_event
+        self.scheduler.on_scale = self.telemetry.set_active_shards
+        self.telemetry.set_active_shards(self.scheduler.active_shards)
         self._batcher = MicroBatcher(max_batch=config.max_batch)
         self.streams = StreamingSessionManager(self)
         self._next_id = 0
+        self._batch_seq = 0
         # Conditioning probes are pure functions of the matrix; memoise them
         # per live matrix object (weakly referenced -- see _cond_estimate)
         # so hot same-matrix traffic plans for free.
         self._cond_cache: Dict[Tuple, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def _on_cache_event(self, event: str, key: Tuple) -> None:
+        """Operator-cache listener: land hit/miss/store/evict in the registry."""
+        self.metrics.counter("serving_cache_events_total", event=event).inc()
+
+    def _finish_request_trace(
+        self,
+        root: Optional[Span],
+        *,
+        request_id: int,
+        lane: str,
+        placed: "PlacedBatch",
+        batch_id: int,
+        batch_size: int,
+        span_log: Optional[List[Dict[str, object]]],
+        exec_start: float,
+        exec_end: float,
+        comm_seconds: float,
+        executed: str,
+        fallbacks: int,
+        failed: bool,
+        residual: float,
+    ) -> None:
+        """Grow and close one request's span tree around an executed batch.
+
+        ``root`` is the runtime-created root (admission/queue context baked
+        in) or ``None`` on the synchronous path, where the trace starts at
+        execution.  One ``batch`` span fans into the rider's own ``solve``
+        child plus one ``solver:<name>`` child per planner-chain attempt, so
+        a fused batch's N traces share the ``batch_id`` attribute while each
+        request keeps exactly one complete tree.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        plan_ = placed.plan
+        if root is None:
+            root = tracer.start_trace(
+                "request", exec_start, request_id=request_id, lane=lane
+            )
+        elif root is not NULL_SPAN and root.start < exec_start:
+            tracer.start_span("queue", root, root.start).finish(exec_start)
+        tracer.event(
+            "plan",
+            root,
+            exec_start,
+            policy=self.config.policy,
+            planned=plan_.solver,
+            chain="->".join(plan_.chain),
+            cond_estimate=plan_.cond_estimate,
+        )
+        tracer.event(
+            "placement", root, exec_start, shard=placed.shard, cache_hit=placed.cache_hit
+        )
+        batch_span = tracer.start_span(
+            "batch", root, exec_start,
+            batch_id=batch_id, batch_size=batch_size, shard=placed.shard,
+        )
+        for hop in span_log or ():
+            attempt = tracer.start_span(
+                f"solver:{hop['solver']}", batch_span, float(hop["start"]),
+                solver=hop["solver"], fallback_hop=hop["hop"],
+            )
+            if hop["reason"]:
+                attempt.set(reason=hop["reason"])
+            attempt.finish(float(hop["end"]), status="error" if hop["failed"] else "ok")
+        tracer.start_span("solve", batch_span, exec_start).finish(
+            exec_end, solver=executed, relative_residual=residual
+        )
+        batch_span.finish(exec_end, executed_solver=executed, fallbacks=fallbacks)
+        tracer.start_span("respond", root, exec_end).finish(
+            exec_end + comm_seconds, comm_seconds=comm_seconds
+        )
+        tracer.end_trace(
+            root, exec_end + comm_seconds, status="error" if failed else "ok"
+        )
 
     # ------------------------------------------------------------------
     # request intake
@@ -485,6 +586,7 @@ class SketchServer:
         placed: "PlacedBatch",
         *,
         admitted_at: Optional[float] = None,
+        roots: Optional[Dict[int, Span]] = None,
     ) -> List[SolveResponse]:
         """Execute a placed micro-batch and fan out the responses.
 
@@ -495,9 +597,16 @@ class SketchServer:
         synchronous server: a request's latency is its batch's compute plus
         the result transfer) to queue-inclusive (the concurrent runtime:
         everything from admission to completion, queueing delay included).
+        ``roots`` maps request ids to runtime-created trace roots; without
+        it each rider's trace starts at execution.
         """
         plan_, spec, entry, shard = placed.plan, placed.spec, placed.entry, placed.shard
         executor = self.pool[shard]
+        tracing = self.tracer.enabled
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        span_log: Optional[List[Dict[str, object]]] = [] if tracing else None
+        exec_start = executor.elapsed
 
         rhs = batch.rhs_block() if batch.size > 1 else batch.requests[0].b
         operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
@@ -511,7 +620,9 @@ class SketchServer:
             operator_provider=lambda name: self._shard_operator(
                 name, batch.kind, batch.a, shard, plan_.embedding_dim
             ),
+            span_log=span_log,
         )
+        exec_end = executor.elapsed
         executed = result.attempted_solvers[-1]
         fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
         if fallbacks:
@@ -534,6 +645,23 @@ class SketchServer:
         responses = []
         for j, req in enumerate(batch.requests):
             self.telemetry.record_request(latency, solver=executed)
+            if tracing:
+                self._finish_request_trace(
+                    roots.get(req.request_id) if roots else None,
+                    request_id=req.request_id,
+                    lane="solve",
+                    placed=placed,
+                    batch_id=batch_id,
+                    batch_size=batch.size,
+                    span_log=span_log,
+                    exec_start=exec_start,
+                    exec_end=exec_end,
+                    comm_seconds=comm_seconds,
+                    executed=executed,
+                    fallbacks=fallbacks,
+                    failed=bool(result.failed),
+                    residual=self._column_residual(result, j, batch.size),
+                )
             responses.append(
                 SolveResponse(
                     request_id=req.request_id,
@@ -595,13 +723,27 @@ class SketchServer:
         """
         return self.streams.open(n, **options)
 
-    def append_rows(self, session_id: int, rows: np.ndarray, targets: np.ndarray) -> IngestReport:
-        """Fold one arriving batch of rows into a session's window sketch."""
-        return self.streams.append(session_id, rows, targets)
+    def append_rows(
+        self,
+        session_id: int,
+        rows: np.ndarray,
+        targets: np.ndarray,
+        *,
+        root: Optional[Span] = None,
+    ) -> IngestReport:
+        """Fold one arriving batch of rows into a session's window sketch.
 
-    def query_solution(self, session_id: int) -> StreamSolutionResponse:
+        ``root`` is an optional trace root (the concurrent runtime passes
+        the one it opened at admission) under which the session's
+        ingest/re-solve/drift spans nest.
+        """
+        return self.streams.append(session_id, rows, targets, root=root)
+
+    def query_solution(
+        self, session_id: int, *, root: Optional[Span] = None
+    ) -> StreamSolutionResponse:
         """Serve a session's current solution (lazily re-solved when stale)."""
-        return self.streams.query(session_id)
+        return self.streams.query(session_id, root=root)
 
     def close_stream(self, session_id: int) -> Dict[str, float]:
         """Close a session and return its final per-session statistics."""
@@ -777,11 +919,13 @@ class SketchServer:
         solver: Optional[str],
         admitted_at: Optional[float] = None,
         request_id: Optional[int] = None,
+        root: Optional[Span] = None,
     ) -> SolveResponse:
         """Execute a placed ridge request (see :meth:`_run_placed` for accounting).
 
         ``request_id`` lets the concurrent runtime pass the id it reserved
-        at admission; the synchronous path draws one here.
+        at admission (and ``root`` the trace root it opened there); the
+        synchronous path draws an id and starts the trace here.
         """
         plan_, spec, entry, shard = placed.plan, placed.spec, placed.entry, placed.shard
         cache_hit = placed.cache_hit
@@ -789,6 +933,11 @@ class SketchServer:
         nrhs = spec.nrhs
         rows_aug = d + n
         executor = self.pool[shard]
+        tracing = self.tracer.enabled
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        span_log: Optional[List[Dict[str, object]]] = [] if tracing else None
+        exec_start = executor.elapsed
         operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
         result = execute_plan(
             plan_,
@@ -800,7 +949,9 @@ class SketchServer:
             operator_provider=lambda name: self._problem_shard_operator(
                 name, kind, rows_aug, n, shard, plan_.embedding_dim, problem="ridge"
             ),
+            span_log=span_log,
         )
+        exec_end = executor.elapsed
         executed = result.attempted_solvers[-1]
         fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
         if fallbacks:
@@ -819,6 +970,23 @@ class SketchServer:
         if request_id is None:
             request_id = self._next_id
             self._next_id += 1
+        if tracing:
+            self._finish_request_trace(
+                root,
+                request_id=request_id,
+                lane="ridge",
+                placed=placed,
+                batch_id=batch_id,
+                batch_size=1,
+                span_log=span_log,
+                exec_start=exec_start,
+                exec_end=exec_end,
+                comm_seconds=comm_seconds,
+                executed=executed,
+                fallbacks=fallbacks,
+                failed=bool(result.failed),
+                residual=result.relative_residual,
+            )
         response = SolveResponse(
             request_id=request_id,
             x=result.x,
@@ -976,6 +1144,7 @@ class SketchServer:
         out["scale_ups"] = float(transitions["up"])
         out["scale_downs"] = float(transitions["down"])
         out["open_streams"] = float(len(self.streams))
+        out["traces_completed"] = float(self.tracer.traces_completed)
         for i, load in enumerate(self.pool.loads()):
             out[f"shard{i}_busy_seconds"] = load
         return out
@@ -1028,6 +1197,70 @@ def naive_solve_loop(
 # ---------------------------------------------------------------------------
 # Console entry point (`repro-serve`)
 # ---------------------------------------------------------------------------
+def _observability_demo(args) -> int:
+    """Drive a short mixed workload and print what the observability layer saw.
+
+    Shared by ``repro-serve --metrics`` (Prometheus text / JSON snapshot of
+    the registry) and ``--dump-trace`` (waterfall + critical path of the
+    slowest completed request trace).  The workload mixes all three lanes so
+    every span family and metric name shows up in the output.
+    """
+    from repro.obs.export import (
+        render_critical_path,
+        render_waterfall,
+        to_json,
+        to_prometheus,
+    )
+    from repro.serving.runtime import AsyncSketchServer
+
+    rng = np.random.default_rng(args.seed)
+    runtime = AsyncSketchServer(
+        shards=args.shards,
+        seed=args.seed,
+        workers=max(args.workers, 2),
+        queue_depth=args.queue_depth,
+    )
+    try:
+        futures = []
+        for _ in range(16):
+            a = rng.standard_normal((512, 16))
+            futures.append(runtime.submit(a, rng.standard_normal(512)))
+        for _ in range(6):
+            a = rng.standard_normal((256, 12))
+            futures.append(runtime.submit_ridge(a, rng.standard_normal(256), 0.1))
+        session = runtime.open_stream(12)
+        for _ in range(4):
+            futures.append(
+                runtime.append_rows(
+                    session, rng.standard_normal((128, 12)), rng.standard_normal(128)
+                )
+            )
+        futures.append(runtime.query_solution(session))
+        for future in futures:
+            future.result()
+        runtime.drain()
+    finally:
+        runtime.stop()
+
+    if args.metrics:
+        if args.json:
+            print(to_json(runtime.server.metrics))
+        else:
+            print(to_prometheus(runtime.server.metrics), end="")
+    if args.dump_trace:
+        traces = runtime.tracer.traces()
+        if not traces:
+            print("no completed traces (tracing disabled?)")
+            return 1
+        slowest = max(traces, key=lambda t: t.duration)
+        if args.metrics:
+            print()
+        print(render_waterfall(slowest))
+        print()
+        print(render_critical_path(slowest))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Serving demo for the ``repro-serve`` console script.
 
@@ -1062,7 +1295,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--shards", type=int, default=2, help="base shard count (default 2)")
     parser.add_argument("--seed", type=int, default=7, help="traffic/operator seed (default 7)")
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run a short mixed workload and print the metrics registry "
+        "(Prometheus text exposition format; see --json)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --metrics, print the structured JSON snapshot instead",
+    )
+    parser.add_argument(
+        "--dump-trace",
+        action="store_true",
+        help="run a short mixed workload and print the slowest request's "
+        "span waterfall and critical path",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics or args.dump_trace:
+        return _observability_demo(args)
 
     if args.workers > 0:
         rows = concurrent_load(

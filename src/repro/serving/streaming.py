@@ -189,17 +189,56 @@ class StreamingSessionManager:
         return session_id
 
     # ------------------------------------------------------------------
-    def append(self, session_id: int, rows: np.ndarray, targets: np.ndarray) -> IngestReport:
-        """Fold one arriving batch into the session's window sketch."""
+    def append(
+        self, session_id: int, rows: np.ndarray, targets: np.ndarray, *, root=None
+    ) -> IngestReport:
+        """Fold one arriving batch into the session's window sketch.
+
+        ``root`` is an optional trace root to nest the session spans under
+        (the concurrent runtime passes the one opened at admission, with the
+        queue context already on it); without one, a standalone
+        ``stream_ingest`` trace is started and ended here.  The ingest/
+        re-solve intervals are reconstructed from the engine's own
+        accounting on the shard clock, so the spans cost nothing on the
+        simulated timeline.
+        """
         session = self._get(session_id)
+        server = self._server
+        tracer = server.tracer
+        own_root = root is None and tracer.enabled
         report = session.solver.ingest(rows, targets)
         self._refresh_cache_entry(session)
-        telemetry = self._server.telemetry
+        telemetry = server.telemetry
         telemetry.record_stream_ingest(report.rows, report.simulated_seconds)
         if report.drift is not None:
             telemetry.record_stream_drift()
         if report.resolved:
             telemetry.record_stream_resolve(seconds=report.resolve_seconds)
+        if tracer.enabled:
+            # Reconstruct the interval from the shard clock: the engine
+            # charged ingest (fold) first, then any eager re-solve.
+            end = server.pool[session.shard].elapsed
+            resolve_s = float(report.resolve_seconds) if report.resolved else 0.0
+            ingest_end = end - resolve_s
+            start = ingest_end - float(report.simulated_seconds)
+            if own_root:
+                root = tracer.start_trace(
+                    "stream_ingest", start, session_id=session_id, lane="stream"
+                )
+            ingest_span = tracer.start_span(
+                "ingest", root, start, rows=int(report.rows), shard=session.shard
+            )
+            if report.drift is not None:
+                tracer.event(
+                    "drift", ingest_span, ingest_end, kind=report.drift.kind,
+                )
+            ingest_span.finish(ingest_end, batch_residual=report.batch_residual)
+            if report.resolved:
+                tracer.start_span("resolve", root, ingest_end).finish(
+                    end, trigger="ingest"
+                )
+            if own_root:
+                tracer.end_trace(root, end)
         return report
 
     def _refresh_cache_entry(self, session: StreamSession) -> None:
@@ -227,11 +266,17 @@ class StreamingSessionManager:
         cache.touch(session.cache_key)
 
     # ------------------------------------------------------------------
-    def query(self, session_id: int) -> StreamSolutionResponse:
-        """Serve the session's current solution (lazy re-solve if stale)."""
+    def query(self, session_id: int, *, root=None) -> StreamSolutionResponse:
+        """Serve the session's current solution (lazy re-solve if stale).
+
+        ``root`` as in :meth:`append`: a runtime-provided trace root, or
+        ``None`` to start a standalone ``stream_query`` trace here.
+        """
         session = self._get(session_id)
         server = self._server
         solver = session.solver
+        tracer = server.tracer
+        own_root = root is None and tracer.enabled
         resolves_before = solver.resolve_count
         solution = solver.solution()
         resolved = solver.resolve_count > resolves_before
@@ -243,6 +288,26 @@ class StreamingSessionManager:
         comm_seconds = server.scheduler.charge_transfer("stream_solution", x_bytes)
         session.queries += 1
         server.telemetry.record_stream_query(solution.staleness_rows)
+        if tracer.enabled:
+            end = server.pool[session.shard].elapsed
+            start = end - compute_seconds
+            if own_root:
+                root = tracer.start_trace(
+                    "stream_query", start, session_id=session_id, lane="stream"
+                )
+            if resolved:
+                tracer.start_span(
+                    "resolve", root, start, solver=solution.executed_solver
+                ).finish(end, trigger=solution.trigger)
+            tracer.event(
+                "query", root, end,
+                staleness_rows=int(solution.staleness_rows), resolved=resolved,
+            )
+            tracer.start_span("respond", root, end).finish(
+                end + comm_seconds, comm_seconds=comm_seconds
+            )
+            if own_root:
+                tracer.end_trace(root, end + comm_seconds)
         return StreamSolutionResponse(
             session_id=session_id,
             x=solution.x,

@@ -5,15 +5,28 @@ alpha-beta communication model, so the numbers are deterministic and the
 percentile report answers the question the ROADMAP's north star asks --
 what p99 would this serving configuration sustain on the paper's hardware --
 without a physical GPU in the loop.
+
+Since the observability PR, :class:`ServingTelemetry` is a facade over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every recorder lands in a
+named counter/gauge/histogram with label sets, so the same numbers the
+``snapshot()`` contract has always reported are also scrapeable through
+:func:`repro.obs.export.to_prometheus` and the JSON exporter.  Latency
+samples now live in **bounded** ring+P² histograms instead of unbounded
+Python lists -- a long-lived server's telemetry footprint is fixed, while
+``recent_p95()`` (the elastic-scaling signal) keeps its exact last-window
+semantics and whole-stream p50/p95/p99 stay available past the ring via
+the P² sketches.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 
 @dataclass
@@ -38,60 +51,152 @@ class LatencySummary:
         }
 
 
-def _summarise(latencies: List[float]) -> Optional[LatencySummary]:
-    """Percentile summary of a latency list (None when empty)."""
-    if not latencies:
+def _summarise(hist: Histogram) -> Optional[LatencySummary]:
+    """Percentile summary of a histogram (None when empty).
+
+    Exact while the sample count fits the histogram's ring; beyond that
+    p50/p95/p99 come from the whole-stream P² sketches and mean/max from
+    the exact running aggregates.
+    """
+    if hist.count == 0:
         return None
-    arr = np.asarray(latencies, dtype=np.float64)
-    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
     return LatencySummary(
-        count=arr.size,
-        p50=float(p50),
-        p95=float(p95),
-        p99=float(p99),
-        mean=float(arr.mean()),
-        max=float(arr.max()),
+        count=int(hist.count),
+        p50=float(hist.percentile(50.0)),
+        p95=float(hist.percentile(95.0)),
+        p99=float(hist.percentile(99.0)),
+        mean=float(hist.mean),
+        max=float(hist.max),
     )
 
 
 class ServingTelemetry:
     """Accumulates per-request and per-batch measurements for one server.
 
-    All recorders take an internal lock, so a concurrent runtime's worker
-    threads can report into one instance without corrupting counters; the
-    lock is uncontended (and cheap) for the synchronous server.
+    All recorders (including the streaming-session ones and ``reset()``)
+    take an internal lock, so a concurrent runtime's worker threads can
+    report into one instance without corrupting counters; the lock is
+    uncontended (and cheap) for the synchronous server.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to record into
+        (a private one is created when omitted).  Exposed as
+        ``self.registry`` for the exporters.
+    sample_capacity:
+        Ring size for every latency/depth histogram.  Must be at least
+        the largest window ``recent_p95()`` is asked for.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sample_capacity: int = 4096,
+    ) -> None:
         self._lock = threading.Lock()
-        self._latencies: List[float] = []
-        self._batch_sizes: List[int] = []
-        self._batch_seconds: List[float] = []
-        self._solver_latencies: Dict[str, List[float]] = {}
-        self._fallback_hops: Dict[str, int] = {}
-        self.requests_served = 0
-        self.sketch_requests = 0
-        self.batches_executed = 0
-        self.fallback_batches = 0
-        self.failed_requests = 0
-        # Concurrent-runtime counters (see repro.serving.runtime).
-        self._lane_latencies: Dict[str, List[float]] = {}
-        self._queue_depths: List[int] = []
-        self._sheds_by_reason: Dict[str, int] = {}
-        self._sheds_by_lane: Dict[str, int] = {}
-        self.requests_shed = 0
-        self.requests_admitted = 0
-        self.admission_rejects = 0
-        # Streaming-session counters (see repro.serving.streaming).
-        self.streams_opened = 0
-        self.streams_closed = 0
-        self.stream_rows = 0
-        self.stream_batches = 0
-        self.stream_resolves = 0
-        self.stream_drift_events = 0
-        self.stream_ingest_seconds = 0.0
-        self.stream_resolve_seconds = 0.0
-        self._stream_staleness: List[float] = []
+        self.registry = registry if registry is not None else MetricsRegistry(sample_capacity)
+        self.sample_capacity = int(sample_capacity)
+        r = self.registry
+        cap = self.sample_capacity
+        # Request-path histograms (bounded: ring of ``cap`` + P² sketches).
+        self._latencies = r.histogram("serving_request_latency_seconds", capacity=cap)
+        self._batch_sizes = r.histogram("serving_batch_size", capacity=cap)
+        self._batch_seconds = r.histogram("serving_batch_seconds", capacity=cap)
+        self._solver_latencies: Dict[str, Histogram] = {}
+        self._fallback_hops: Dict[str, Counter] = {}
+        self._c_requests = r.counter("serving_requests_total")
+        self._c_sketches = r.counter("serving_sketch_requests_total")
+        self._c_batches = r.counter("serving_batches_total")
+        self._c_fallback_batches = r.counter("serving_fallback_batches_total")
+        self._c_failures = r.counter("serving_failed_requests_total")
+        # Concurrent-runtime series (see repro.serving.runtime).
+        self._lane_latencies: Dict[str, Histogram] = {}
+        self._queue_depths = r.histogram("runtime_queue_depth", capacity=cap)
+        self._g_queue_depth = r.gauge("runtime_queue_depth_current")
+        self._g_active_shards = r.gauge("runtime_active_shards")
+        self._sheds_by_reason: Dict[str, Counter] = {}
+        self._sheds_by_lane: Dict[str, Counter] = {}
+        self._c_shed = r.counter("runtime_requests_shed_total")
+        self._c_admitted = r.counter("runtime_requests_admitted_total")
+        self._c_admission_rejects = r.counter("runtime_admission_rejects_total")
+        # Streaming-session series (see repro.serving.streaming).
+        self._c_streams_opened = r.counter("stream_sessions_opened_total")
+        self._c_streams_closed = r.counter("stream_sessions_closed_total")
+        self._c_stream_rows = r.counter("stream_rows_total")
+        self._c_stream_batches = r.counter("stream_batches_total")
+        self._c_stream_resolves = r.counter("stream_resolves_total")
+        self._c_stream_drift = r.counter("stream_drift_events_total")
+        self._c_stream_ingest_seconds = r.counter("stream_ingest_seconds_total")
+        self._c_stream_resolve_seconds = r.counter("stream_resolve_seconds_total")
+        self._stream_staleness = r.histogram("stream_staleness_rows", capacity=cap)
+
+    # ------------------------------------------------------------------
+    # derived counter attributes (read-only views over the registry)
+    # ------------------------------------------------------------------
+    @property
+    def requests_served(self) -> int:
+        return int(self._c_requests.value)
+
+    @property
+    def sketch_requests(self) -> int:
+        return int(self._c_sketches.value)
+
+    @property
+    def batches_executed(self) -> int:
+        return int(self._c_batches.value)
+
+    @property
+    def fallback_batches(self) -> int:
+        return int(self._c_fallback_batches.value)
+
+    @property
+    def failed_requests(self) -> int:
+        return int(self._c_failures.value)
+
+    @property
+    def requests_shed(self) -> int:
+        return int(self._c_shed.value)
+
+    @property
+    def requests_admitted(self) -> int:
+        return int(self._c_admitted.value)
+
+    @property
+    def admission_rejects(self) -> int:
+        return int(self._c_admission_rejects.value)
+
+    @property
+    def streams_opened(self) -> int:
+        return int(self._c_streams_opened.value)
+
+    @property
+    def streams_closed(self) -> int:
+        return int(self._c_streams_closed.value)
+
+    @property
+    def stream_rows(self) -> int:
+        return int(self._c_stream_rows.value)
+
+    @property
+    def stream_batches(self) -> int:
+        return int(self._c_stream_batches.value)
+
+    @property
+    def stream_resolves(self) -> int:
+        return int(self._c_stream_resolves.value)
+
+    @property
+    def stream_drift_events(self) -> int:
+        return int(self._c_stream_drift.value)
+
+    @property
+    def stream_ingest_seconds(self) -> float:
+        return float(self._c_stream_ingest_seconds.value)
+
+    @property
+    def stream_resolve_seconds(self) -> float:
+        return float(self._c_stream_resolve_seconds.value)
 
     # ------------------------------------------------------------------
     def record_request(self, latency_seconds: float, solver: Optional[str] = None) -> None:
@@ -103,62 +208,101 @@ class ServingTelemetry:
         are directly observable.
         """
         with self._lock:
-            self._latencies.append(float(latency_seconds))
-            self.requests_served += 1
+            self._latencies.observe(float(latency_seconds))
+            self._c_requests.inc()
             if solver:
-                self._solver_latencies.setdefault(solver, []).append(float(latency_seconds))
+                hist = self._solver_latencies.get(solver)
+                if hist is None:
+                    hist = self.registry.histogram(
+                        "serving_solver_latency_seconds",
+                        capacity=self.sample_capacity,
+                        solver=solver,
+                    )
+                    self._solver_latencies[solver] = hist
+                hist.observe(float(latency_seconds))
+
+    def record_requests(self, latencies: Iterable[float]) -> None:
+        """Bulk-record served request latencies (vectorised ring ingest)."""
+        arr = np.asarray(list(latencies) if not isinstance(latencies, np.ndarray) else latencies)
+        with self._lock:
+            self._latencies.observe_many(arr)
+            self._c_requests.inc(arr.size)
 
     def record_fallback(self, from_solver: str, to_solver: str) -> None:
         """Record one fallback hop a batch took (planned -> executed)."""
+        hop = f"{from_solver}->{to_solver}"
         with self._lock:
-            self._fallback_hops[f"{from_solver}->{to_solver}"] = (
-                self._fallback_hops.get(f"{from_solver}->{to_solver}", 0) + 1
-            )
-            self.fallback_batches += 1
+            counter = self._fallback_hops.get(hop)
+            if counter is None:
+                counter = self.registry.counter(
+                    "serving_fallback_hops_total", src=from_solver, dst=to_solver
+                )
+                self._fallback_hops[hop] = counter
+            counter.inc()
+            self._c_fallback_batches.inc()
 
     def record_failure(self, count: int = 1) -> None:
         """Record requests whose whole fallback chain failed."""
         with self._lock:
-            self.failed_requests += int(count)
+            self._c_failures.inc(int(count))
 
     def record_sketch(self, latency_seconds: float) -> None:
         """Record one served sketch request's latency."""
         with self._lock:
-            self._latencies.append(float(latency_seconds))
-            self.sketch_requests += 1
+            self._latencies.observe(float(latency_seconds))
+            self._c_sketches.inc()
 
     def record_batch(self, size: int, seconds: float) -> None:
         """Record one executed micro-batch."""
         with self._lock:
-            self._batch_sizes.append(int(size))
-            self._batch_seconds.append(float(seconds))
-            self.batches_executed += 1
+            self._batch_sizes.observe(int(size))
+            self._batch_seconds.observe(float(seconds))
+            self._c_batches.inc()
 
     # ------------------------------------------------------------------
     # concurrent runtime (admission queue, lanes, shedding)
     # ------------------------------------------------------------------
+    def _shed_counter_locked(self, lane: str) -> Counter:
+        counter = self._sheds_by_lane.get(lane)
+        if counter is None:
+            counter = self.registry.counter("runtime_shed_total", lane=lane)
+            self._sheds_by_lane[lane] = counter
+        return counter
+
     def record_admission(self, lane: str) -> None:
         """Record one request admitted into the bounded queue."""
         with self._lock:
-            self.requests_admitted += 1
-            self._sheds_by_lane.setdefault(lane, 0)  # lane becomes visible at 0 sheds
+            self._c_admitted.inc()
+            self.registry.counter("runtime_admitted_total", lane=lane).inc()
+            self._shed_counter_locked(lane)  # lane becomes visible at 0 sheds
 
     def record_admission_reject(self, lane: str) -> None:
         """Record one request bounced at admission (queue full)."""
         with self._lock:
-            self.admission_rejects += 1
+            self._c_admission_rejects.inc()
+            self.registry.counter("runtime_admission_rejects_by_lane_total", lane=lane).inc()
 
     def record_queue_depth(self, depth: int) -> None:
         """Sample the admission-queue depth (taken at submit and dispatch)."""
         with self._lock:
-            self._queue_depths.append(int(depth))
+            self._queue_depths.observe(int(depth))
+            self._g_queue_depth.set(int(depth))
+
+    def set_active_shards(self, count: int) -> None:
+        """Publish the elastic pool's current active-shard count."""
+        with self._lock:
+            self._g_active_shards.set(int(count))
 
     def record_shed(self, lane: str, reason: str, count: int = 1) -> None:
         """Record requests shed by the dispatcher (deadline, shutdown, ...)."""
         with self._lock:
-            self.requests_shed += int(count)
-            self._sheds_by_reason[reason] = self._sheds_by_reason.get(reason, 0) + int(count)
-            self._sheds_by_lane[lane] = self._sheds_by_lane.get(lane, 0) + int(count)
+            self._c_shed.inc(int(count))
+            by_reason = self._sheds_by_reason.get(reason)
+            if by_reason is None:
+                by_reason = self.registry.counter("runtime_shed_by_reason_total", reason=reason)
+                self._sheds_by_reason[reason] = by_reason
+            by_reason.inc(int(count))
+            self._shed_counter_locked(lane).inc(int(count))
 
     def record_lane_latency(self, lane: str, latency_seconds: float) -> None:
         """Record one completed request's latency under its admission lane.
@@ -169,12 +313,23 @@ class ServingTelemetry:
         delay the elastic policy exists to keep bounded.
         """
         with self._lock:
-            self._lane_latencies.setdefault(lane, []).append(float(latency_seconds))
+            hist = self._lane_latencies.get(lane)
+            if hist is None:
+                hist = self.registry.histogram(
+                    "runtime_lane_latency_seconds",
+                    capacity=self.sample_capacity,
+                    lane=lane,
+                )
+                self._lane_latencies[lane] = hist
+            hist.observe(float(latency_seconds))
 
     def lane_latency_summary(self, lane: str) -> Optional[LatencySummary]:
         """Queue-inclusive latency percentiles for one lane (None if unused)."""
         with self._lock:
-            return _summarise(list(self._lane_latencies.get(lane, [])))
+            hist = self._lane_latencies.get(lane)
+        if hist is None:
+            return None
+        return _summarise(hist)
 
     def lanes_seen(self) -> List[str]:
         """Lanes with at least one completed request."""
@@ -184,54 +339,53 @@ class ServingTelemetry:
     def shed_counts(self) -> Dict[str, int]:
         """Per-reason shed counters."""
         with self._lock:
-            return dict(self._sheds_by_reason)
+            return {reason: int(c.value) for reason, c in self._sheds_by_reason.items()}
 
     def sheds_by_lane(self) -> Dict[str, int]:
         """Per-lane shed counters."""
         with self._lock:
-            return dict(self._sheds_by_lane)
+            return {lane: int(c.value) for lane, c in self._sheds_by_lane.items()}
 
     def queue_depth_max(self) -> int:
         """Deepest admission queue observed (0 when never sampled)."""
         with self._lock:
-            return max(self._queue_depths, default=0)
+            return int(self._queue_depths.max)
 
     def queue_depth_mean(self) -> float:
         """Mean sampled admission-queue depth (0 when never sampled)."""
         with self._lock:
-            if not self._queue_depths:
-                return 0.0
-            return float(np.mean(self._queue_depths))
+            return float(self._queue_depths.mean)
 
     def recent_p95(self, window: int = 64) -> Optional[float]:
         """p95 of the most recent ``window`` request latencies.
 
         This is the latency signal the elastic policy scales on: recent
         enough to track the current load phase rather than the whole
-        history.  ``None`` before any request completes.
+        history.  ``None`` before any request completes.  Exact for any
+        ``window <= sample_capacity`` (the ring always holds the tail).
         """
         with self._lock:
-            if not self._latencies:
-                return None
-            tail = self._latencies[-int(window):]
-        return float(np.percentile(np.asarray(tail, dtype=np.float64), 95.0))
+            return self._latencies.recent_percentile(95.0, int(window))
 
     # ------------------------------------------------------------------
     # streaming sessions
     # ------------------------------------------------------------------
     def record_stream_open(self) -> None:
         """Record one opened streaming session."""
-        self.streams_opened += 1
+        with self._lock:
+            self._c_streams_opened.inc()
 
     def record_stream_close(self) -> None:
         """Record one closed streaming session."""
-        self.streams_closed += 1
+        with self._lock:
+            self._c_streams_closed.inc()
 
     def record_stream_ingest(self, rows: int, seconds: float) -> None:
         """Record one ingested batch (row count and simulated ingest time)."""
-        self.stream_batches += 1
-        self.stream_rows += int(rows)
-        self.stream_ingest_seconds += float(seconds)
+        with self._lock:
+            self._c_stream_batches.inc()
+            self._c_stream_rows.inc(int(rows))
+            self._c_stream_ingest_seconds.inc(float(seconds))
 
     def record_stream_resolve(self, count: int = 1, seconds: float = 0.0) -> None:
         """Record streaming re-solves (lazy query or drift triggered).
@@ -240,39 +394,44 @@ class ServingTelemetry:
         (drift/warmup) solves inside an ingest are costed the same way as
         query-time ones instead of vanishing from the accounting.
         """
-        self.stream_resolves += int(count)
-        self.stream_resolve_seconds += float(seconds)
+        with self._lock:
+            self._c_stream_resolves.inc(int(count))
+            self._c_stream_resolve_seconds.inc(float(seconds))
 
     def record_stream_drift(self, count: int = 1) -> None:
         """Record drift-detector firings across all sessions."""
-        self.stream_drift_events += int(count)
+        with self._lock:
+            self._c_stream_drift.inc(int(count))
 
     def record_stream_query(self, staleness_rows: int) -> None:
         """Record one solution query and the staleness it was served at."""
-        self._stream_staleness.append(float(staleness_rows))
+        with self._lock:
+            self._stream_staleness.observe(float(staleness_rows))
 
     def stream_ingest_rows_per_second(self) -> float:
         """Sustained ingest rate over all sessions (simulated seconds)."""
-        if self.stream_ingest_seconds <= 0.0:
+        seconds = self.stream_ingest_seconds
+        if seconds <= 0.0:
             return 0.0
-        return self.stream_rows / self.stream_ingest_seconds
+        return self.stream_rows / seconds
 
     def stream_mean_staleness(self) -> float:
         """Average rows-behind-the-stream at query time (0 when no queries)."""
-        if not self._stream_staleness:
-            return 0.0
-        return float(np.mean(self._stream_staleness))
+        with self._lock:
+            return float(self._stream_staleness.mean)
 
     # ------------------------------------------------------------------
     def latency_summary(self) -> Optional[LatencySummary]:
         """p50/p95/p99 latency over everything served so far (None when idle)."""
-        with self._lock:
-            return _summarise(list(self._latencies))
+        return _summarise(self._latencies)
 
     def solver_latency_summary(self, solver: str) -> Optional[LatencySummary]:
         """Latency percentiles for one executed solver (None if never used)."""
         with self._lock:
-            return _summarise(list(self._solver_latencies.get(solver, [])))
+            hist = self._solver_latencies.get(solver)
+        if hist is None:
+            return None
+        return _summarise(hist)
 
     def solvers_seen(self) -> List[str]:
         """Executed-solver names with at least one recorded request."""
@@ -282,14 +441,12 @@ class ServingTelemetry:
     def fallback_counts(self) -> Dict[str, int]:
         """``"from->to"`` fallback-hop counters."""
         with self._lock:
-            return dict(self._fallback_hops)
+            return {hop: int(c.value) for hop, c in self._fallback_hops.items()}
 
     def mean_batch_size(self) -> float:
         """Average fused batch size (0 when no batch ran)."""
         with self._lock:
-            if not self._batch_sizes:
-                return 0.0
-            return float(np.mean(self._batch_sizes))
+            return float(self._batch_sizes.mean)
 
     def throughput(self, makespan_seconds: float) -> float:
         """Requests per simulated second given the pool's makespan."""
@@ -354,30 +511,16 @@ class ServingTelemetry:
         return out
 
     def reset(self) -> None:
-        """Clear every measurement."""
-        self._latencies.clear()
-        self._batch_sizes.clear()
-        self._batch_seconds.clear()
-        self._solver_latencies.clear()
-        self._fallback_hops.clear()
-        self.requests_served = 0
-        self.sketch_requests = 0
-        self.batches_executed = 0
-        self.fallback_batches = 0
-        self.failed_requests = 0
-        self.streams_opened = 0
-        self.streams_closed = 0
-        self.stream_rows = 0
-        self.stream_batches = 0
-        self.stream_resolves = 0
-        self.stream_drift_events = 0
-        self.stream_ingest_seconds = 0.0
-        self.stream_resolve_seconds = 0.0
-        self._stream_staleness.clear()
-        self._lane_latencies.clear()
-        self._queue_depths.clear()
-        self._sheds_by_reason.clear()
-        self._sheds_by_lane.clear()
-        self.requests_shed = 0
-        self.requests_admitted = 0
-        self.admission_rejects = 0
+        """Clear every measurement (under the lock: workers may be recording).
+
+        Registry registrations survive -- a scrape endpoint keeps its
+        series at zero -- but the per-name handle maps are cleared so
+        ``lanes_seen()``/``solvers_seen()`` report empty again.
+        """
+        with self._lock:
+            self.registry.reset()
+            self._solver_latencies.clear()
+            self._fallback_hops.clear()
+            self._lane_latencies.clear()
+            self._sheds_by_reason.clear()
+            self._sheds_by_lane.clear()

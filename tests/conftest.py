@@ -31,9 +31,15 @@ _STREAMING_PREFIXES = ("test_streaming",)
 #: tests and the acceptance benchmark together).
 _RUNTIME_PREFIXES = ("test_runtime", "test_concurrent_runtime")
 
+#: Module-name prefixes auto-marked ``obs`` (tracing, metrics registry,
+#: exporters, perf-trajectory record; ``pytest -m obs`` runs the subset).
+_OBS_PREFIXES = (
+    "test_obs", "test_metrics", "test_trace", "test_exporters", "test_record_bench",
+)
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner``/``streaming``/``runtime`` markers by module prefix."""
+    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -45,6 +51,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.streaming)
         if name.startswith(_RUNTIME_PREFIXES):
             item.add_marker(pytest.mark.runtime)
+        if name.startswith(_OBS_PREFIXES):
+            item.add_marker(pytest.mark.obs)
 
 
 @pytest.fixture

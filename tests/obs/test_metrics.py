@@ -1,0 +1,225 @@
+"""Unit tests for the bounded metrics primitives (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, P2Quantile
+from repro.serving.telemetry import ServingTelemetry
+
+
+# ---------------------------------------------------------------------------
+# counters and gauges
+# ---------------------------------------------------------------------------
+def test_counter_monotone():
+    c = Counter("requests_total", {"lane": "solve"})
+    c.inc()
+    c.inc(2.5)
+    assert c.value == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+    c.reset()
+    assert c.value == 0.0
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("queue_depth", {})
+    g.set(7)
+    g.dec(3)
+    g.inc()
+    assert g.value == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# P² streaming quantiles
+# ---------------------------------------------------------------------------
+def test_p2_exact_below_five_samples():
+    sketch = P2Quantile(0.5)
+    assert sketch.value is None
+    for x in (5.0, 1.0, 3.0):
+        sketch.observe(x)
+    assert sketch.value == pytest.approx(np.percentile([5.0, 1.0, 3.0], 50.0))
+
+
+@pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+@pytest.mark.parametrize("dist", ["uniform", "normal", "lognormal"])
+def test_p2_rank_error_within_one_percent(p, dist):
+    """On 10k samples the P² estimate's rank is within 1% of the target.
+
+    Rank error (the fraction of samples below the estimate vs the target
+    quantile) is the right metric: it is distribution-free, unlike relative
+    value error which blows up where the density is flat.
+    """
+    rng = np.random.default_rng(1234)
+    samples = {
+        "uniform": rng.uniform(0.0, 1.0, 10_000),
+        "normal": rng.standard_normal(10_000),
+        "lognormal": rng.lognormal(0.0, 1.0, 10_000),
+    }[dist]
+    sketch = P2Quantile(p)
+    for x in samples:
+        sketch.observe(x)
+    estimate = sketch.value
+    rank = float(np.mean(samples <= estimate))
+    assert abs(rank - p) <= 0.01
+
+
+def test_p2_invalid_quantile():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+# ---------------------------------------------------------------------------
+# histogram: exactness, ring bounds, bulk ingest
+# ---------------------------------------------------------------------------
+def test_histogram_exact_below_capacity():
+    hist = Histogram(capacity=256)
+    rng = np.random.default_rng(0)
+    xs = rng.lognormal(0.0, 1.0, 100)
+    for x in xs:
+        hist.observe(x)
+    for q in (10.0, 50.0, 95.0, 99.0):
+        assert hist.percentile(q) == pytest.approx(np.percentile(xs, q))
+    assert hist.count == 100
+    assert len(hist) == 100
+    assert hist.mean == pytest.approx(xs.mean())
+    assert hist.min == pytest.approx(xs.min())
+    assert hist.max == pytest.approx(xs.max())
+
+
+def test_histogram_tracked_quantiles_survive_ring_wrap():
+    hist = Histogram(capacity=128, quantiles=(50.0, 95.0, 99.0))
+    rng = np.random.default_rng(7)
+    xs = rng.lognormal(0.0, 1.0, 10_000)
+    for x in xs:
+        hist.observe(x)
+    assert len(hist) == 128  # ring stays bounded
+    assert hist.count == 10_000  # exact total survives
+    for q in (50.0, 95.0, 99.0):
+        estimate = hist.percentile(q)
+        rank = float(np.mean(xs <= estimate))
+        assert abs(rank - q / 100.0) <= 0.01
+
+
+def test_histogram_observe_many_matches_observe():
+    rng = np.random.default_rng(3)
+    xs = rng.standard_normal(500)
+    one = Histogram(capacity=256)
+    bulk = Histogram(capacity=256)
+    for x in xs:
+        one.observe(x)
+    bulk.observe_many(xs)
+    np.testing.assert_allclose(bulk.values(), one.values())
+    assert bulk.count == one.count == 500
+    assert bulk.sum == pytest.approx(one.sum)
+    assert bulk.min == pytest.approx(one.min)
+    assert bulk.max == pytest.approx(one.max)
+
+
+def test_histogram_observe_many_oversized_batch_keeps_tail():
+    hist = Histogram(capacity=64)
+    xs = np.arange(1000, dtype=np.float64)
+    hist.observe_many(xs)
+    np.testing.assert_allclose(hist.values(), xs[-64:])
+    assert hist.count == 1000
+
+
+def test_histogram_million_records_stay_bounded():
+    """Satellite regression: 1M records leave a fixed footprint.
+
+    ``recent_p95`` semantics are unchanged: the ring always holds the tail
+    in arrival order, so the last-window percentile is exact forever.
+    """
+    telemetry = ServingTelemetry(sample_capacity=4096)
+    rng = np.random.default_rng(11)
+    last_chunk = None
+    for _ in range(100):
+        chunk = rng.lognormal(0.0, 0.5, 10_000)
+        telemetry.record_requests(chunk)
+        last_chunk = chunk
+    hist = telemetry.registry.get("serving_request_latency_seconds")
+    assert hist.count == 1_000_000
+    assert len(hist) == 4096  # retained samples bounded by the ring
+    assert hist._ring.nbytes == 4096 * 8  # the actual allocation is fixed
+    assert telemetry.requests_served == 1_000_000
+    # recent_p95 window semantics preserved: exact over the last 64 samples.
+    expected = float(np.percentile(last_chunk[-64:], 95.0))
+    assert telemetry.recent_p95(window=64) == pytest.approx(expected)
+
+
+def test_histogram_recent_percentile_window():
+    hist = Histogram(capacity=128)
+    xs = np.arange(200, dtype=np.float64)
+    for x in xs:
+        hist.observe(x)
+    assert hist.recent_percentile(50.0, 10) == pytest.approx(
+        np.percentile(xs[-10:], 50.0)
+    )
+
+
+def test_histogram_reset():
+    hist = Histogram(capacity=16)
+    hist.observe_many(np.arange(100.0))
+    hist.reset()
+    assert hist.count == 0
+    assert hist.percentile(50.0) is None
+    assert hist.mean == 0.0
+
+
+def test_histogram_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Histogram(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_registry_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("requests_total", lane="solve")
+    b = reg.counter("requests_total", lane="solve")
+    other = reg.counter("requests_total", lane="ridge")
+    assert a is b
+    assert a is not other
+    assert reg.get("requests_total", lane="solve") is a
+    assert reg.get("requests_total", lane="missing") is None
+    assert len(reg.series("requests_total")) == 2
+    assert reg.label_values("requests_total", "lane") == ["solve", "ridge"]
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("depth")
+    with pytest.raises(ValueError):
+        reg.gauge("depth")
+    with pytest.raises(ValueError):
+        reg.histogram("depth")
+
+
+def test_registry_total_and_families():
+    reg = MetricsRegistry()
+    reg.counter("shed_total", lane="solve").inc(3)
+    reg.counter("shed_total", lane="ridge").inc(2)
+    reg.gauge("active").set(4)
+    reg.histogram("latency").observe(1.0)
+    assert reg.total("shed_total") == pytest.approx(5.0)
+    assert reg.total("unknown") == 0.0
+    families = reg.families()
+    assert [name for name, _, _ in families] == sorted(reg.names())
+    kinds = {name: kind for name, kind, _ in families}
+    assert kinds == {"shed_total": "counter", "active": "gauge", "latency": "histogram"}
+
+
+def test_registry_reset_keeps_registrations():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", lane="solve")
+    h = reg.histogram("latency")
+    c.inc(9)
+    h.observe(2.0)
+    reg.reset()
+    assert reg.get("requests_total", lane="solve") is c  # series survives
+    assert c.value == 0.0
+    assert h.count == 0

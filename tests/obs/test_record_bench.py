@@ -1,0 +1,156 @@
+"""Unit tests for the perf-trajectory schema and recorder CLI."""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _valid_payload() -> dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "pr": 6,
+        "config": {"d": 2048, "n": 16, "seed": 0},
+        "throughput": {
+            "serving_requests_per_second": 3e5,
+            "concurrent_requests_per_second": 1.6e5,
+            "speedup_vs_naive": 16.0,
+            "concurrent_speedup_vs_sync": 1.1,
+        },
+        "lanes": {
+            lane: {"p50_seconds": 1e-4, "p95_seconds": 2e-4, "p99_seconds": 3e-4}
+            for lane in ("solve", "ridge", "stream")
+        },
+        "residuals": {
+            "worst_sync": 0.008,
+            "worst_concurrent": 0.008,
+            "concurrent_over_sync_ratio": 1.0,
+            "ridge_residual_ratio": 1.0,
+        },
+        "counters": {
+            "requests_shed": 9.0,
+            "queue_full_rejects": 8.0,
+            "deadline_violations": 0.0,
+            "fallback_batches": 0.0,
+            "drift_events": 1.0,
+        },
+        "streaming": {
+            "ingest_rows_per_second": 2e7,
+            "resolves": 6.0,
+            "final_residual": 0.025,
+        },
+    }
+
+
+def test_valid_payload_passes():
+    assert validate_bench(_valid_payload()) == []
+
+
+def test_not_an_object():
+    assert validate_bench([1, 2]) == ["payload must be a JSON object, got list"]
+
+
+def test_wrong_schema_version_and_pr_type():
+    payload = _valid_payload()
+    payload["schema_version"] = 99
+    payload["pr"] = True  # bools are not PR numbers
+    errors = validate_bench(payload)
+    assert any("schema_version" in e for e in errors)
+    assert any("pr must be an int" in e for e in errors)
+
+
+def test_missing_section_and_field():
+    payload = _valid_payload()
+    del payload["streaming"]
+    del payload["throughput"]["speedup_vs_naive"]
+    errors = validate_bench(payload)
+    assert "missing section 'streaming'" in errors
+    assert "throughput.speedup_vs_naive missing" in errors
+
+
+def test_non_finite_numbers_rejected():
+    payload = _valid_payload()
+    payload["residuals"]["worst_sync"] = math.nan
+    payload["counters"]["requests_shed"] = "9"
+    errors = validate_bench(payload)
+    assert any("residuals.worst_sync" in e for e in errors)
+    assert any("counters.requests_shed" in e for e in errors)
+
+
+def test_lanes_must_be_non_empty_and_non_negative():
+    payload = _valid_payload()
+    payload["lanes"] = {}
+    assert any("lanes" in e for e in validate_bench(payload))
+    payload = _valid_payload()
+    payload["lanes"]["solve"]["p95_seconds"] = -1.0
+    assert any("lanes.solve.p95_seconds" in e for e in validate_bench(payload))
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    payload = _valid_payload()
+    write_bench(payload, str(path))
+    assert load_bench(str(path)) == payload
+    assert path.read_text().endswith("\n")
+
+
+def test_write_rejects_invalid(tmp_path):
+    payload = _valid_payload()
+    payload["pr"] = "six"
+    with pytest.raises(ValueError, match="invalid bench payload"):
+        write_bench(payload, str(tmp_path / "bad.json"))
+
+
+# ---------------------------------------------------------------------------
+# CLI --validate path (the CI failure mode)
+# ---------------------------------------------------------------------------
+def _run_validate(path: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "record_bench.py"),
+         "--validate", str(path)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_cli_validate_accepts_valid_record(tmp_path):
+    path = tmp_path / "BENCH_6.json"
+    write_bench(_valid_payload(), str(path))
+    proc = _run_validate(path)
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_cli_validate_rejects_missing_and_invalid(tmp_path):
+    proc = _run_validate(tmp_path / "absent.json")
+    assert proc.returncode == 1
+    assert "does not exist" in proc.stderr
+
+    bad = tmp_path / "bad.json"
+    payload = _valid_payload()
+    del payload["counters"]
+    bad.write_text(json.dumps(payload))
+    proc = _run_validate(bad)
+    assert proc.returncode == 1
+    assert "missing section 'counters'" in proc.stderr
+
+
+def test_repo_ships_a_valid_bench_record():
+    """The committed BENCH_6.json must satisfy its own schema."""
+    path = REPO_ROOT / "BENCH_6.json"
+    assert path.exists(), "BENCH_6.json missing from the repository root"
+    assert validate_bench(load_bench(str(path))) == []

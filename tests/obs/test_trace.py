@@ -1,0 +1,128 @@
+"""Unit tests for the span/tracer layer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+def test_span_tree_nesting_and_completion():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 1.0, request_id=7, lane="solve")
+    queue = tracer.start_span("queue", root, 1.0)
+    queue.finish(2.0)
+    solve = tracer.start_span("solve", root, 2.0, solver="qr")
+    solve.finish(5.0)
+    tracer.end_trace(root, 5.5)
+    assert root.is_complete()
+    assert root.end == 5.5
+    assert [s.name for s in root.walk()] == ["request", "queue", "solve"]
+    assert root.find("solve") is solve
+    assert root.find_all("queue") == [queue]
+    assert solve.parent_id == root.span_id
+    assert solve.trace_id == root.trace_id
+
+
+def test_child_start_clamped_to_parent():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 10.0)
+    child = tracer.start_span("early", root, 3.0)  # before the parent started
+    assert child.start == 10.0
+
+
+def test_finish_extends_over_children_and_clamps():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 0.0)
+    child = tracer.start_span("long", root, 1.0)
+    child.finish(9.0)
+    tracer.end_trace(root, 4.0)  # earlier than the child's end
+    assert root.end == 9.0
+    assert root.is_complete()
+    # An end before the start clamps to a zero-duration span, never negative.
+    span = Span("s", "t", "s1", None, 5.0)
+    span.finish(2.0)
+    assert span.end == 5.0
+    assert span.duration == 0.0
+
+
+def test_event_is_zero_duration_and_finished():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 0.0)
+    ev = tracer.event("drift", root, 3.0, kind="residual_energy")
+    assert ev.start == ev.end == 3.0
+    assert ev.duration == 0.0
+    assert ev.attributes["kind"] == "residual_energy"
+
+
+def test_status_propagation():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 0.0)
+    tracer.event("shed", root, 1.0, status="shed", reason="deadline")
+    tracer.end_trace(root, 1.0, status="shed")
+    assert root.status == "shed"
+    assert root.find("shed").status == "shed"
+
+
+def test_completed_retention_is_bounded_but_counters_are_not():
+    tracer = Tracer(max_traces=4)
+    for i in range(10):
+        root = tracer.start_trace("request", float(i))
+        tracer.end_trace(root, float(i) + 0.5)
+    traces = tracer.traces()
+    assert len(traces) == 4  # oldest evicted
+    assert [t.start for t in traces] == [6.0, 7.0, 8.0, 9.0]
+    assert tracer.traces_started == 10
+    assert tracer.traces_completed == 10
+    assert tracer.active_count() == 0
+
+
+def test_find_trace_covers_active_and_completed():
+    tracer = Tracer()
+    active = tracer.start_trace("request", 0.0)
+    done = tracer.start_trace("request", 1.0)
+    tracer.end_trace(done, 2.0)
+    assert tracer.find_trace(active.trace_id) is active
+    assert tracer.find_trace(done.trace_id) is done
+    assert tracer.find_trace("t_missing") is None
+
+
+def test_disabled_tracer_is_inert():
+    tracer = Tracer(enabled=False)
+    root = tracer.start_trace("request", 0.0, lane="solve")
+    assert root is NULL_SPAN
+    child = tracer.start_span("solve", root, 1.0)
+    assert child is NULL_SPAN
+    child.set(solver="qr").finish(2.0, status="error")  # all swallowed
+    tracer.event("x", root, 1.0)
+    tracer.end_trace(root, 3.0)
+    assert tracer.traces() == []
+    assert tracer.traces_started == 0
+    assert not NULL_SPAN.is_complete()
+    assert NULL_SPAN.attributes == {}
+
+
+def test_clear_keeps_counters():
+    tracer = Tracer()
+    tracer.end_trace(tracer.start_trace("request", 0.0), 1.0)
+    tracer.clear()
+    assert tracer.traces() == []
+    assert tracer.traces_completed == 1
+
+
+def test_as_dict_round_trip():
+    tracer = Tracer()
+    root = tracer.start_trace("request", 0.0, lane="ridge")
+    tracer.start_span("solve", root, 0.5, solver="qr").finish(1.0)
+    tracer.end_trace(root, 1.5)
+    d = root.as_dict()
+    assert d["name"] == "request"
+    assert d["attributes"] == {"lane": "ridge"}
+    assert d["duration_seconds"] == pytest.approx(1.5)
+    assert d["children"][0]["name"] == "solve"
+    assert d["children"][0]["parent_id"] == root.span_id
+
+
+def test_tracer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Tracer(max_traces=0)

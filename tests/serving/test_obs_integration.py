@@ -1,0 +1,250 @@
+"""End-to-end observability: tracing threaded through the serving stack.
+
+The unit behaviour of spans, the registry and the exporters lives in
+``tests/obs``; these tests pin the integration invariants ISSUE 6 names:
+every admitted request yields exactly one *complete* span tree, shed
+requests get a terminal ``shed`` span, the sync server traces too, cache
+events land in the metrics registry, and the telemetry recorders stay
+lock-safe under concurrent reset.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import AsyncSketchServer, DeadlineExceededError
+from repro.serving.requests import AdmissionError
+from repro.serving.server import ServerConfig, SketchServer
+from repro.serving.telemetry import ServingTelemetry
+
+pytestmark = pytest.mark.serving
+
+
+def _mixed_load(runtime: AsyncSketchServer, rng: np.random.Generator):
+    """Drive solves + ridge + streaming; return (futures, admitted_count)."""
+    futures = []
+    for _ in range(8):
+        a = rng.standard_normal((256, 12))
+        b = rng.standard_normal(256)
+        futures.append(runtime.submit(a, b))
+    for _ in range(4):
+        a = rng.standard_normal((192, 10))
+        b = rng.standard_normal(192)
+        futures.append(runtime.submit_ridge(a, b, 0.1))
+    session = runtime.open_stream(10)
+    for _ in range(3):
+        rows = rng.standard_normal((64, 10))
+        targets = rng.standard_normal(64)
+        futures.append(runtime.append_rows(session, rows, targets))
+    futures.append(runtime.query_solution(session))
+    return futures, len(futures)
+
+
+def test_every_admitted_request_yields_one_complete_span_tree():
+    rng = np.random.default_rng(0)
+    runtime = AsyncSketchServer(shards=2, seed=0, workers=2, queue_depth=64)
+    try:
+        futures, admitted = _mixed_load(runtime, rng)
+        runtime.drain()
+        for f in futures:
+            assert f.exception() is None
+        tracer = runtime.tracer
+        assert tracer.traces_started == admitted
+        assert tracer.traces_completed == admitted
+        assert tracer.active_count() == 0
+        traces = tracer.traces()
+        assert len(traces) == admitted
+        trace_ids = set()
+        for root in traces:
+            assert root.name == "request"
+            assert root.is_complete(), f"incomplete tree for {root.trace_id}"
+            assert root.status == "ok"
+            assert root.attributes["lane"] in ("solve", "ridge", "stream")
+            assert root.find("admission") is not None
+            trace_ids.add(root.trace_id)
+            for span in root.walk():
+                assert span.trace_id == root.trace_id
+                assert span.end is not None
+                assert span.start <= span.end
+        assert len(trace_ids) == admitted  # exactly one tree per request
+    finally:
+        runtime.stop()
+
+
+def test_solve_trace_has_plan_batch_solver_and_respond_spans():
+    rng = np.random.default_rng(1)
+    runtime = AsyncSketchServer(shards=1, seed=0, workers=1, queue_depth=16)
+    try:
+        a = rng.standard_normal((256, 12))
+        b = rng.standard_normal(256)
+        fut = runtime.submit(a, b)
+        runtime.drain()
+        fut.result()
+        root = runtime.tracer.traces()[-1]
+        assert root.find("plan") is not None
+        assert root.find("placement") is not None
+        batch = root.find("batch")
+        assert batch is not None
+        assert batch.find("solve") is not None
+        assert any(s.name.startswith("solver:") for s in batch.children)
+        respond = root.find("respond")
+        assert respond is not None
+        assert root.end >= respond.end
+    finally:
+        runtime.stop()
+
+
+def test_deadline_shed_gets_terminal_shed_span():
+    rng = np.random.default_rng(2)
+    runtime = AsyncSketchServer(shards=1, seed=0, workers=1, queue_depth=16)
+    try:
+        a = rng.standard_normal((512, 16))
+        b = rng.standard_normal(512)
+        fut = runtime.submit(a, b, latency_budget=1e-12)
+        runtime.drain()
+        assert fut.shed
+        with pytest.raises(DeadlineExceededError):
+            fut.result()
+        root = runtime.tracer.traces()[-1]
+        assert root.status == "shed"
+        assert root.is_complete()
+        shed = root.find("shed")
+        assert shed is not None
+        assert shed.status == "shed"
+        assert shed.attributes["reason"] == "deadline"
+        assert shed.duration == 0.0  # terminal event, not an interval
+    finally:
+        runtime.stop()
+
+
+def test_shutdown_backlog_shed_ends_every_pending_trace():
+    rng = np.random.default_rng(3)
+    runtime = AsyncSketchServer(shards=1, seed=0, workers=1, queue_depth=32)
+    runtime.pause()
+    futures = []
+    for _ in range(4):
+        a = rng.standard_normal((128, 8))
+        b = rng.standard_normal(128)
+        futures.append(runtime.submit(a, b))
+    a = rng.standard_normal((128, 8))
+    futures.append(runtime.submit_ridge(a, rng.standard_normal(128), 0.5))
+    runtime.stop(drain=False)
+    for fut in futures:
+        assert isinstance(fut.exception(), AdmissionError)
+    tracer = runtime.tracer
+    assert tracer.traces_completed == len(futures)
+    for root in tracer.traces():
+        assert root.status == "shed"
+        assert root.find("shed").attributes["reason"] == "shutdown"
+        assert root.is_complete()
+
+
+def test_sync_server_traces_too():
+    rng = np.random.default_rng(4)
+    server = SketchServer(ServerConfig(shards=2, seed=0, max_batch=4))
+    for _ in range(6):
+        a = rng.standard_normal((256, 12))
+        b = rng.standard_normal(256)
+        server.submit(a, b)
+    server.flush()
+    assert server.tracer.traces_completed == 6
+    assert server.stats()["traces_completed"] == 6.0
+    for root in server.tracer.traces():
+        assert root.is_complete()
+        assert root.find("batch") is not None
+        assert root.find("respond") is not None
+
+
+def test_tracing_disabled_serves_identically_with_no_traces():
+    rng = np.random.default_rng(5)
+    a = rng.standard_normal((256, 12))
+    b = rng.standard_normal(256)
+    on = SketchServer(ServerConfig(shards=1, seed=0, tracing=True))
+    off = SketchServer(ServerConfig(shards=1, seed=0, tracing=False))
+    r_on = on.solve(a, b)
+    r_off = off.solve(a, b)
+    np.testing.assert_allclose(r_off.x, r_on.x)
+    assert off.tracer.traces() == []
+    assert off.tracer.traces_started == 0
+    assert on.tracer.traces_completed == 1
+
+
+def test_cache_events_land_in_metrics_registry():
+    rng = np.random.default_rng(6)
+    server = SketchServer(ServerConfig(shards=1, seed=0))
+    a = rng.standard_normal((256, 12))
+    server.solve(a, rng.standard_normal(256))
+    server.solve(a, rng.standard_normal(256))  # same operator: cache hit
+    events = {
+        tuple(c.labels.items())[0][1]: c.value
+        for c in server.metrics.series("serving_cache_events_total")
+    }
+    assert events.get("store", 0) >= 1
+    assert events.get("miss", 0) >= 1
+    assert events.get("hit", 0) >= 1
+
+
+def test_snapshot_contract_keys_survive_registry_refactor():
+    rng = np.random.default_rng(7)
+    runtime = AsyncSketchServer(shards=2, seed=0, workers=2, queue_depth=64)
+    try:
+        futures, _ = _mixed_load(runtime, rng)
+        runtime.drain()
+        for f in futures:
+            f.exception()
+        snap = runtime.telemetry.snapshot()
+    finally:
+        runtime.stop()
+    for key in (
+        "requests_served",
+        "batches_executed",
+        "mean_batch_size",
+        "requests_admitted",
+        "lane_solve_p95_seconds",
+        "lane_ridge_p95_seconds",
+        "lane_stream_p95_seconds",
+        "stream_rows_ingested",
+        "stream_resolves",
+    ):
+        assert key in snap, f"snapshot() lost contract key {key!r}"
+    assert snap["requests_served"] >= 12.0
+
+
+def test_stream_recorders_and_reset_are_lock_safe():
+    """Satellite regression: concurrent stream recording vs reset never races."""
+    telemetry = ServingTelemetry()
+    stop = threading.Event()
+    errors: list = []
+
+    def hammer():
+        try:
+            while not stop.is_set():
+                telemetry.record_stream_ingest(64, 1e-4)
+                telemetry.record_stream_resolve(1, 2e-4)
+                telemetry.record_stream_drift()
+                telemetry.record_stream_query(32)
+        except Exception as exc:  # pragma: no cover - the failure being tested
+            errors.append(exc)
+
+    def resetter():
+        try:
+            for _ in range(200):
+                telemetry.reset()
+        except Exception as exc:  # pragma: no cover - the failure being tested
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(3)]
+    threads.append(threading.Thread(target=resetter))
+    for t in threads:
+        t.start()
+    threads[-1].join()
+    stop.set()
+    for t in threads[:-1]:
+        t.join()
+    assert errors == []
+    # The counters still work after the storm.
+    telemetry.record_stream_ingest(10, 1e-5)
+    assert telemetry.stream_rows >= 10
