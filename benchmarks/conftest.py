@@ -41,6 +41,11 @@ _OBS_PREFIXES = (
     "test_obs", "test_metrics", "test_trace", "test_exporters", "test_record_bench",
 )
 
+#: Module-name prefixes that carry the ``slo`` marker automatically
+#: (closed-loop observability: calibration, SLO burn rates, bench
+#: comparison -- kept in sync with tests/conftest.py).
+_SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -67,6 +72,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.runtime)
         if path.name.startswith(_OBS_PREFIXES):
             item.add_marker(pytest.mark.obs)
+        if path.name.startswith(_SLO_PREFIXES):
+            item.add_marker(pytest.mark.slo)
 
 
 def accuracy_scale() -> str:

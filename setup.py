@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-countsketch",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Reproduction of 'A High Performance GPU CountSketch Implementation "
         "and Its Application to Multisketching and Least Squares Problems' "

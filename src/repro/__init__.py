@@ -103,13 +103,17 @@ from repro.linalg import (
     solve,
 )
 from repro.obs import (
+    CalibratedEstimator,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     P2Quantile,
+    SLOConfig,
+    SLOEngine,
     Span,
     Tracer,
+    default_serving_slos,
     to_json,
     to_prometheus,
 )
@@ -149,7 +153,7 @@ from repro.streaming import (
     StreamingSolver,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CountSketch",
@@ -179,13 +183,17 @@ __all__ = [
     "sketch_and_solve",
     "sketch_precond_lsqr",
     "solve",
+    "CalibratedEstimator",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "P2Quantile",
+    "SLOConfig",
+    "SLOEngine",
     "Span",
     "Tracer",
+    "default_serving_slos",
     "to_json",
     "to_prometheus",
     "FrequentDirections",

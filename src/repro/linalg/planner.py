@@ -182,6 +182,7 @@ def plan(
     policy: str = "cheapest_accurate",
     solver: Optional[str] = None,
     device: DeviceSpec = H100_SXM5,
+    cost_source=None,
     **spec_overrides,
 ) -> SolvePlan:
     """Build a :class:`SolvePlan` for one problem.
@@ -201,8 +202,24 @@ def plan(
         seeds the ranking (the planner may still fall back from it).
     device:
         Roofline used to convert flop estimates into seconds.
+    cost_source:
+        Optional ``(name, spec, device, analytic_seconds) -> seconds``
+        hook that replaces the analytic candidate cost in the ranking --
+        the closed-loop path hands in
+        :meth:`repro.obs.calibrate.CalibratedEstimator.as_cost_source` so
+        adaptive/cheapest-accurate policies rank by *measured* reality.
+        Admissibility (accuracy floors) is never delegated: the hook only
+        reshapes costs, so a miscalibrated factor can reorder the chain
+        but cannot route to a solver that misses the accuracy target.
     """
     policy = normalize_policy(policy)
+
+    def _cost(name: str, spec_) -> float:
+        analytic = get_solver(name).estimate_seconds(spec_, device)
+        if cost_source is None:
+            return analytic
+        return float(cost_source(name, spec_, device, analytic))
+
     if spec is None:
         if a is None:
             raise ValueError("plan() needs a matrix or an explicit SolveSpec")
@@ -229,7 +246,7 @@ def plan(
             embedding_dim=spec.embedding_dim,
             cond_estimate=spec.cond_estimate if spec.cond_estimate is not None else float("nan"),
             policy=policy,
-            costs={name: get_solver(name).estimate_seconds(spec, device)},
+            costs={name: _cost(name, spec)},
             reason=f"fixed routing to {name}",
         )
 
@@ -249,7 +266,7 @@ def plan(
             continue  # a solver for a different question is never a candidate
         candidates[name] = {
             "caps": caps,
-            "cost": registered.estimate_seconds(spec, device),
+            "cost": _cost(name, spec),
             "admissible": caps.admissible(spec, cond),
         }
     admissible = [n for n, c in candidates.items() if c["admissible"]]

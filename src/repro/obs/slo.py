@@ -1,0 +1,366 @@
+"""Declarative SLOs with rolling compliance and multi-window burn-rate alerts.
+
+The serving stack already emits everything an SLO needs -- request/failure
+counters, per-lane latency histograms, shed counters, streaming staleness --
+into the bounded :class:`~repro.obs.metrics.MetricsRegistry`.  This module
+adds the judgement layer on top:
+
+* :class:`SLOConfig` declares one objective ("99.5% of requests succeed",
+  "95% of interactive-lane requests finish under 2 ms of simulated time")
+  together with the windows and burn threshold used to alert on it.
+* :class:`SLOEngine` is *polled*: each :meth:`SLOEngine.evaluate` call reads
+  the registry, computes the bad-event fraction of every SLO over a fast and
+  a slow rolling window, converts them to **burn rates** (bad fraction
+  divided by the error budget ``1 - objective``), and applies the classic
+  Google-SRE multi-window rule -- an alert fires only when *both* windows
+  burn above the threshold (the fast window gives reaction speed, the slow
+  window keeps one bad blip from paging), and it clears as soon as the fast
+  window recovers.
+
+Counter-backed SLOs (availability, shed-rate) are windowed over *evaluation
+intervals*: the engine snapshots the cumulative counters at every call and
+keeps a bounded ring of per-interval deltas, so the windows are "last N
+evaluations" regardless of absolute counter magnitude.  Histogram-backed
+SLOs (latency, staleness) are windowed over the most recent samples of the
+backing ring buffer.  Everything the engine decides is also exported back
+into the registry as ``slo_*`` gauges, and every state transition is
+returned (and retained) as a structured alert event dict.
+
+All quantities are simulated-clock; the engine never reads a wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SLOConfig", "SLOEngine", "SLOStatus", "default_serving_slos"]
+
+#: Supported objective kinds and the registry series each one reads.
+SLO_KINDS = ("availability", "latency", "shed_rate", "staleness")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """One service-level objective plus its alerting policy.
+
+    Parameters
+    ----------
+    name:
+        Unique handle, used in alert events and ``slo_*`` gauge labels.
+    kind:
+        One of :data:`SLO_KINDS`:
+
+        * ``availability`` -- good = completed request, bad = failed request
+          (``serving_failed_requests_total`` over ``serving_requests_total``).
+        * ``latency`` -- good = sample of ``runtime_lane_latency_seconds``
+          for ``lane`` at or under ``threshold`` simulated seconds.
+        * ``shed_rate`` -- good = admitted request, bad = shed request
+          (``runtime_requests_shed_total`` over admitted + shed).
+        * ``staleness`` -- good = ``stream_staleness_rows`` sample at or
+          under ``threshold`` rows.
+    objective:
+        Target good fraction in ``(0, 1)``; the error budget is
+        ``1 - objective``.
+    threshold:
+        Sample cutoff for ``latency`` (seconds) / ``staleness`` (rows);
+        ignored by the counter-backed kinds.
+    lane:
+        Lane label for ``latency`` SLOs.
+    fast_window / slow_window:
+        Rolling window sizes -- evaluation intervals for counter-backed
+        kinds, histogram samples for sample-backed kinds.  The slow window
+        must be at least as long as the fast one.
+    burn_threshold:
+        Burn rate (multiple of the error budget) both windows must exceed
+        for the alert to fire; 1.0 means "burning budget exactly at the
+        sustainable rate".
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold: float = 0.0
+    lane: Optional[str] = None
+    fast_window: int = 4
+    slow_window: int = 16
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"kind must be one of {SLO_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == "latency" and self.lane is None:
+            raise ValueError("latency SLOs need a lane")
+        if self.kind in ("latency", "staleness") and self.threshold <= 0.0:
+            raise ValueError(f"{self.kind} SLOs need a positive threshold")
+        if self.fast_window < 1 or self.slow_window < self.fast_window:
+            raise ValueError("need 1 <= fast_window <= slow_window")
+        if self.burn_threshold <= 0.0:
+            raise ValueError("burn_threshold must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass
+class SLOStatus:
+    """Point-in-time evaluation of one SLO (one row of a report)."""
+
+    name: str
+    kind: str
+    objective: float
+    compliance: float
+    fast_burn: float
+    slow_burn: float
+    alerting: bool
+    samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "compliance": self.compliance,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "alerting": self.alerting,
+            "samples": self.samples,
+        }
+
+
+def default_serving_slos(
+    *,
+    latency_budget_seconds: float = 2e-3,
+    staleness_rows: float = 2048.0,
+    lanes: Tuple[str, ...] = ("solve", "ridge"),
+) -> List[SLOConfig]:
+    """The stock SLO set the demo/health CLI paths install."""
+    slos = [
+        SLOConfig(name="availability", kind="availability", objective=0.995),
+        SLOConfig(name="shed_rate", kind="shed_rate", objective=0.99),
+        SLOConfig(
+            name="stream_staleness",
+            kind="staleness",
+            objective=0.95,
+            threshold=staleness_rows,
+        ),
+    ]
+    for lane in lanes:
+        slos.append(
+            SLOConfig(
+                name=f"latency_p95_{lane}",
+                kind="latency",
+                objective=0.95,
+                threshold=latency_budget_seconds,
+                lane=lane,
+            )
+        )
+    return slos
+
+
+class _CounterWindow:
+    """Bounded ring of per-evaluation-interval (bad, total) deltas."""
+
+    def __init__(self, capacity: int) -> None:
+        self.deltas: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        self._last_bad = 0.0
+        self._last_total = 0.0
+        self._primed = False
+
+    def push_cumulative(self, bad: float, total: float) -> None:
+        if self._primed:
+            # Counters are monotone except across registry.reset(); clamp so
+            # a reset shows up as an empty interval, not a negative one.
+            self.deltas.append(
+                (max(0.0, bad - self._last_bad), max(0.0, total - self._last_total))
+            )
+        self._primed = True
+        self._last_bad = bad
+        self._last_total = total
+
+    def bad_fraction(self, window: int) -> Tuple[float, int]:
+        recent = list(self.deltas)[-window:]
+        bad = sum(b for b, _ in recent)
+        total = sum(t for _, t in recent)
+        if total <= 0.0:
+            return 0.0, 0
+        return bad / total, int(total)
+
+
+class SLOEngine:
+    """Rolling SLO compliance + multi-window burn-rate alerting.
+
+    Poll :meth:`evaluate` at whatever cadence suits the caller (the serving
+    demo evaluates once per drained phase; a real deployment would tick on
+    a timer).  Each call returns the alert events that *transitioned* on
+    that call -- ``{"slo", "state": "firing"|"resolved", "at", "fast_burn",
+    "slow_burn", "compliance"}`` -- and the full event history is retained
+    in :attr:`alerts` (bounded).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        slos: List[SLOConfig],
+        *,
+        history: int = 256,
+    ) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError("SLO names must be unique")
+        self.registry = registry
+        self.slos = list(slos)
+        self.alerts: Deque[Dict[str, object]] = deque(maxlen=history)
+        self._lock = threading.Lock()
+        self._active: Dict[str, bool] = {s.name: False for s in self.slos}
+        self._windows: Dict[str, _CounterWindow] = {
+            s.name: _CounterWindow(max(s.slow_window, 1))
+            for s in self.slos
+            if s.kind in ("availability", "shed_rate")
+        }
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # signal extraction
+    # ------------------------------------------------------------------
+    def _counter_value(self, name: str, **labels: str) -> float:
+        metric = self.registry.get(name, **labels)
+        return float(metric.value) if metric is not None else 0.0
+
+    def _sample_bad_fraction(
+        self, slo: SLOConfig, window: int
+    ) -> Tuple[float, int]:
+        if slo.kind == "latency":
+            hist = self.registry.get("runtime_lane_latency_seconds", lane=str(slo.lane))
+        else:
+            hist = self.registry.get("stream_staleness_rows")
+        if hist is None or hist.count == 0:
+            return 0.0, 0
+        tail = hist.values()[-window:]
+        if len(tail) == 0:
+            return 0.0, 0
+        bad = float((tail > slo.threshold).sum())
+        return bad / len(tail), int(len(tail))
+
+    def _bad_fractions(self, slo: SLOConfig) -> Tuple[float, float, int]:
+        """(fast bad fraction, slow bad fraction, slow-window sample count)."""
+        if slo.kind in ("availability", "shed_rate"):
+            window = self._windows[slo.name]
+            if slo.kind == "availability":
+                bad = self._counter_value("serving_failed_requests_total")
+                total = self._counter_value("serving_requests_total")
+            else:
+                bad = self._counter_value("runtime_requests_shed_total")
+                total = bad + self._counter_value("runtime_requests_admitted_total")
+            window.push_cumulative(bad, total)
+            fast, _ = window.bad_fraction(slo.fast_window)
+            slow, samples = window.bad_fraction(slo.slow_window)
+            return fast, slow, samples
+        fast, _ = self._sample_bad_fraction(slo, slo.fast_window)
+        slow, samples = self._sample_bad_fraction(slo, slo.slow_window)
+        return fast, slow, samples
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, at: Optional[float] = None) -> List[Dict[str, object]]:
+        """Advance every SLO one evaluation interval; return new transitions.
+
+        ``at`` is an optional simulated timestamp stamped onto alert
+        events (defaults to the evaluation ordinal so events are still
+        ordered when the caller has no clock to offer).
+        """
+        events: List[Dict[str, object]] = []
+        with self._lock:
+            self._evaluations += 1
+            when = float(at) if at is not None else float(self._evaluations)
+            for slo in self.slos:
+                fast_frac, slow_frac, samples = self._bad_fractions(slo)
+                budget = slo.error_budget
+                fast_burn = fast_frac / budget
+                slow_burn = slow_frac / budget
+                compliance = 1.0 - slow_frac
+                was_active = self._active[slo.name]
+                if not was_active:
+                    # SRE multi-window rule: both windows must burn hot.
+                    active = (
+                        fast_burn > slo.burn_threshold and slow_burn > slo.burn_threshold
+                    )
+                else:
+                    # Clear as soon as the fast window recovers.
+                    active = fast_burn > slo.burn_threshold
+                labels = {"slo": slo.name}
+                self.registry.gauge("slo_burn_rate_fast", **labels).set(fast_burn)
+                self.registry.gauge("slo_burn_rate_slow", **labels).set(slow_burn)
+                self.registry.gauge("slo_compliance", **labels).set(compliance)
+                self.registry.gauge("slo_alert_active", **labels).set(1.0 if active else 0.0)
+                if active != was_active:
+                    event = {
+                        "slo": slo.name,
+                        "kind": slo.kind,
+                        "state": "firing" if active else "resolved",
+                        "at": when,
+                        "fast_burn": fast_burn,
+                        "slow_burn": slow_burn,
+                        "compliance": compliance,
+                    }
+                    events.append(event)
+                    self.alerts.append(event)
+                    self.registry.counter(
+                        "slo_alert_transitions_total",
+                        slo=slo.name,
+                        state=str(event["state"]),
+                    ).inc()
+                self._active[slo.name] = active
+        return events
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def status(self) -> List[SLOStatus]:
+        """Current per-SLO standing from the exported gauges (no advance)."""
+        out: List[SLOStatus] = []
+        with self._lock:
+            for slo in self.slos:
+                labels = {"slo": slo.name}
+                fast = self.registry.gauge("slo_burn_rate_fast", **labels).value
+                slow = self.registry.gauge("slo_burn_rate_slow", **labels).value
+                compliance = self.registry.gauge("slo_compliance", **labels).value
+                if slo.kind in ("availability", "shed_rate"):
+                    _, samples = self._windows[slo.name].bad_fraction(slo.slow_window)
+                else:
+                    _, samples = self._sample_bad_fraction(slo, slo.slow_window)
+                out.append(
+                    SLOStatus(
+                        name=slo.name,
+                        kind=slo.kind,
+                        objective=slo.objective,
+                        compliance=compliance,
+                        fast_burn=fast,
+                        slow_burn=slow,
+                        alerting=self._active[slo.name],
+                        samples=samples,
+                    )
+                )
+        return out
+
+    def firing(self) -> List[str]:
+        """Names of SLOs currently in the alerting state."""
+        with self._lock:
+            return [name for name, active in self._active.items() if active]
+
+    def report(self) -> Dict[str, object]:
+        """Structured report for ``repro-serve --slo-report``."""
+        return {
+            "slos": [s.as_dict() for s in self.status()],
+            "firing": self.firing(),
+            "alert_events": list(self.alerts),
+            "evaluations": self._evaluations,
+        }

@@ -173,19 +173,36 @@ class Tracer:
         only drops the tree, not the counters: ``traces_started`` /
         ``traces_completed`` keep counting, so span-tree completeness is
         checkable even past the bound.
+    sample_every:
+        Head sampling: retain every Nth root trace (the first of each run
+        of N), so tracing stays affordable at high QPS.  Sampling only
+        affects *retention* in the completed deque -- every trace is still
+        built, counted in ``traces_started``/``traces_completed``, and
+        closed normally -- and traces ending in ``shed`` or ``error``
+        status are ALWAYS retained regardless of the sampling decision
+        (the interesting traces are exactly the ones something dropped).
+        ``traces_retained`` counts what actually landed in the deque.
     """
 
-    def __init__(self, enabled: bool = True, max_traces: int = 512) -> None:
+    def __init__(
+        self, enabled: bool = True, max_traces: int = 512, sample_every: int = 1
+    ) -> None:
         if max_traces <= 0:
             raise ValueError("max_traces must be positive")
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive (1 keeps everything)")
         self.enabled = bool(enabled)
         self.max_traces = int(max_traces)
+        self.sample_every = int(sample_every)
         self._lock = threading.Lock()
         self._seq = 0
+        self._roots_seen = 0
+        self._sampled_out: set = set()
         self._active: Dict[str, Span] = {}
         self._completed: Deque[Span] = deque(maxlen=self.max_traces)
         self.traces_started = 0
         self.traces_completed = 0
+        self.traces_retained = 0
 
     # ------------------------------------------------------------------
     def _next_id(self, prefix: str) -> str:
@@ -202,6 +219,13 @@ class Tracer:
         with self._lock:
             self._active[trace_id] = root
             self.traces_started += 1
+            # Head-sampling decision, made at the root: keep the first of
+            # every run of ``sample_every`` roots.  Recorded in a private
+            # set (Span has __slots__ and the attribute bag belongs to the
+            # instrumentation) and reconsidered at end_trace for shed/error.
+            self._roots_seen += 1
+            if (self._roots_seen - 1) % self.sample_every != 0:
+                self._sampled_out.add(trace_id)
         return root
 
     def start_span(self, name: str, parent: Span, start: float, **attributes: object) -> Span:
@@ -222,14 +246,24 @@ class Tracer:
         return span
 
     def end_trace(self, root: Span, end: float, status: str = "ok", **attributes: object) -> Span:
-        """Close the root and move the trace to the completed deque."""
+        """Close the root and move the trace to the completed deque.
+
+        ``traces_completed`` counts every trace that ends -- sampled out or
+        not -- so the started == completed invariant is independent of the
+        sampling rate; only *retention* in the deque is subject to it, and
+        shed/error traces override the sampling decision.
+        """
         if not self.enabled or root is NULL_SPAN:
             return root
         root.finish(end, status=status, **attributes)
         with self._lock:
             if self._active.pop(root.trace_id, None) is not None:
-                self._completed.append(root)
                 self.traces_completed += 1
+                sampled_out = root.trace_id in self._sampled_out
+                self._sampled_out.discard(root.trace_id)
+                if not sampled_out or root.status != "ok":
+                    self._completed.append(root)
+                    self.traces_retained += 1
         return root
 
     # ------------------------------------------------------------------
@@ -258,3 +292,4 @@ class Tracer:
         with self._lock:
             self._active.clear()
             self._completed.clear()
+            self._sampled_out.clear()

@@ -249,6 +249,10 @@ class AsyncSketchServer:
         self._in_flight = 0
         self._seq = 0
         self._completed_since_scale = 0
+        # EWMA of recent per-dispatch service estimates (calibrated when the
+        # server's calibration mode is "active"): the service-time term of
+        # the proactive elastic policy's predicted queue-drain time.
+        self._service_ewma: Optional[float] = None
 
         # Lanes: fused solve requests live in a MicroBatcher (so the
         # runtime keeps the multi-RHS amortisation); ridge and streaming
@@ -286,6 +290,16 @@ class AsyncSketchServer:
     def tracer(self):
         """The wrapped server's tracer (request span trees land here)."""
         return self.server.tracer
+
+    @property
+    def metrics(self):
+        """The wrapped server's metrics registry (the scrape surface)."""
+        return self.server.metrics
+
+    @property
+    def calibration(self):
+        """The wrapped server's cost-calibration estimator (None when off)."""
+        return self.server.calibration
 
     @property
     def scheduler(self):
@@ -718,6 +732,7 @@ class AsyncSketchServer:
                         return
                 placed = self.server._plan_and_place(batch, planned)
                 reservation = placed.estimated_service_seconds
+                self._note_service_estimate_locked(reservation)
                 self.scheduler.reserve(placed.shard, reservation)
             try:
                 with self._shard_locks[placed.shard]:
@@ -804,6 +819,7 @@ class AsyncSketchServer:
                         return
                 placed = self.server._place_ridge(plan_, spec, kind)
                 reservation = placed.estimated_service_seconds
+                self._note_service_estimate_locked(reservation)
                 self.scheduler.reserve(placed.shard, reservation)
             try:
                 with self._shard_locks[placed.shard]:
@@ -864,6 +880,21 @@ class AsyncSketchServer:
     # ------------------------------------------------------------------
     # elastic scaling
     # ------------------------------------------------------------------
+    def _note_service_estimate_locked(self, seconds: float) -> None:
+        """Fold one dispatch's service estimate into the drain-prediction EWMA."""
+        if seconds <= 0.0:
+            return
+        if self._service_ewma is None:
+            self._service_ewma = float(seconds)
+        else:
+            self._service_ewma = 0.7 * self._service_ewma + 0.3 * float(seconds)
+
+    def _predicted_drain_locked(self, depth: int) -> Optional[float]:
+        """Projected seconds to clear the backlog at current capacity."""
+        if self._service_ewma is None or depth <= 0:
+            return None
+        return depth * self._service_ewma / max(self.active_shards, 1)
+
     def _maybe_scale_locked(self) -> None:
         elastic = self.runtime_config.elastic
         if elastic is None:
@@ -873,7 +904,14 @@ class AsyncSketchServer:
             return
         depth = self._queue_depth_locked()
         p95 = self.telemetry.recent_p95()
-        target, reason = elastic.decide(self.active_shards, depth, p95)
+        drain_prediction = (
+            self._predicted_drain_locked(depth) if elastic.proactive else None
+        )
+        if drain_prediction is not None:
+            self.server.metrics.gauge("runtime_predicted_drain_seconds").set(drain_prediction)
+        target, reason = elastic.decide(
+            self.active_shards, depth, p95, predicted_drain_seconds=drain_prediction
+        )
         if target != self.active_shards:
             self.scheduler.set_active(
                 target,

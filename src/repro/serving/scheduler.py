@@ -82,6 +82,18 @@ class ElasticShardPolicy:
     cooldown_batches:
         Minimum completed dispatches between two evaluations, so one burst
         cannot thrash the active set up and down.
+    proactive:
+        When True the policy also reacts to *predicted* queue drain time
+        (calibrated service estimate x depth / active shards, supplied by
+        the runtime): scale up when the backlog is projected to take more
+        than ``drain_budget`` seconds to clear even though the per-shard
+        depth has not breached ``queue_high`` yet.  This is the
+        closed-loop mode -- it acts on where the queue is *going* rather
+        than where it already is, and it degrades to the reactive policy
+        whenever no prediction is available.
+    drain_budget:
+        Projected drain seconds that trigger a proactive scale-up
+        (required when ``proactive`` is set).
     """
 
     min_shards: int = 1
@@ -90,6 +102,8 @@ class ElasticShardPolicy:
     queue_low: float = 1.0
     p95_budget: Optional[float] = None
     cooldown_batches: int = 4
+    proactive: bool = False
+    drain_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_shards <= 0:
@@ -98,9 +112,15 @@ class ElasticShardPolicy:
             raise ValueError("max_shards must be >= min_shards")
         if self.queue_low > self.queue_high:
             raise ValueError("queue_low must not exceed queue_high")
+        if self.proactive and (self.drain_budget is None or self.drain_budget <= 0.0):
+            raise ValueError("proactive mode needs a positive drain_budget")
 
     def decide(
-        self, active: int, queue_depth: int, p95_seconds: Optional[float] = None
+        self,
+        active: int,
+        queue_depth: int,
+        p95_seconds: Optional[float] = None,
+        predicted_drain_seconds: Optional[float] = None,
     ) -> Tuple[int, str]:
         """Return ``(new_active, reason)``; ``new_active == active`` means hold."""
         per_shard = queue_depth / max(active, 1)
@@ -109,20 +129,31 @@ class ElasticShardPolicy:
             and p95_seconds is not None
             and p95_seconds > self.p95_budget
         )
-        if active < self.max_shards and (per_shard > self.queue_high or latency_breach):
+        drain_breach = (
+            self.proactive
+            and predicted_drain_seconds is not None
+            and self.drain_budget is not None
+            and predicted_drain_seconds > self.drain_budget
+        )
+        if active < self.max_shards and (per_shard > self.queue_high or latency_breach or drain_breach):
             target = min(self.max_shards, max(active * 2, active + 1))
-            why = (
-                f"p95 {p95_seconds:.3e}s over budget {self.p95_budget:.3e}s"
-                if latency_breach and per_shard <= self.queue_high
-                else f"queue depth {queue_depth} over {self.queue_high:g}/shard"
-            )
+            if per_shard > self.queue_high:
+                why = f"queue depth {queue_depth} over {self.queue_high:g}/shard"
+            elif latency_breach:
+                why = f"p95 {p95_seconds:.3e}s over budget {self.p95_budget:.3e}s"
+            else:
+                why = (
+                    f"predicted drain {predicted_drain_seconds:.3e}s over "
+                    f"budget {self.drain_budget:.3e}s"
+                )
             return target, why
         latency_ok = (
             self.p95_budget is None
             or p95_seconds is None
             or p95_seconds <= self.p95_budget
         )
-        if active > self.min_shards and per_shard < self.queue_low and latency_ok:
+        drain_ok = not drain_breach
+        if active > self.min_shards and per_shard < self.queue_low and latency_ok and drain_ok:
             return active - 1, f"queue depth {queue_depth} under {self.queue_low:g}/shard"
         return active, "hold"
 

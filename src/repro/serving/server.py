@@ -62,6 +62,7 @@ from repro.serving.requests import (
     normalize_kind,
     normalize_solver,
 )
+from repro.obs.calibrate import CalibratedEstimator
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.serving.scheduler import ShardScheduler
 from repro.serving.streaming import (
@@ -133,6 +134,20 @@ class ServerConfig:
         simulated clock; turn it off to shave the host-side bookkeeping.
     trace_capacity:
         Completed traces retained (oldest evicted first).
+    trace_sample:
+        Head sampling for trace *retention*: keep one in every
+        ``trace_sample`` root traces (shed/error traces are always kept,
+        and the started/completed counters still count everything).  1
+        (default) retains every trace.
+    calibration:
+        Closed-loop cost calibration mode: ``"off"`` (pure analytic
+        costs, no estimator), ``"observe"`` (default: a
+        :class:`~repro.obs.calibrate.CalibratedEstimator` learns
+        measured/analytic correction factors and scores itself in the
+        registry, but planning and shedding still use analytic costs --
+        the shadow deployment), or ``"active"`` (planner ranking,
+        deadline-shedding projections and reservation estimates all use
+        calibrated costs).
     """
 
     kind: str = "multisketch"
@@ -152,6 +167,8 @@ class ServerConfig:
     comm: Optional[CommCostModel] = None
     tracing: bool = True
     trace_capacity: int = 512
+    trace_sample: int = 1
+    calibration: str = "observe"
 
     def __post_init__(self) -> None:
         self.kind = normalize_kind(self.kind)
@@ -167,6 +184,10 @@ class ServerConfig:
             raise ValueError("accuracy_target must be positive")
         if self.trace_capacity <= 0:
             raise ValueError("trace_capacity must be positive")
+        if self.trace_sample <= 0:
+            raise ValueError("trace_sample must be positive (1 keeps every trace)")
+        if self.calibration not in ("off", "observe", "active"):
+            raise ValueError("calibration must be 'off', 'observe', or 'active'")
 
 
 @dataclass
@@ -217,7 +238,19 @@ class SketchServer:
         #: for :func:`repro.obs.export.to_prometheus` / ``to_json``.
         self.metrics = self.telemetry.registry
         #: Per-request span trees on the simulated clock (see repro.obs.trace).
-        self.tracer = Tracer(enabled=config.tracing, max_traces=config.trace_capacity)
+        self.tracer = Tracer(
+            enabled=config.tracing,
+            max_traces=config.trace_capacity,
+            sample_every=config.trace_sample,
+        )
+        #: Online measured/analytic cost calibration (None when "off").
+        #: In "observe" mode it learns and scores itself; in "active" mode
+        #: its predictions also drive planning, shedding and reservations.
+        self.calibration: Optional[CalibratedEstimator] = (
+            CalibratedEstimator(self.metrics, device=config.device)
+            if config.calibration != "off"
+            else None
+        )
         self.cache.listener = self._on_cache_event
         self.scheduler.on_scale = self.telemetry.set_active_shards
         self.telemetry.set_active_shards(self.scheduler.active_shards)
@@ -236,6 +269,31 @@ class SketchServer:
     def _on_cache_event(self, event: str, key: Tuple) -> None:
         """Operator-cache listener: land hit/miss/store/evict in the registry."""
         self.metrics.counter("serving_cache_events_total", event=event).inc()
+
+    def _cost_source(self):
+        """Planner cost hook: calibrated costs only in ``"active"`` mode."""
+        if self.calibration is not None and self.config.calibration == "active":
+            return self.calibration.as_cost_source()
+        return None
+
+    def _feed_calibration(self, span_log: Optional[List[Dict[str, object]]], spec: SolveSpec) -> None:
+        """Fold a batch's successful per-solver attempts into the estimator.
+
+        Failed hops measure a truncated run (the solver broke down partway)
+        and would drag factors toward optimism, so only clean attempts
+        count.
+        """
+        if self.calibration is None or not span_log:
+            return
+        for hop in span_log:
+            if hop["failed"]:
+                continue
+            self.calibration.observe(
+                str(hop["solver"]),
+                spec,
+                float(hop["end"]) - float(hop["start"]),
+                device=self.config.device,
+            )
 
     def _finish_request_trace(
         self,
@@ -290,10 +348,17 @@ class SketchServer:
             "batch", root, exec_start,
             batch_id=batch_id, batch_size=batch_size, shard=placed.shard,
         )
+        spec = placed.spec
         for hop in span_log or ():
+            # Shape/problem attributes make solver spans self-describing:
+            # CalibratedEstimator.ingest() rebuilds the spec (and hence the
+            # calibration bucket) from the span alone.
             attempt = tracer.start_span(
                 f"solver:{hop['solver']}", batch_span, float(hop["start"]),
                 solver=hop["solver"], fallback_hop=hop["hop"],
+                d=spec.d, n=spec.n, nrhs=spec.nrhs,
+                problem=spec.problem, kind=spec.kind,
+                regularization=spec.regularization,
             )
             if hop["reason"]:
                 attempt.set(reason=hop["reason"])
@@ -513,13 +578,33 @@ class SketchServer:
             oversampling=self.config.oversampling,
             seed=self.config.seed,
         )
+        cost_source = self._cost_source()
         if self.config.policy == "fixed":
-            return plan(None, spec, policy="fixed", solver=batch.solver, device=self.config.device), spec
+            return (
+                plan(
+                    None,
+                    spec,
+                    policy="fixed",
+                    solver=batch.solver,
+                    device=self.config.device,
+                    cost_source=cost_source,
+                ),
+                spec,
+            )
         # An analytic server has no numeric state to probe (cond is None):
         # pass no matrix so the planner ranks optimistically on cost alone
         # instead of re-probing per batch outside the memoised cache.
         matrix = batch.a if cond is not None else None
-        return plan(matrix, spec, policy=self.config.policy, device=self.config.device), spec
+        return (
+            plan(
+                matrix,
+                spec,
+                policy=self.config.policy,
+                device=self.config.device,
+                cost_source=cost_source,
+            ),
+            spec,
+        )
 
     def _shard_operator(
         self, solver_name: str, kind: str, a: np.ndarray, shard: int, k: int
@@ -605,7 +690,9 @@ class SketchServer:
         tracing = self.tracer.enabled
         batch_id = self._batch_seq
         self._batch_seq += 1
-        span_log: Optional[List[Dict[str, object]]] = [] if tracing else None
+        # The per-attempt log is kept even with tracing off: it is also the
+        # calibration feed (measured per-solver durations).
+        span_log: List[Dict[str, object]] = []
         exec_start = executor.elapsed
 
         rhs = batch.rhs_block() if batch.size > 1 else batch.requests[0].b
@@ -623,6 +710,7 @@ class SketchServer:
             span_log=span_log,
         )
         exec_end = executor.elapsed
+        self._feed_calibration(span_log, spec)
         executed = result.attempted_solvers[-1]
         fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
         if fallbacks:
@@ -846,12 +934,19 @@ class SketchServer:
             oversampling=self.config.oversampling,
             seed=self.config.seed,
         )
+        cost_source = self._cost_source()
         if self.config.policy == "fixed" and solver is not None:
-            plan_ = plan(None, spec, policy="fixed", solver=solver, device=self.config.device)
+            plan_ = plan(
+                None, spec, policy="fixed", solver=solver,
+                device=self.config.device, cost_source=cost_source,
+            )
             policy = "fixed"
         else:
             policy = self.config.policy if self.config.policy != "fixed" else "cheapest_accurate"
-            plan_ = plan(None, spec, policy=policy, solver=solver, device=self.config.device)
+            plan_ = plan(
+                None, spec, policy=policy, solver=solver,
+                device=self.config.device, cost_source=cost_source,
+            )
         return plan_, spec, policy, kind
 
     def _place_ridge(self, plan_: SolvePlan, spec: SolveSpec, kind: str) -> "PlacedBatch":
@@ -936,7 +1031,8 @@ class SketchServer:
         tracing = self.tracer.enabled
         batch_id = self._batch_seq
         self._batch_seq += 1
-        span_log: Optional[List[Dict[str, object]]] = [] if tracing else None
+        # Kept even with tracing off: the log doubles as the calibration feed.
+        span_log: List[Dict[str, object]] = []
         exec_start = executor.elapsed
         operators = {plan_.solver: entry.operator_for(shard)} if entry is not None else None
         result = execute_plan(
@@ -952,6 +1048,7 @@ class SketchServer:
             span_log=span_log,
         )
         exec_end = executor.elapsed
+        self._feed_calibration(span_log, spec)
         executed = result.attempted_solvers[-1]
         fallbacks = int(float(result.extra.get("fallbacks", 0.0)))
         if fallbacks:
@@ -1197,6 +1294,134 @@ def naive_solve_loop(
 # ---------------------------------------------------------------------------
 # Console entry point (`repro-serve`)
 # ---------------------------------------------------------------------------
+def _drive_mixed_workload(runtime, rng, *, on_phase=None) -> None:
+    """Run the short three-lane workload the observability CLI paths share.
+
+    ``on_phase`` (e.g. :meth:`~repro.obs.slo.SLOEngine.evaluate`) is called
+    after each lane's futures resolve, so counter-backed SLO windows see
+    several evaluation intervals over the run.
+    """
+    futures = []
+    for _ in range(16):
+        a = rng.standard_normal((512, 16))
+        futures.append(runtime.submit(a, rng.standard_normal(512)))
+    for future in futures:
+        future.result()
+    if on_phase is not None:
+        on_phase()
+    futures = []
+    for _ in range(6):
+        a = rng.standard_normal((256, 12))
+        futures.append(runtime.submit_ridge(a, rng.standard_normal(256), 0.1))
+    for future in futures:
+        future.result()
+    if on_phase is not None:
+        on_phase()
+    session = runtime.open_stream(12)
+    futures = []
+    for _ in range(4):
+        futures.append(
+            runtime.append_rows(
+                session, rng.standard_normal((128, 12)), rng.standard_normal(128)
+            )
+        )
+    futures.append(runtime.query_solution(session))
+    for future in futures:
+        future.result()
+    runtime.drain()
+    if on_phase is not None:
+        on_phase()
+
+
+def _slo_report(args) -> int:
+    """``repro-serve --slo-report``: stock SLOs over the mixed workload."""
+    import json as _json
+
+    from repro.obs.slo import SLOEngine, default_serving_slos
+    from repro.serving.runtime import AsyncSketchServer
+
+    rng = np.random.default_rng(args.seed)
+    runtime = AsyncSketchServer(
+        shards=args.shards,
+        seed=args.seed,
+        workers=max(args.workers, 2),
+        queue_depth=args.queue_depth,
+    )
+    engine = SLOEngine(runtime.server.metrics, default_serving_slos())
+    try:
+        _drive_mixed_workload(runtime, rng, on_phase=engine.evaluate)
+    finally:
+        runtime.stop()
+    report = engine.report()
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0
+    print(f"SLO report ({report['evaluations']} evaluations):")
+    for row in report["slos"]:
+        state = "FIRING" if row["alerting"] else "ok"
+        print(
+            f"  {row['name']:<24} [{row['kind']:<12}] objective={row['objective']:.3f} "
+            f"compliance={row['compliance']:.4f} "
+            f"burn fast={row['fast_burn']:.2f} slow={row['slow_burn']:.2f} "
+            f"n={row['samples']} {state}"
+        )
+    for event in report["alert_events"]:
+        print(
+            f"  alert: {event['slo']} {event['state']} at eval {event['at']:g} "
+            f"(fast={event['fast_burn']:.2f}, slow={event['slow_burn']:.2f})"
+        )
+    return 1 if report["firing"] else 0
+
+
+def _health_probe(args) -> int:
+    """``repro-serve --health``: canary workload with meaningful exit codes.
+
+    Exit 0: canary traffic served cleanly and no SLO alert is firing.
+    Exit 1: degraded -- traffic was served but requests were shed/failed
+    or an SLO alert fired.  Exit 2: unhealthy -- the canary itself blew up.
+    """
+    from repro.obs.slo import SLOEngine, default_serving_slos
+    from repro.serving.runtime import AsyncSketchServer
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        runtime = AsyncSketchServer(
+            shards=args.shards,
+            seed=args.seed,
+            workers=max(args.workers, 2),
+            queue_depth=args.queue_depth,
+        )
+        engine = SLOEngine(runtime.server.metrics, default_serving_slos())
+        try:
+            _drive_mixed_workload(runtime, rng, on_phase=engine.evaluate)
+            snapshot = runtime.telemetry.snapshot()
+        finally:
+            runtime.stop()
+    except Exception as exc:  # the probe itself must never raise
+        print(f"unhealthy: canary workload failed: {exc}")
+        return 2
+    shed = snapshot.get("requests_shed", 0)
+    failed = snapshot.get("failed_requests", 0)
+    firing = engine.firing()
+    if failed or shed or firing:
+        detail = ", ".join(
+            part
+            for part in (
+                f"{int(failed)} failed" if failed else "",
+                f"{int(shed)} shed" if shed else "",
+                f"alerts firing: {firing}" if firing else "",
+            )
+            if part
+        )
+        print(f"degraded: {detail}")
+        return 1
+    print(
+        f"healthy: {int(snapshot.get('requests_served', 0))} canary requests served, "
+        "no sheds, no failures, no SLO alerts"
+    )
+    return 0
+
+
 def _observability_demo(args) -> int:
     """Drive a short mixed workload and print what the observability layer saw.
 
@@ -1221,24 +1446,7 @@ def _observability_demo(args) -> int:
         queue_depth=args.queue_depth,
     )
     try:
-        futures = []
-        for _ in range(16):
-            a = rng.standard_normal((512, 16))
-            futures.append(runtime.submit(a, rng.standard_normal(512)))
-        for _ in range(6):
-            a = rng.standard_normal((256, 12))
-            futures.append(runtime.submit_ridge(a, rng.standard_normal(256), 0.1))
-        session = runtime.open_stream(12)
-        for _ in range(4):
-            futures.append(
-                runtime.append_rows(
-                    session, rng.standard_normal((128, 12)), rng.standard_normal(128)
-                )
-            )
-        futures.append(runtime.query_solution(session))
-        for future in futures:
-            future.result()
-        runtime.drain()
+        _drive_mixed_workload(runtime, rng)
     finally:
         runtime.stop()
 
@@ -1312,8 +1520,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run a short mixed workload and print the slowest request's "
         "span waterfall and critical path",
     )
+    parser.add_argument(
+        "--slo-report",
+        action="store_true",
+        help="run a short mixed workload under the stock SLO set and print "
+        "per-SLO compliance, burn rates and alert events (exit 1 if any "
+        "alert is firing; see --json)",
+    )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="canary health probe: exit 0 healthy, 1 degraded (sheds, "
+        "failures or firing SLO alerts), 2 unhealthy (probe itself failed)",
+    )
     args = parser.parse_args(argv)
 
+    if args.health:
+        return _health_probe(args)
+    if args.slo_report:
+        return _slo_report(args)
     if args.metrics or args.dump_trace:
         return _observability_demo(args)
 

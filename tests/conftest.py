@@ -37,9 +37,14 @@ _OBS_PREFIXES = (
     "test_obs", "test_metrics", "test_trace", "test_exporters", "test_record_bench",
 )
 
+#: Module-name prefixes auto-marked ``slo`` (closed-loop observability:
+#: cost calibration, SLO burn-rate engine, bench comparison; mirrors
+#: benchmarks/conftest.py so ``pytest -m slo`` runs the whole subset).
+_SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs`` markers by module prefix."""
+    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs``/``slo`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -53,6 +58,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.runtime)
         if name.startswith(_OBS_PREFIXES):
             item.add_marker(pytest.mark.obs)
+        if name.startswith(_SLO_PREFIXES):
+            item.add_marker(pytest.mark.slo)
 
 
 @pytest.fixture

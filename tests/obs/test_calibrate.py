@@ -1,0 +1,261 @@
+"""CalibratedEstimator: convergence, bucket isolation, gating, span ingest."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.linalg.registry import SolveSpec, get_solver
+from repro.obs.calibrate import CalibratedEstimator, CalibrationKey, shape_bucket
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+SOLVER = "sketch_and_solve"
+
+
+def _spec(d=4096, n=32, nrhs=1, **kw) -> SolveSpec:
+    return SolveSpec(d=d, n=n, nrhs=nrhs, **kw)
+
+
+def _feed(est, spec, ratio, count, solver=SOLVER):
+    """Feed ``count`` observations at a planted measured/analytic ratio."""
+    analytic = get_solver(solver).estimate_seconds(spec)
+    for _ in range(count):
+        est.observe(solver, spec, analytic * ratio, analytic_seconds=analytic)
+    return analytic
+
+
+class TestShapeBucket:
+    def test_octave_buckets(self):
+        assert shape_bucket(4096, 32, 1) == (12, 5, 0)
+        assert shape_bucket(4097, 33, 1) == (12, 5, 0)  # same octave
+        assert shape_bucket(8192, 64, 2) == (13, 6, 1)
+
+    def test_degenerate_dims_clamp(self):
+        assert shape_bucket(0, 0, 0) == (0, 0, 0)
+
+
+class TestConvergence:
+    def test_converges_to_planted_ratio(self):
+        est = CalibratedEstimator(alpha=0.3, min_samples=3)
+        spec = _spec()
+        _feed(est, spec, ratio=0.4, count=40)
+        factor = est.factor(SOLVER, spec)
+        assert factor == pytest.approx(0.4, rel=0.05)
+
+    def test_prediction_tracks_measured(self):
+        est = CalibratedEstimator(alpha=0.3, min_samples=3)
+        spec = _spec()
+        analytic = _feed(est, spec, ratio=2.5, count=40)
+        predicted = est.predict_seconds(spec, solver=SOLVER)
+        assert predicted == pytest.approx(2.5 * analytic, rel=0.05)
+
+    def test_first_sample_seeds_ewma(self):
+        est = CalibratedEstimator(min_samples=1)
+        spec = _spec()
+        _feed(est, spec, ratio=0.5, count=1)
+        assert est.factor(SOLVER, spec) == pytest.approx(0.5)
+
+
+class TestBucketIsolation:
+    def test_shapes_calibrate_independently(self):
+        est = CalibratedEstimator(alpha=0.5, min_samples=2)
+        small, large = _spec(d=1024, n=16), _spec(d=65536, n=256)
+        _feed(est, small, ratio=0.3, count=10)
+        _feed(est, large, ratio=3.0, count=10)
+        assert est.factor(SOLVER, small) == pytest.approx(0.3, rel=0.05)
+        assert est.factor(SOLVER, large) == pytest.approx(3.0, rel=0.05)
+
+    def test_solver_families_calibrate_independently(self):
+        est = CalibratedEstimator(alpha=0.5, min_samples=2)
+        spec = _spec()
+        _feed(est, spec, ratio=0.5, count=10, solver="sketch_and_solve")
+        _feed(est, spec, ratio=2.0, count=10, solver="sketch_precond_lsqr")
+        assert est.factor("sketch_and_solve", spec) == pytest.approx(0.5, rel=0.05)
+        assert est.factor("sketch_precond_lsqr", spec) == pytest.approx(2.0, rel=0.05)
+
+    def test_key_labels(self):
+        key = CalibrationKey(solver=SOLVER, problem="least_squares", bucket=(12, 5, 0))
+        assert key.labels() == {
+            "solver": SOLVER, "problem": "least_squares", "bucket": "12x5x0",
+        }
+
+
+class TestMinSampleGate:
+    def test_below_gate_predicts_analytic(self):
+        est = CalibratedEstimator(min_samples=5)
+        spec = _spec()
+        analytic = _feed(est, spec, ratio=0.2, count=4)  # one short of the gate
+        assert est.factor(SOLVER, spec) is None
+        assert est.predict_seconds(spec, solver=SOLVER) == pytest.approx(analytic)
+
+    def test_gate_opens_at_min_samples(self):
+        est = CalibratedEstimator(min_samples=5)
+        spec = _spec()
+        _feed(est, spec, ratio=0.2, count=5)
+        assert est.factor(SOLVER, spec) is not None
+        assert est.samples(SOLVER, spec) == 5
+
+    def test_unseen_bucket_predicts_analytic(self):
+        est = CalibratedEstimator()
+        spec = _spec()
+        analytic = get_solver(SOLVER).estimate_seconds(spec)
+        assert est.predict_seconds(spec, solver=SOLVER) == pytest.approx(analytic)
+
+
+class TestRobustness:
+    def test_outlier_ratio_is_clipped(self):
+        est = CalibratedEstimator(alpha=0.5, min_samples=1, clip=4.0)
+        spec = _spec()
+        analytic = get_solver(SOLVER).estimate_seconds(spec)
+        est.observe(SOLVER, spec, analytic * 1000.0, analytic_seconds=analytic)
+        assert est.factor(SOLVER, spec) == pytest.approx(4.0)
+        clipped = est.registry.get("calibration_clipped_total", solver=SOLVER)
+        assert clipped is not None and clipped.value == 1.0
+
+    def test_nonpositive_samples_rejected(self):
+        est = CalibratedEstimator()
+        spec = _spec()
+        assert est.observe(SOLVER, spec, 0.0) is None
+        assert est.observe(SOLVER, spec, float("nan")) is None
+        assert est.samples(SOLVER, spec) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CalibratedEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            CalibratedEstimator(min_samples=0)
+        with pytest.raises(ValueError):
+            CalibratedEstimator(clip=1.0)
+
+
+class TestSelfAssessment:
+    def test_error_histograms_recorded(self):
+        registry = MetricsRegistry()
+        est = CalibratedEstimator(registry, alpha=0.5, min_samples=2)
+        spec = _spec()
+        _feed(est, spec, ratio=0.5, count=20)
+        summary = est.error_summary()
+        # Analytic is off by 2x (|1/0.5 - 1| = 1); warmed calibration is near 0.
+        assert summary["analytic_median_rel_error"] == pytest.approx(1.0)
+        assert summary["calibrated_median_rel_error"] < 0.1
+        for model in ("calibrated", "analytic"):
+            hist = registry.get("calibration_relative_error", model=model)
+            assert hist is not None and hist.count == 20
+
+    def test_factor_gauge_exported(self):
+        est = CalibratedEstimator(alpha=0.5, min_samples=1)
+        spec = _spec()
+        _feed(est, spec, ratio=0.5, count=8)
+        key = est.key_for(SOLVER, spec)
+        gauge = est.registry.get("calibration_factor", **key.labels())
+        assert gauge is not None
+        assert gauge.value == pytest.approx(est.factor(SOLVER, spec))
+
+    def test_snapshot_shape(self):
+        est = CalibratedEstimator(min_samples=1)
+        spec = _spec()
+        _feed(est, spec, ratio=0.7, count=3)
+        snap = est.snapshot()
+        assert len(snap) == 1
+        (state,) = snap.values()
+        assert state["samples"] == 3.0
+
+
+class TestCostSource:
+    def test_cost_source_applies_factor(self):
+        est = CalibratedEstimator(alpha=0.5, min_samples=1)
+        spec = _spec()
+        analytic = _feed(est, spec, ratio=0.5, count=10)
+        source = est.as_cost_source()
+        from repro.gpu.device import H100_SXM5
+
+        corrected = source(SOLVER, spec, H100_SXM5, analytic)
+        assert corrected == pytest.approx(0.5 * analytic, rel=0.05)
+
+    def test_cost_source_passes_through_when_gated(self):
+        est = CalibratedEstimator(min_samples=10)
+        spec = _spec()
+        source = est.as_cost_source()
+        from repro.gpu.device import H100_SXM5
+
+        assert source(SOLVER, spec, H100_SXM5, 1.25) == 1.25
+
+    def test_planner_ranks_by_calibrated_costs(self):
+        """A planted slow-down on the cheapest solver re-routes the plan."""
+        from repro.linalg.planner import plan
+
+        spec = _spec(cond_estimate=10.0, accuracy_target=1e-6)
+        baseline = plan(None, spec, policy="cheapest_accurate")
+        est = CalibratedEstimator(alpha=0.9, min_samples=1, clip=1e6)
+        analytic = get_solver(baseline.solver).estimate_seconds(spec)
+        # Teach the estimator the baseline winner is 1000x slower than analytic.
+        for _ in range(5):
+            est.observe(baseline.solver, spec, analytic * 1000.0, analytic_seconds=analytic)
+        rerouted = plan(
+            None, spec, policy="cheapest_accurate", cost_source=est.as_cost_source()
+        )
+        assert rerouted.solver != baseline.solver
+        assert rerouted.costs[baseline.solver] > baseline.costs[baseline.solver]
+
+
+class TestSpanIngest:
+    def _run_traced_solve(self, tracer_kwargs=None):
+        tracer = Tracer(**(tracer_kwargs or {}))
+        spec = _spec(d=2048, n=16)
+        analytic = get_solver(SOLVER).estimate_seconds(spec)
+        root = tracer.start_trace("request", 0.0, request_id=0, lane="solve")
+        batch = tracer.start_span("batch", root, 0.0)
+        attempt = tracer.start_span(
+            f"solver:{SOLVER}", batch, 0.0,
+            solver=SOLVER, d=spec.d, n=spec.n, nrhs=spec.nrhs,
+            problem=spec.problem, kind=spec.kind, regularization=0.0,
+        )
+        attempt.finish(analytic * 0.5)
+        batch.finish(analytic * 0.5)
+        tracer.end_trace(root, analytic * 0.5)
+        return tracer, spec
+
+    def test_ingest_consumes_solver_spans(self):
+        tracer, spec = self._run_traced_solve()
+        est = CalibratedEstimator(min_samples=1)
+        assert est.ingest(tracer.traces()[0]) == 1
+        assert est.factor(SOLVER, spec) == pytest.approx(0.5, rel=1e-6)
+
+    def test_failed_attempts_skipped(self):
+        tracer = Tracer()
+        root = tracer.start_trace("request", 0.0)
+        attempt = tracer.start_span(
+            f"solver:{SOLVER}", root, 0.0,
+            solver=SOLVER, d=2048, n=16, nrhs=1,
+            problem="least_squares", kind="multisketch",
+        )
+        attempt.finish(1.0, status="error")
+        tracer.end_trace(root, 1.0)
+        est = CalibratedEstimator()
+        assert est.ingest(tracer.traces()[0]) == 0
+
+    def test_ingest_tracer_cursor_is_incremental(self):
+        tracer, spec = self._run_traced_solve()
+        est = CalibratedEstimator(min_samples=1)
+        assert est.ingest_tracer(tracer) == 1
+        assert est.ingest_tracer(tracer) == 0  # nothing new
+
+    def test_server_feeds_estimator_even_with_tracing_off(self, rng):
+        from repro.serving.server import ServerConfig, SketchServer
+
+        server = SketchServer(ServerConfig(shards=1, tracing=False))
+        a = rng.standard_normal((1024, 16))
+        server.solve(a, rng.standard_normal(1024))
+        assert server.calibration is not None
+        assert sum(s["samples"] for s in server.calibration.snapshot().values()) >= 1
+
+    def test_calibration_off_mode_has_no_estimator(self, rng):
+        from repro.serving.server import ServerConfig, SketchServer
+
+        server = SketchServer(ServerConfig(shards=1, calibration="off"))
+        a = rng.standard_normal((1024, 16))
+        server.solve(a, rng.standard_normal(1024))
+        assert server.calibration is None

@@ -1,0 +1,204 @@
+"""SLOEngine golden scenarios: multi-window burn-rate alerting over the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOEngine, default_serving_slos
+
+
+def availability_slo(**overrides) -> SLOConfig:
+    kw = dict(
+        name="availability",
+        kind="availability",
+        objective=0.99,
+        fast_window=2,
+        slow_window=8,
+        burn_threshold=10.0,
+    )
+    kw.update(overrides)
+    return SLOConfig(**kw)
+
+
+def serve(registry: MetricsRegistry, good: int, bad: int = 0) -> None:
+    """Emit one evaluation interval's worth of traffic into the counters."""
+    registry.counter("serving_requests_total").inc(good + bad)
+    if bad:
+        registry.counter("serving_failed_requests_total").inc(bad)
+
+
+class TestConfigValidation:
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            SLOConfig(name="x", kind="uptime", objective=0.99)
+
+    def test_objective_bounds(self):
+        for bad in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError):
+                SLOConfig(name="x", kind="availability", objective=bad)
+
+    def test_latency_needs_lane_and_threshold(self):
+        with pytest.raises(ValueError):
+            SLOConfig(name="x", kind="latency", objective=0.95, threshold=1.0)
+        with pytest.raises(ValueError):
+            SLOConfig(name="x", kind="latency", objective=0.95, lane="solve")
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError):
+            SLOConfig(
+                name="x", kind="availability", objective=0.99,
+                fast_window=8, slow_window=2,
+            )
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            SLOEngine(registry, [availability_slo(), availability_slo()])
+
+    def test_error_budget(self):
+        assert availability_slo().error_budget == pytest.approx(0.01)
+
+    def test_default_set_covers_the_taxonomy(self):
+        kinds = {s.kind for s in default_serving_slos()}
+        assert kinds == {"availability", "latency", "shed_rate", "staleness"}
+
+
+class TestBurnRateGolden:
+    """The canonical incident: healthy -> outage -> recovery."""
+
+    def _engine(self):
+        registry = MetricsRegistry()
+        engine = SLOEngine(registry, [availability_slo()])
+        # Healthy warm-up fills the slow window with good intervals.
+        for _ in range(8):
+            serve(registry, good=100)
+            assert engine.evaluate() == []
+        return registry, engine
+
+    def test_fast_burn_fires_before_slow_burn(self):
+        registry, engine = self._engine()
+        # First bad interval: the fast window (2 intervals) burns far over
+        # threshold but the slow window (8 intervals) has not yet -- the
+        # multi-window rule holds fire.
+        serve(registry, good=50, bad=50)
+        assert engine.evaluate() == []
+        status = {s.name: s for s in engine.status()}["availability"]
+        assert status.fast_burn > 10.0
+        assert status.slow_burn < 10.0
+        assert not status.alerting
+        # Second bad interval pushes the slow window over too: page.
+        serve(registry, good=50, bad=50)
+        events = engine.evaluate()
+        assert [e["state"] for e in events] == ["firing"]
+        assert events[0]["slo"] == "availability"
+        assert engine.firing() == ["availability"]
+
+    def test_alert_clears_on_recovery(self):
+        registry, engine = self._engine()
+        for _ in range(2):
+            serve(registry, good=50, bad=50)
+            engine.evaluate()
+        assert engine.firing() == ["availability"]
+        # Recovery: two clean intervals empty the fast window; the alert
+        # clears even though the slow window is still digesting the outage.
+        serve(registry, good=100)
+        engine.evaluate()
+        serve(registry, good=100)
+        events = engine.evaluate()
+        assert [e["state"] for e in events] == ["resolved"]
+        assert engine.firing() == []
+        status = {s.name: s for s in engine.status()}["availability"]
+        assert status.slow_burn > 10.0  # outage still visible in the long window
+
+    def test_gauges_exported(self):
+        registry, engine = self._engine()
+        serve(registry, good=50, bad=50)
+        engine.evaluate()
+        assert registry.gauge("slo_burn_rate_fast", slo="availability").value > 10.0
+        assert registry.gauge("slo_alert_active", slo="availability").value == 0.0
+        serve(registry, good=50, bad=50)
+        engine.evaluate()
+        assert registry.gauge("slo_alert_active", slo="availability").value == 1.0
+        transitions = registry.get(
+            "slo_alert_transitions_total", slo="availability", state="firing"
+        )
+        assert transitions is not None and transitions.value == 1.0
+
+    def test_alert_history_retained(self):
+        registry, engine = self._engine()
+        for _ in range(2):
+            serve(registry, good=0, bad=100)
+            engine.evaluate()
+        serve(registry, good=100)
+        engine.evaluate()
+        serve(registry, good=100)
+        engine.evaluate()
+        states = [e["state"] for e in engine.alerts]
+        assert states == ["firing", "resolved"]
+
+
+class TestLatencySLO:
+    def test_latency_breach_fires(self):
+        registry = MetricsRegistry()
+        slo = SLOConfig(
+            name="latency_p95_solve", kind="latency", objective=0.90,
+            threshold=1e-3, lane="solve", fast_window=4, slow_window=16,
+            burn_threshold=2.0,
+        )
+        engine = SLOEngine(registry, [slo])
+        hist = registry.histogram("runtime_lane_latency_seconds", lane="solve")
+        for _ in range(16):
+            hist.observe(1e-4)  # comfortably under threshold
+        assert engine.evaluate() == []
+        for _ in range(16):
+            hist.observe(5e-3)  # every recent sample over threshold
+        events = engine.evaluate()
+        assert [e["state"] for e in events] == ["firing"]
+
+    def test_no_samples_means_no_alert(self):
+        registry = MetricsRegistry()
+        slo = SLOConfig(
+            name="stale", kind="staleness", objective=0.95, threshold=100.0,
+        )
+        engine = SLOEngine(registry, [slo])
+        assert engine.evaluate() == []
+        status = engine.status()[0]
+        assert status.samples == 0 and not status.alerting
+
+
+class TestShedRateSLO:
+    def test_shed_burst_fires_and_clears(self):
+        registry = MetricsRegistry()
+        slo = SLOConfig(
+            name="shed_rate", kind="shed_rate", objective=0.90,
+            fast_window=2, slow_window=4, burn_threshold=2.0,
+        )
+        engine = SLOEngine(registry, [slo])
+        for _ in range(4):
+            registry.counter("runtime_requests_admitted_total").inc(100)
+            engine.evaluate()
+        for _ in range(2):
+            registry.counter("runtime_requests_shed_total").inc(100)
+            registry.counter("runtime_requests_admitted_total").inc(10)
+            engine.evaluate()
+        assert engine.firing() == ["shed_rate"]
+        for _ in range(2):
+            registry.counter("runtime_requests_admitted_total").inc(100)
+            engine.evaluate()
+        assert engine.firing() == []
+
+
+class TestReport:
+    def test_report_shape(self):
+        registry = MetricsRegistry()
+        engine = SLOEngine(registry, default_serving_slos())
+        serve(registry, good=10)
+        engine.evaluate()
+        report = engine.report()
+        assert report["evaluations"] == 1
+        assert {row["name"] for row in report["slos"]} == {
+            s.name for s in default_serving_slos()
+        }
+        assert report["firing"] == []
+        assert report["alert_events"] == []

@@ -172,6 +172,77 @@ def test_tracing_disabled_serves_identically_with_no_traces():
     assert on.tracer.traces_completed == 1
 
 
+def test_sampled_tracing_keeps_counters_and_span_tree_invariants():
+    """trace_sample=N retains 1-in-N traces; every retained tree is complete.
+
+    The started == completed == admitted invariant is about *counters*, not
+    retention -- sampling must not break it.
+    """
+    rng = np.random.default_rng(8)
+    runtime = AsyncSketchServer(
+        shards=2, seed=0, workers=2, queue_depth=64, trace_sample=4
+    )
+    try:
+        futures, admitted = _mixed_load(runtime, rng)
+        runtime.drain()
+        for f in futures:
+            assert f.exception() is None
+        tracer = runtime.tracer
+        assert tracer.traces_started == admitted
+        assert tracer.traces_completed == admitted
+        assert tracer.active_count() == 0
+        traces = tracer.traces()
+        # 1-in-4 head sampling on an all-ok run retains about a quarter.
+        assert 0 < len(traces) < admitted
+        assert tracer.traces_retained == len(traces)
+        for root in traces:
+            assert root.name == "request"
+            assert root.is_complete(), f"incomplete tree for {root.trace_id}"
+            assert root.status == "ok"
+            assert root.find("admission") is not None
+            for span in root.walk():
+                assert span.trace_id == root.trace_id
+                assert span.end is not None
+                assert span.start <= span.end
+    finally:
+        runtime.stop()
+
+
+def test_sampling_always_retains_shed_traces():
+    rng = np.random.default_rng(9)
+    # sample_every far above the workload size: only the override can
+    # retain anything past the first root.
+    runtime = AsyncSketchServer(
+        shards=1, seed=0, workers=1, queue_depth=16, trace_sample=1000
+    )
+    try:
+        ok_futures = []
+        for _ in range(4):
+            a = rng.standard_normal((256, 12))
+            ok_futures.append(runtime.submit(a, rng.standard_normal(256)))
+        runtime.drain()
+        a = rng.standard_normal((512, 16))
+        shed_future = runtime.submit(a, rng.standard_normal(512), latency_budget=1e-12)
+        runtime.drain()
+        assert shed_future.shed
+        tracer = runtime.tracer
+        assert tracer.traces_completed == 5
+        statuses = [root.status for root in tracer.traces()]
+        # The first ok trace is the 1-in-N keep; the shed one is kept by
+        # the status override despite losing the sampling draw.
+        assert statuses.count("shed") == 1
+        assert len(statuses) < 5
+    finally:
+        runtime.stop()
+
+
+def test_trace_sample_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(trace_sample=0)
+    with pytest.raises(ValueError):
+        ServerConfig(calibration="shadow")
+
+
 def test_cache_events_land_in_metrics_registry():
     rng = np.random.default_rng(6)
     server = SketchServer(ServerConfig(shards=1, seed=0))

@@ -114,6 +114,70 @@ def test_elastic_decide_holds_down_while_latency_breached():
     assert target == 8  # latency breach forces up even at zero queue
 
 
+def test_elastic_proactive_requires_drain_budget():
+    with pytest.raises(ValueError):
+        ElasticShardPolicy(proactive=True)
+    with pytest.raises(ValueError):
+        ElasticShardPolicy(proactive=True, drain_budget=0.0)
+
+
+def test_elastic_proactive_scales_up_on_predicted_drain():
+    policy = ElasticShardPolicy(
+        min_shards=1, max_shards=8, queue_high=100.0, proactive=True,
+        drain_budget=1e-3,
+    )
+    # Queue depth alone is nowhere near the reactive trigger; the predicted
+    # drain time is what forces the scale-up.
+    target, reason = policy.decide(2, queue_depth=4, predicted_drain_seconds=5e-3)
+    assert target == 4 and "predicted drain" in reason
+
+
+def test_elastic_proactive_blocks_scale_down():
+    policy = ElasticShardPolicy(
+        min_shards=1, max_shards=8, queue_high=4.0, queue_low=1.0,
+        proactive=True, drain_budget=1e-3,
+    )
+    # Would scale down reactively (empty queue) but the drain projection
+    # says the backlog will not clear in budget: hold.
+    target, _ = policy.decide(4, queue_depth=0, predicted_drain_seconds=5e-3)
+    assert target == 8  # breach forces up, not merely holds
+    # With a healthy projection the normal scale-down resumes.
+    target, _ = policy.decide(4, queue_depth=0, predicted_drain_seconds=1e-5)
+    assert target == 3
+
+
+def test_elastic_proactive_degrades_to_reactive_without_prediction():
+    policy = ElasticShardPolicy(
+        min_shards=1, max_shards=8, queue_high=4.0, queue_low=1.0,
+        proactive=True, drain_budget=1e-3,
+    )
+    # No EWMA yet (prediction None): behaves exactly like the reactive table.
+    assert policy.decide(2, queue_depth=20, predicted_drain_seconds=None)[0] == 4
+    assert policy.decide(4, queue_depth=0, predicted_drain_seconds=None)[0] == 3
+
+
+def test_runtime_exports_predicted_drain_gauge():
+    rng = np.random.default_rng(11)
+    runtime = AsyncSketchServer(
+        shards=1, seed=0, workers=1, queue_depth=64,
+        elastic=ElasticShardPolicy(
+            min_shards=1, max_shards=4, proactive=True, drain_budget=10.0
+        ),
+    )
+    try:
+        futures = []
+        for _ in range(6):
+            a = rng.standard_normal((256, 12))
+            futures.append(runtime.submit(a, rng.standard_normal(256)))
+        runtime.drain()
+        for f in futures:
+            assert f.exception() is None
+        gauge = runtime.server.metrics.get("runtime_predicted_drain_seconds")
+        assert gauge is not None  # proactive mode published the projection
+    finally:
+        runtime.stop()
+
+
 # ---------------------------------------------------------------------------
 # scheduler: active set + reservations
 # ---------------------------------------------------------------------------
