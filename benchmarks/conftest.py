@@ -46,6 +46,11 @@ _OBS_PREFIXES = (
 #: comparison -- kept in sync with tests/conftest.py).
 _SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
 
+#: Module-name prefixes that carry the ``durability`` marker automatically
+#: (checkpoint/WAL durability, crash recovery, fault injection -- kept in
+#: sync with tests/conftest.py).
+_DURABILITY_PREFIXES = ("test_durability",)
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -74,6 +79,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.obs)
         if path.name.startswith(_SLO_PREFIXES):
             item.add_marker(pytest.mark.slo)
+        if path.name.startswith(_DURABILITY_PREFIXES):
+            item.add_marker(pytest.mark.durability)
 
 
 def accuracy_scale() -> str:

@@ -39,6 +39,13 @@ The package is organised as:
   (or a Frequent Directions spectral summary, ``mode="fd"``), detects
   drift from residual energy and condition probes, and lazily re-solves
   the window through the planner; ``SketchServer.open_stream`` serves it.
+* :mod:`repro.durability` -- checkpoint/WAL durability for streaming
+  sessions: one versioned+checksummed record format with typed errors
+  (:class:`~repro.durability.codec.DurabilityError`), a pluggable
+  :class:`~repro.durability.store.CheckpointStore` (in-memory or fsync'd
+  directory-backed), write-ahead-logged appends with exactly-once
+  checkpoint + tail replay (``SketchServer.save`` / ``restore``), and
+  session TTL/eviction with passivate-resurrect for durable sessions.
 * :mod:`repro.obs` -- the observability layer: per-request span trees on
   the simulated clock (:class:`~repro.obs.trace.Tracer`), a bounded
   metrics registry (counters / gauges / ring+P² histograms,
@@ -87,6 +94,16 @@ from repro.core import (
     count_gauss,
     default_embedding_dim,
 )
+from repro.durability import (
+    CheckpointStore,
+    ChecksumError,
+    DirectoryCheckpointStore,
+    DurabilityConfig,
+    DurabilityError,
+    MemoryCheckpointStore,
+    SchemaError,
+    TruncatedRecordError,
+)
 from repro.gpu import DeviceSpec, ExecutorPool, GPUExecutor, H100_SXM5, A100_SXM4, get_device
 from repro.linalg import (
     LeastSquaresResult,
@@ -134,6 +151,7 @@ from repro.serving import (
     MicroBatcher,
     OperatorCache,
     QueueFullError,
+    RestoreReport,
     RuntimeConfig,
     RuntimeFuture,
     ScaleEvent,
@@ -153,7 +171,7 @@ from repro.streaming import (
     StreamingSolver,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CountSketch",
@@ -165,6 +183,14 @@ __all__ = [
     "StreamingCountSketch",
     "count_gauss",
     "default_embedding_dim",
+    "CheckpointStore",
+    "ChecksumError",
+    "DirectoryCheckpointStore",
+    "DurabilityConfig",
+    "DurabilityError",
+    "MemoryCheckpointStore",
+    "SchemaError",
+    "TruncatedRecordError",
     "DeviceSpec",
     "ExecutorPool",
     "GPUExecutor",
@@ -209,6 +235,7 @@ __all__ = [
     "MicroBatcher",
     "OperatorCache",
     "QueueFullError",
+    "RestoreReport",
     "RuntimeConfig",
     "RuntimeFuture",
     "ScaleEvent",

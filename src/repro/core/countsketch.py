@@ -404,6 +404,63 @@ class StreamingCountSketch(SketchOperator):
             return None
         return self._accumulator.to_host()
 
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The pass's durable state: everything a restore needs beyond the seed.
+
+        The row map and signs are pure functions of ``(row_index, seed)``,
+        so the only durable payload is the accumulator itself plus the rows
+        consumed so far.  Requires an in-progress pass.
+        """
+        if self._accumulator is None:
+            raise RuntimeError("no streaming pass in progress")
+        numeric = bool(self._ex.numeric and self._accumulator.is_numeric)
+        return {
+            "rows_seen": int(self._rows_seen),
+            "n_cols": int(self._accumulator.shape[1]),
+            "numeric": numeric,
+            "accumulator": self._accumulator.to_host() if numeric else None,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Reopen a pass from a :meth:`state_dict` snapshot.
+
+        The restored pass is bit-identical to the snapshotted one: the same
+        accumulator contents and rows-seen counter, and (because the hashed
+        row map depends only on index and seed) identical behaviour for
+        every subsequent :meth:`update`.  A small restore kernel is charged
+        for staging the accumulator back onto the device.
+        """
+        self.generate()
+        self.begin(int(state["n_cols"]))
+        acc = state.get("accumulator")
+        if acc is not None:
+            if not (self._ex.numeric and self._accumulator.is_numeric):
+                raise ValueError("cannot restore a numeric snapshot onto an analytic executor")
+            arr = np.asarray(acc, dtype=self._dtype)
+            if arr.shape != tuple(self._accumulator.shape):
+                raise ValueError(
+                    f"snapshot accumulator shape {arr.shape} does not match pass shape "
+                    f"{tuple(self._accumulator.shape)}"
+                )
+            self._accumulator.data[...] = arr
+        elif state.get("numeric") and self._ex.numeric:
+            raise ValueError("numeric snapshot is missing its accumulator payload")
+        self._rows_seen = int(state["rows_seen"])
+        k, n = self._accumulator.shape
+        itemsize = self._dtype.itemsize
+        self._ex.launch(
+            KernelRequest(
+                name="countsketch_stream_restore",
+                kclass=KernelClass.STREAM,
+                bytes_written=float(k) * n * itemsize,
+                dtype_size=itemsize,
+                phase="Matrix sketch",
+            )
+        )
+
     def result(self) -> DeviceArray:
         """Finish the streaming pass and return the accumulated sketch."""
         if self._accumulator is None:

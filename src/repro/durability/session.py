@@ -1,0 +1,94 @@
+"""Durable encodings of streaming sessions and their WAL batch entries.
+
+Two record kinds, both carried by :mod:`repro.durability.codec`:
+
+``repro.stream-session``
+    A full :class:`~repro.streaming.solver.StreamingSolver` snapshot
+    (engine config, window state in every mode, drift-detector EWMA state,
+    cached solution) plus the serving layer's session metadata -- most
+    importantly ``durable_seq``, the WAL sequence number the snapshot is
+    current through, which is what makes checkpoint + WAL-tail replay
+    exactly-once.
+
+``repro.wal-batch``
+    One appended ``(rows, targets)`` batch with its sequence number.
+    Batches are framed into the WAL by :func:`repro.durability.wal.frame`;
+    replay after a restore skips entries already covered by the snapshot
+    (``seq < base_seq``) so a crash between "write checkpoint" and
+    "truncate WAL" can never double-fold a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.durability.codec import SchemaError, decode_record, encode_record
+from repro.streaming.solver import StreamingSolver
+
+__all__ = [
+    "SESSION_KIND",
+    "WAL_BATCH_KIND",
+    "decode_wal_batch",
+    "deserialize_session",
+    "encode_wal_batch",
+    "serialize_session",
+]
+
+#: Record kind of a full session checkpoint.
+SESSION_KIND = "repro.stream-session"
+
+#: Record kind of one WAL batch entry.
+WAL_BATCH_KIND = "repro.wal-batch"
+
+
+def serialize_session(solver: StreamingSolver, session_meta: Optional[dict] = None) -> bytes:
+    """Encode a live streaming engine (plus serving metadata) into one record."""
+    meta, arrays = solver.state_dict()
+    return encode_record(
+        SESSION_KIND,
+        {"engine": meta, "session": dict(session_meta or {})},
+        arrays,
+    )
+
+
+def deserialize_session(blob: bytes, *, executor=None) -> Tuple[StreamingSolver, dict]:
+    """Decode a session record back into ``(solver, session_meta)``.
+
+    Raises the codec's typed :class:`~repro.durability.codec.DurabilityError`
+    subclasses on any corruption -- the caller's cue to fall back to a fresh
+    session rather than serve from damaged state.
+    """
+    record = decode_record(blob, expect_kind=SESSION_KIND)
+    try:
+        engine_meta = record.meta["engine"]
+        session_meta = dict(record.meta["session"])
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(f"session record is missing its '{exc}' section") from exc
+    solver = StreamingSolver.from_state_dict(engine_meta, record.arrays, executor=executor)
+    return solver, session_meta
+
+
+def encode_wal_batch(seq: int, rows: np.ndarray, targets: np.ndarray) -> bytes:
+    """Encode one appended batch as a WAL payload (sequence-numbered)."""
+    return encode_record(
+        WAL_BATCH_KIND,
+        {"seq": int(seq)},
+        {
+            "rows": np.asarray(rows, dtype=np.float64),
+            "targets": np.asarray(targets, dtype=np.float64).ravel(),
+        },
+    )
+
+
+def decode_wal_batch(payload: bytes) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Decode one WAL payload back into ``(seq, rows, targets)``."""
+    record = decode_record(payload, expect_kind=WAL_BATCH_KIND)
+    try:
+        seq = int(record.meta["seq"])
+        rows = record.arrays["rows"]
+        targets = record.arrays["targets"]
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(f"WAL batch record is missing its '{exc}' field") from exc
+    return seq, rows, targets

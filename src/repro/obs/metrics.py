@@ -448,6 +448,22 @@ class MetricsRegistry:
                 return 0.0
             return float(sum(m.value for m in series.values()))
 
+    def labelled_values(self, name: str, label: str) -> Dict[str, float]:
+        """``{label value: value}`` breakdown of a counter/gauge family.
+
+        Children carrying the same label value (with further labels) are
+        summed; children missing the label are skipped.  This is the read
+        side of per-reason / per-lane counter families, so callers need no
+        shadow dict of the children they created.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            for key, metric in self._metrics.get(name, {}).items():
+                for k, v in key:
+                    if k == label:
+                        out[v] = out.get(v, 0.0) + float(metric.value)
+        return out
+
     def families(self) -> List[Tuple[str, str, List[object]]]:
         """``(name, type, metrics)`` triples sorted by name (for exporters)."""
         with self._lock:

@@ -427,6 +427,41 @@ class FrequentDirections:
         return float(np.linalg.norm(a.T @ a - b.T @ b, ord=2))
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Durable state: the used buffer rows plus the stream counters.
+
+        FD is deterministic, so this is *all* its state -- a restored
+        accumulator continues the stream bit-identically.
+        """
+        return {
+            "n": self.n,
+            "ell": self.ell,
+            "used": self._used,
+            "rows_seen": self.rows_seen,
+            "shrink_count": self.shrink_count,
+            "buffer": self._buffer[: self._used].copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore from a :meth:`state_dict` snapshot (shape-checked)."""
+        if int(state["n"]) != self.n or int(state["ell"]) != self.ell:
+            raise ValueError(
+                f"FD shape mismatch: snapshot is (n={state['n']}, ell={state['ell']}), "
+                f"this accumulator is (n={self.n}, ell={self.ell})"
+            )
+        used = int(state["used"])
+        buffer = np.asarray(state["buffer"], dtype=self._dtype)
+        if buffer.shape != (used, self.n):
+            raise ValueError(
+                f"FD snapshot buffer shape {buffer.shape} does not match used={used}, n={self.n}"
+            )
+        self._buffer[:] = 0.0
+        self._buffer[:used] = buffer
+        self._used = used
+        self.rows_seen = int(state["rows_seen"])
+        self.shrink_count = int(state["shrink_count"])
+
+    # ------------------------------------------------------------------
     @classmethod
     def from_countsketch(
         cls,

@@ -36,7 +36,13 @@ sketch operators and solvers into such a service:
   (``SketchServer.open_stream`` / ``append_rows`` / ``query_solution`` /
   ``close_stream``): a :class:`~repro.streaming.solver.StreamingSolver` per
   session, pinned to a shard, its window-sketch operator session-keyed in
-  the operator cache, with per-session ingest/staleness/re-solve telemetry.
+  the operator cache, with per-session ingest/staleness/re-solve telemetry --
+  and, when the config carries a
+  :class:`~repro.durability.store.DurabilityConfig`, crash-safe: appends are
+  write-ahead-logged before folding, sessions checkpoint periodically,
+  ``SketchServer.save()``/``restore()`` round-trip the whole session set
+  through the store, and TTL / ``max_sessions`` eviction policies bound
+  live-session memory (durable sessions passivate and resurrect on touch).
 
 Every batch dispatches through the solver registry
 (:mod:`repro.linalg.registry`): ``ServerConfig(policy=...)`` selects
@@ -88,6 +94,7 @@ from repro.serving.scheduler import ElasticShardPolicy, ScaleEvent, ShardSchedul
 from repro.serving.server import PlacedBatch, ServerConfig, SketchServer, naive_solve_loop
 from repro.serving.streaming import (
     IngestReport,
+    RestoreReport,
     StreamSession,
     StreamSolutionResponse,
     StreamingSessionManager,
@@ -130,6 +137,7 @@ __all__ = [
     "SketchServer",
     "naive_solve_loop",
     "IngestReport",
+    "RestoreReport",
     "StreamSession",
     "StreamSolutionResponse",
     "StreamingSessionManager",

@@ -413,6 +413,31 @@ class AsyncSketchServer:
                         p95_seconds=p95 if p95 is not None else 0.0,
                     )
 
+    def checkpoint(self, *, drain: bool = True, timeout: Optional[float] = None) -> Dict[int, int]:
+        """Drain-then-checkpoint: a consistent durable snapshot of every session.
+
+        The lifecycle is drain (serve everything already admitted, so no
+        acknowledged append is missing from the snapshot), pause dispatch,
+        wait out any straggling in-flight work, checkpoint every live
+        session through :meth:`SketchServer.save`, then resume.  Returns
+        ``{session_id: snapshot bytes}``.  With ``drain=False`` the backlog
+        is left queued and only already-applied state is snapshotted --
+        still consistent (the WAL already holds every acknowledged append),
+        just with more tail to replay after a crash.
+        """
+        if drain:
+            self.resume()  # a paused runtime could never drain
+            self.drain(timeout=timeout)
+        self.pause()
+        try:
+            with self._work:
+                ok = self._work.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+                if not ok:
+                    raise TimeoutError("checkpoint timed out with dispatches in flight")
+            return self.server.save()
+        finally:
+            self.resume()
+
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------

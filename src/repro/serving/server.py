@@ -62,11 +62,13 @@ from repro.serving.requests import (
     normalize_kind,
     normalize_solver,
 )
+from repro.durability.store import DirectoryCheckpointStore, DurabilityConfig
 from repro.obs.calibrate import CalibratedEstimator
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.serving.scheduler import ShardScheduler
 from repro.serving.streaming import (
     IngestReport,
+    RestoreReport,
     StreamingSessionManager,
     StreamSolutionResponse,
 )
@@ -148,6 +150,21 @@ class ServerConfig:
         the shadow deployment), or ``"active"`` (planner ranking,
         deadline-shedding projections and reservation estimates all use
         calibrated costs).
+    durability:
+        A :class:`~repro.durability.store.DurabilityConfig` to make
+        streaming sessions crash-safe: every append is WAL'd before it is
+        folded, sessions are snapshotted every
+        ``checkpoint_interval_batches`` appends, and
+        :meth:`SketchServer.restore` rebuilds them after a process death.
+        ``None`` (default) keeps sessions purely in-memory.
+    max_sessions:
+        Cap on simultaneously *live* streaming sessions; opening past it
+        evicts the least-recently-used one (passivated when durable,
+        terminal otherwise).  ``None`` means unbounded.
+    session_ttl_seconds:
+        Idle lifetime of a streaming session on its shard's simulated
+        clock; sessions idle longer are evicted on the next ``open`` (or
+        an explicit ``streams.sweep_expired()``).  ``None`` disables TTL.
     """
 
     kind: str = "multisketch"
@@ -169,6 +186,9 @@ class ServerConfig:
     trace_capacity: int = 512
     trace_sample: int = 1
     calibration: str = "observe"
+    durability: Optional[DurabilityConfig] = None
+    max_sessions: Optional[int] = None
+    session_ttl_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.kind = normalize_kind(self.kind)
@@ -188,6 +208,12 @@ class ServerConfig:
             raise ValueError("trace_sample must be positive (1 keeps every trace)")
         if self.calibration not in ("off", "observe", "active"):
             raise ValueError("calibration must be 'off', 'observe', or 'active'")
+        if self.durability is not None and not isinstance(self.durability, DurabilityConfig):
+            raise TypeError("durability must be a DurabilityConfig (or None)")
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1 (or None for unbounded)")
+        if self.session_ttl_seconds is not None and self.session_ttl_seconds <= 0.0:
+            raise ValueError("session_ttl_seconds must be positive (or None to disable)")
 
 
 @dataclass
@@ -838,6 +864,29 @@ class SketchServer:
         return self.streams.close(session_id)
 
     # ------------------------------------------------------------------
+    # durability (see repro.durability / repro.serving.streaming)
+    # ------------------------------------------------------------------
+    def save(self) -> Dict[int, int]:
+        """Checkpoint every live streaming session to the durability store.
+
+        Requires ``config.durability``; returns ``{session_id: snapshot
+        bytes}``.  Each session's WAL is truncated after its snapshot, so a
+        ``save()`` is a clean recovery point with nothing to replay.
+        """
+        return self.streams.save()
+
+    def restore(self) -> RestoreReport:
+        """Rebuild every durable session from checkpoint + WAL-tail replay.
+
+        Safe after any crash: corrupt or foreign records land in the
+        report's ``failed`` map with their typed error instead of raising,
+        and the server keeps serving (a fresh session can be opened in
+        their place) -- never a silently wrong answer.  Restore a single
+        session with ``server.streams.restore(session_id)``.
+        """
+        return self.streams.restore_all()
+
+    # ------------------------------------------------------------------
     # problem-class endpoints (see repro.problems)
     # ------------------------------------------------------------------
     def _problem_operator(
@@ -1469,6 +1518,57 @@ def _observability_demo(args) -> int:
     return 0
 
 
+def _durability_demo(args) -> int:
+    """``repro-serve --checkpoint-dir PATH``: crash/restore round trip.
+
+    Streams batches into a durable sliding-window session, abandons the
+    server mid-stream (simulating a crash: the last batches live only in
+    the WAL tail), restores on a brand-new server backed by the same
+    directory, and verifies the recovered solution is *identical* to the
+    pre-crash one -- the determinism the hashed sketch state guarantees.
+    """
+    store = DirectoryCheckpointStore(args.checkpoint_dir)
+    durability = DurabilityConfig(store=store, checkpoint_interval_batches=4)
+    rng = np.random.default_rng(args.seed)
+    n = 16
+    x_true = rng.standard_normal(n)
+
+    def make_batch():
+        rows = rng.standard_normal((256, n))
+        targets = rows @ x_true + 1e-8 * rng.standard_normal(256)
+        return rows, targets
+
+    server = SketchServer(shards=args.shards, seed=args.seed, durability=durability)
+    sid = server.open_stream(n, mode="sliding", bucket_rows=512, window_buckets=4, detector=False)
+    for _ in range(10):
+        server.append_rows(sid, *make_batch())
+    before = server.query_solution(sid)
+    checkpoints = server.telemetry.checkpoints_written
+    wal_appends = server.telemetry.wal_appends
+    del server  # crash: the process state is gone, only the store survives
+
+    recovered = SketchServer(shards=args.shards, seed=args.seed, durability=durability)
+    report = recovered.restore()
+    if not report.ok or sid not in report.restored:
+        print(f"restore failed: {report.failed or 'session missing'}")
+        return 1
+    after = recovered.query_solution(sid)
+    match = (
+        before.x is not None
+        and after.x is not None
+        and np.array_equal(before.x, after.x)
+    )
+    print(f"checkpoint dir        : {args.checkpoint_dir}")
+    print(f"checkpoints written   : {checkpoints}")
+    print(f"wal appends           : {wal_appends}")
+    print(f"wal batches replayed  : {report.restored[sid]}")
+    print(f"pre-crash residual    : {before.relative_residual:.3e}")
+    print(f"post-restore residual : {after.relative_residual:.3e}")
+    print(f"solutions identical   : {match}")
+    recovered.close_stream(sid)
+    return 0 if match else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Serving demo for the ``repro-serve`` console script.
 
@@ -1533,8 +1633,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="canary health probe: exit 0 healthy, 1 degraded (sheds, "
         "failures or firing SLO alerts), 2 unhealthy (probe itself failed)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="durability demo: run a streaming session against a "
+        "directory-backed checkpoint/WAL store at PATH, 'crash' it "
+        "mid-stream, then restore on a fresh server and verify the "
+        "recovered solution matches exactly (exit 1 on mismatch)",
+    )
     args = parser.parse_args(argv)
 
+    if args.checkpoint_dir is not None:
+        return _durability_demo(args)
     if args.health:
         return _health_probe(args)
     if args.slo_report:

@@ -18,15 +18,37 @@ its own entry (:meth:`~repro.serving.cache.OperatorCache.discard`).
 Per-session telemetry (rows/sec ingest, re-solve counts, staleness at query
 time, drift events) lands both on the session's own stats and in the
 server-wide :class:`~repro.serving.telemetry.ServingTelemetry` snapshot.
+
+**Durability.**  When the server's config carries a
+:class:`~repro.durability.store.DurabilityConfig`, every session is also a
+durable object: each appended batch is framed into the session's write-ahead
+log *before* it is folded into the window sketch, and every
+``checkpoint_interval_batches`` appends the whole engine state is
+snapshotted (:func:`~repro.durability.session.serialize_session`) and the
+WAL truncated.  :meth:`StreamingSessionManager.restore` rebuilds a session
+from its last checkpoint and replays the WAL tail -- sequence numbers make
+the replay exactly-once even if the process died between "write checkpoint"
+and "truncate WAL".  TTL/eviction policies bound live-session memory:
+evicted durable sessions are *passivated* (final checkpoint, cache pin
+released) and transparently resurrected on their next append or query;
+without durability an evicted session simply behaves as closed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.durability.codec import DurabilityError, SchemaError
+from repro.durability.session import (
+    decode_wal_batch,
+    deserialize_session,
+    encode_wal_batch,
+    serialize_session,
+)
+from repro.durability.wal import frame, replay_wal
 from repro.serving.cache import CacheEntry, operator_cache_key
 from repro.streaming.drift import DriftEvent
 from repro.streaming.solver import IngestReport, StreamingSolver
@@ -34,6 +56,7 @@ from repro.streaming.state import STREAM_CAPACITY
 
 __all__ = [
     "IngestReport",
+    "RestoreReport",
     "StreamSession",
     "StreamSolutionResponse",
     "StreamingSessionManager",
@@ -64,7 +87,10 @@ class StreamSession:
     """One live streaming session: its engine, shard binding and counters.
 
     ``cache_key`` is ``None`` for sessions whose window summary carries no
-    operator state to pin (``mode="fd"``).
+    operator state to pin (``mode="fd"``).  ``last_used`` is the session's
+    shard clock at its last touch (the TTL policy's input); ``durable_seq``
+    numbers the next WAL batch and ``wal_batches`` counts appends since the
+    last checkpoint.
     """
 
     session_id: int
@@ -72,6 +98,9 @@ class StreamSession:
     shard: int
     cache_key: Optional[Tuple]
     queries: int = 0
+    last_used: float = 0.0
+    wal_batches: int = 0
+    durable_seq: int = 0
 
     def stats(self) -> Dict[str, float]:
         """The session's own telemetry (engine counters plus serving keys)."""
@@ -80,6 +109,26 @@ class StreamSession:
         out["shard"] = float(self.shard)
         out["queries"] = float(self.queries)
         return out
+
+
+@dataclass
+class RestoreReport:
+    """Outcome of a :meth:`StreamingSessionManager.restore_all` sweep.
+
+    ``restored`` maps recovered session ids to the number of WAL batches
+    replayed on top of their checkpoints; ``failed`` maps unrecoverable ids
+    to ``"ErrorType: message"`` strings (typed durability errors -- a corrupt
+    checkpoint lands here and the server keeps running, it never serves from
+    damaged state).
+    """
+
+    restored: Dict[int, int] = field(default_factory=dict)
+    failed: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every durable session came back."""
+        return not self.failed
 
 
 @dataclass
@@ -118,6 +167,8 @@ class StreamingSessionManager:
     def __init__(self, server) -> None:
         self._server = server
         self._sessions: Dict[int, StreamSession] = {}
+        #: Evicted-but-durable session ids: resurrectable on next touch.
+        self._passivated: Set[int] = set()
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -130,6 +181,27 @@ class StreamingSessionManager:
         if session is None:
             raise KeyError(f"unknown or closed streaming session {session_id}")
         return session
+
+    @property
+    def _durability(self):
+        return self._server.config.durability
+
+    @staticmethod
+    def _key(session_id: int) -> str:
+        return f"session-{session_id}"
+
+    def _touch(self, session: StreamSession) -> None:
+        session.last_used = self._server.pool[session.shard].elapsed
+
+    def _resolve(self, session_id: int) -> StreamSession:
+        """A live session, resurrecting a passivated one transparently."""
+        session = self._sessions.get(session_id)
+        if session is not None:
+            return session
+        if self._durability is not None and session_id in self._passivated:
+            session, _replayed = self._restore_one(session_id)
+            return session
+        raise KeyError(f"unknown or closed streaming session {session_id}")
 
     # ------------------------------------------------------------------
     def open(
@@ -150,6 +222,14 @@ class StreamingSessionManager:
         """Open a session; returns its id (the server's request-id stream)."""
         server = self._server
         config = server.config
+        # Admission-side housekeeping: expire idle sessions first, then make
+        # room under the max_sessions cap (LRU passivation/eviction) so
+        # unbounded session churn can never exhaust memory.
+        self.sweep_expired()
+        if config.max_sessions is not None:
+            while len(self._sessions) >= config.max_sessions:
+                lru = min(self._sessions.values(), key=lambda s: s.last_used)
+                self.evict(lru.session_id, reason="capacity")
         if policy is None:
             # A fixed-policy server still streams adaptively: streaming
             # exists to re-route when windows drift.
@@ -185,7 +265,13 @@ class StreamingSessionManager:
             server.cache.put(key, CacheEntry(operator=solver.state.operator, shard=shard))
         session = StreamSession(session_id=session_id, solver=solver, shard=shard, cache_key=key)
         self._sessions[session_id] = session
+        self._touch(session)
         server.telemetry.record_stream_open()
+        if self._durability is not None:
+            # An immediate baseline checkpoint: the session's *configuration*
+            # lives in the snapshot, so WAL-only batches appended before the
+            # first interval checkpoint are already recoverable.
+            self.checkpoint(session_id)
         return session_id
 
     # ------------------------------------------------------------------
@@ -202,12 +288,34 @@ class StreamingSessionManager:
         accounting on the shard clock, so the spans cost nothing on the
         simulated timeline.
         """
-        session = self._get(session_id)
+        session = self._resolve(session_id)
         server = self._server
         tracer = server.tracer
         own_root = root is None and tracer.enabled
+        durability = self._durability
+        if durability is not None:
+            # Write-ahead: the batch is validated, framed, and durable
+            # *before* it is folded, so a crash at any later point can only
+            # lose work the caller was never told succeeded.
+            rows_arr = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+            targets_arr = np.asarray(targets, dtype=np.float64).ravel()
+            if rows_arr.shape[1] != session.solver.n:
+                raise ValueError(
+                    f"expected rows with {session.solver.n} columns, got {rows_arr.shape}"
+                )
+            if targets_arr.shape[0] != rows_arr.shape[0]:
+                raise ValueError("need one target per row")
+            if rows_arr.shape[0] > 0:
+                payload = encode_wal_batch(session.durable_seq, rows_arr, targets_arr)
+                durability.store.append_wal(self._key(session_id), frame(payload))
+                session.durable_seq += 1
+                session.wal_batches += 1
+                server.telemetry.record_wal_append(len(payload))
         report = session.solver.ingest(rows, targets)
         self._refresh_cache_entry(session)
+        self._touch(session)
+        if durability is not None and session.wal_batches >= durability.checkpoint_interval_batches:
+            self.checkpoint(session_id)
         telemetry = server.telemetry
         telemetry.record_stream_ingest(report.rows, report.simulated_seconds)
         if report.drift is not None:
@@ -272,11 +380,12 @@ class StreamingSessionManager:
         ``root`` as in :meth:`append`: a runtime-provided trace root, or
         ``None`` to start a standalone ``stream_query`` trace here.
         """
-        session = self._get(session_id)
+        session = self._resolve(session_id)
         server = self._server
         solver = session.solver
         tracer = server.tracer
         own_root = root is None and tracer.enabled
+        self._touch(session)
         resolves_before = solver.resolve_count
         solution = solver.solution()
         resolved = solver.resolve_count > resolves_before
@@ -334,15 +443,209 @@ class StreamingSessionManager:
 
     # ------------------------------------------------------------------
     def close(self, session_id: int) -> Dict[str, float]:
-        """Close a session, unpin its cache entry, return its final stats."""
+        """Close a session, unpin its cache entry, return its final stats.
+
+        Closing is deliberate: the session's durable state (checkpoint +
+        WAL) is deleted too -- unlike eviction, there is nothing to come
+        back to.
+        """
         session = self._sessions.pop(session_id, None)
         if session is None:
-            raise KeyError(f"unknown or closed streaming session {session_id}")
+            if self._durability is not None and session_id in self._passivated:
+                # Resurrect just long enough to report final stats cleanly.
+                session, _ = self._restore_one(session_id)
+                self._sessions.pop(session_id, None)
+            else:
+                raise KeyError(f"unknown or closed streaming session {session_id}")
         stats = session.stats()
         if session.cache_key is not None:
             self._server.cache.discard(session.cache_key)
+        if self._durability is not None:
+            self._durability.store.delete(self._key(session_id))
+            self._passivated.discard(session_id)
+            self._server.telemetry.set_passivated_sessions(len(self._passivated))
         self._server.telemetry.record_stream_close()
         return stats
+
+    # ------------------------------------------------------------------
+    # durability: checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, session_id: int) -> int:
+        """Snapshot one live session and truncate its WAL; returns blob size.
+
+        The snapshot records ``durable_seq``, so WAL entries written before
+        it (``seq < durable_seq``) are skipped at replay even when the
+        process dies between writing the checkpoint and truncating the log.
+        """
+        if self._durability is None:
+            raise RuntimeError("server has no durability config; nothing to checkpoint to")
+        session = self._get(session_id)
+        blob = serialize_session(
+            session.solver,
+            {
+                "session_id": session.session_id,
+                "durable_seq": session.durable_seq,
+                "queries": session.queries,
+            },
+        )
+        store = self._durability.store
+        key = self._key(session_id)
+        store.write_checkpoint(key, blob)
+        store.reset_wal(key)
+        session.wal_batches = 0
+        self._server.telemetry.record_checkpoint(len(blob))
+        return len(blob)
+
+    def save(self) -> Dict[int, int]:
+        """Checkpoint every live session; maps session id -> snapshot bytes."""
+        return {sid: self.checkpoint(sid) for sid in sorted(self._sessions)}
+
+    def _restore_one(self, session_id: int) -> Tuple[StreamSession, int]:
+        """Rebuild one session from checkpoint + WAL tail; returns replay count."""
+        durability = self._durability
+        if durability is None:
+            raise RuntimeError("server has no durability config; nothing to restore from")
+        server = self._server
+        store = durability.store
+        key = self._key(session_id)
+        blob = store.read_checkpoint(key)
+        if blob is None:
+            raise KeyError(f"no checkpoint stored for streaming session {session_id}")
+        shard = server.scheduler.place()
+        try:
+            solver, session_meta = deserialize_session(blob, executor=server.pool[shard])
+        except DurabilityError:
+            server.telemetry.record_corrupt_checkpoint()
+            raise
+        try:
+            base_seq = int(session_meta["durable_seq"])
+        except (KeyError, TypeError, ValueError) as exc:
+            server.telemetry.record_corrupt_checkpoint()
+            raise SchemaError("session checkpoint is missing its durable_seq") from exc
+
+        replay = replay_wal(store.read_wal(key))
+        if not replay.clean:
+            # A torn or corrupt tail is the expected shape of a crash: note
+            # it, replay the valid prefix, and move on.
+            server.telemetry.record_wal_truncation()
+        replayed = 0
+        next_seq = base_seq
+        for payload in replay.payloads:
+            try:
+                seq, rows, targets = decode_wal_batch(payload)
+            except DurabilityError:
+                server.telemetry.record_wal_truncation()
+                break
+            if seq < base_seq:
+                continue  # already inside the checkpoint: exactly-once replay
+            solver.ingest(rows, targets)
+            replayed += 1
+            next_seq = seq + 1
+
+        cache_key: Optional[Tuple] = None
+        if solver.state.operator is not None:
+            cache_key = stream_session_cache_key(session_id, solver.n + 1, solver.k, solver.seed)
+            server.cache.put(cache_key, CacheEntry(operator=solver.state.operator, shard=shard))
+        session = StreamSession(
+            session_id=session_id,
+            solver=solver,
+            shard=shard,
+            cache_key=cache_key,
+            queries=int(session_meta.get("queries", 0)),
+            durable_seq=next_seq,
+        )
+        self._sessions[session_id] = session
+        self._touch(session)
+        self._passivated.discard(session_id)
+        server.telemetry.set_passivated_sessions(len(self._passivated))
+        server._next_id = max(server._next_id, session_id + 1)
+        server.telemetry.record_restore(replayed)
+        # Re-checkpoint immediately: the restored state becomes the new
+        # baseline and any torn tail is cleared from the store.
+        self.checkpoint(session_id)
+        return session, replayed
+
+    def restore(self, session_id: int) -> StreamSession:
+        """Restore one session from its durable state (checkpoint + WAL)."""
+        if session_id in self._sessions:
+            return self._sessions[session_id]
+        session, _replayed = self._restore_one(session_id)
+        return session
+
+    def restore_all(self) -> RestoreReport:
+        """Restore every durable session the store knows; never raises.
+
+        Unrecoverable sessions (corrupt checkpoint, foreign record) land in
+        ``RestoreReport.failed`` with their typed error -- the fallback is a
+        running server without that session, not a wrong answer.
+        """
+        if self._durability is None:
+            raise RuntimeError("server has no durability config; nothing to restore from")
+        report = RestoreReport()
+        prefix = "session-"
+        for key in self._durability.store.keys():
+            if not key.startswith(prefix):
+                continue
+            try:
+                session_id = int(key[len(prefix):])
+            except ValueError:
+                continue
+            if session_id in self._sessions:
+                continue
+            try:
+                _session, replayed = self._restore_one(session_id)
+            except DurabilityError as exc:
+                report.failed[session_id] = f"{type(exc).__name__}: {exc}"
+            except KeyError as exc:
+                report.failed[session_id] = f"KeyError: {exc}"
+            else:
+                report.restored[session_id] = replayed
+        return report
+
+    # ------------------------------------------------------------------
+    # durability: TTL / eviction
+    # ------------------------------------------------------------------
+    def evict(self, session_id: int, *, reason: str = "manual") -> None:
+        """Evict a live session, releasing its memory and cache pin.
+
+        With durability the session is *passivated* -- final checkpoint,
+        then resurrect-on-touch; without it the eviction is terminal and a
+        later touch raises ``KeyError`` exactly like a closed session.
+        """
+        session = self._get(session_id)
+        if self._durability is not None:
+            self.checkpoint(session_id)
+            self._passivated.add(session_id)
+        self._sessions.pop(session_id, None)
+        if session.cache_key is not None:
+            self._server.cache.discard(session.cache_key)
+        telemetry = self._server.telemetry
+        telemetry.record_session_evicted(reason)
+        telemetry.set_passivated_sessions(len(self._passivated))
+
+    def sweep_expired(self) -> int:
+        """Evict every session idle past the server's TTL; returns the count.
+
+        Idleness is measured on the session's own shard clock (the simulated
+        timeline all serving latencies live on), from its last open, append
+        or query.
+        """
+        ttl = self._server.config.session_ttl_seconds
+        if ttl is None:
+            return 0
+        expired = [
+            s.session_id
+            for s in self._sessions.values()
+            if self._server.pool[s.shard].elapsed - s.last_used > ttl
+        ]
+        for session_id in expired:
+            self.evict(session_id, reason="ttl")
+        return len(expired)
+
+    @property
+    def passivated(self) -> Tuple[int, ...]:
+        """Ids of evicted-but-durable sessions (resurrectable on touch)."""
+        return tuple(sorted(self._passivated))
 
     # ------------------------------------------------------------------
     def session(self, session_id: int) -> StreamSession:

@@ -130,6 +130,17 @@ class ServingTelemetry:
         self._c_stream_ingest_seconds = r.counter("stream_ingest_seconds_total")
         self._c_stream_resolve_seconds = r.counter("stream_resolve_seconds_total")
         self._stream_staleness = r.histogram("stream_staleness_rows", capacity=cap)
+        # Durability series (see repro.durability / repro.serving.streaming).
+        self._c_checkpoints = r.counter("durability_checkpoints_total")
+        self._c_checkpoint_bytes = r.counter("durability_checkpoint_bytes_total")
+        self._c_wal_appends = r.counter("durability_wal_appends_total")
+        self._c_wal_bytes = r.counter("durability_wal_bytes_total")
+        self._c_restores = r.counter("durability_restores_total")
+        self._c_replayed_batches = r.counter("durability_replayed_batches_total")
+        self._c_corrupt_checkpoints = r.counter("durability_corrupt_checkpoints_total")
+        self._c_wal_truncations = r.counter("durability_wal_truncations_total")
+        self._c_sessions_evicted = r.counter("stream_sessions_evicted_total")
+        self._g_passivated = r.gauge("durability_passivated_sessions")
 
     # ------------------------------------------------------------------
     # derived counter attributes (read-only views over the registry)
@@ -197,6 +208,46 @@ class ServingTelemetry:
     @property
     def stream_resolve_seconds(self) -> float:
         return float(self._c_stream_resolve_seconds.value)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return int(self._c_checkpoints.value)
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        return int(self._c_checkpoint_bytes.value)
+
+    @property
+    def wal_appends(self) -> int:
+        return int(self._c_wal_appends.value)
+
+    @property
+    def wal_bytes(self) -> int:
+        return int(self._c_wal_bytes.value)
+
+    @property
+    def restores(self) -> int:
+        return int(self._c_restores.value)
+
+    @property
+    def replayed_batches(self) -> int:
+        return int(self._c_replayed_batches.value)
+
+    @property
+    def corrupt_checkpoints(self) -> int:
+        return int(self._c_corrupt_checkpoints.value)
+
+    @property
+    def wal_truncations(self) -> int:
+        return int(self._c_wal_truncations.value)
+
+    @property
+    def sessions_evicted(self) -> int:
+        return int(self._c_sessions_evicted.value)
+
+    @property
+    def passivated_sessions(self) -> int:
+        return int(self._g_passivated.value)
 
     # ------------------------------------------------------------------
     def record_request(self, latency_seconds: float, solver: Optional[str] = None) -> None:
@@ -408,6 +459,57 @@ class ServingTelemetry:
         with self._lock:
             self._stream_staleness.observe(float(staleness_rows))
 
+    # ------------------------------------------------------------------
+    # durability (checkpoint / WAL / restore / eviction)
+    # ------------------------------------------------------------------
+    def record_checkpoint(self, nbytes: int) -> None:
+        """Record one session snapshot written to the checkpoint store."""
+        with self._lock:
+            self._c_checkpoints.inc()
+            self._c_checkpoint_bytes.inc(int(nbytes))
+
+    def record_wal_append(self, nbytes: int) -> None:
+        """Record one batch framed into a session's write-ahead log."""
+        with self._lock:
+            self._c_wal_appends.inc()
+            self._c_wal_bytes.inc(int(nbytes))
+
+    def record_restore(self, replayed_batches: int) -> None:
+        """Record one session restored (checkpoint + replayed WAL tail)."""
+        with self._lock:
+            self._c_restores.inc()
+            self._c_replayed_batches.inc(int(replayed_batches))
+
+    def record_corrupt_checkpoint(self) -> None:
+        """Record a checkpoint that failed its typed decode (no fallback yet)."""
+        with self._lock:
+            self._c_corrupt_checkpoints.inc()
+
+    def record_wal_truncation(self) -> None:
+        """Record a WAL whose tail was dropped at replay (torn or corrupt)."""
+        with self._lock:
+            self._c_wal_truncations.inc()
+
+    def record_session_evicted(self, reason: str) -> None:
+        """Record one session evicted (``reason``: ttl / capacity / manual)."""
+        with self._lock:
+            self._c_sessions_evicted.inc()
+            self.registry.counter(
+                "stream_sessions_evicted_by_reason_total", reason=reason
+            ).inc()
+
+    def set_passivated_sessions(self, count: int) -> None:
+        """Publish how many evicted-but-durable sessions await resurrection."""
+        with self._lock:
+            self._g_passivated.set(int(count))
+
+    def eviction_counts(self) -> Dict[str, int]:
+        """Per-reason eviction counts (reasons with evictions since reset)."""
+        breakdown = self.registry.labelled_values(
+            "stream_sessions_evicted_by_reason_total", "reason"
+        )
+        return {reason: int(v) for reason, v in breakdown.items() if v > 0}
+
     def stream_ingest_rows_per_second(self) -> float:
         """Sustained ingest rate over all sessions (simulated seconds)."""
         seconds = self.stream_ingest_seconds
@@ -498,6 +600,19 @@ class ServingTelemetry:
             out["stream_drift_events"] = float(self.stream_drift_events)
             out["stream_ingest_rows_per_second"] = self.stream_ingest_rows_per_second()
             out["stream_mean_staleness_rows"] = self.stream_mean_staleness()
+        if self.checkpoints_written or self.wal_appends or self.restores or self.sessions_evicted:
+            out["durability_checkpoints"] = float(self.checkpoints_written)
+            out["durability_checkpoint_bytes"] = float(self.checkpoint_bytes)
+            out["durability_wal_appends"] = float(self.wal_appends)
+            out["durability_wal_bytes"] = float(self.wal_bytes)
+            out["durability_restores"] = float(self.restores)
+            out["durability_replayed_batches"] = float(self.replayed_batches)
+            out["durability_corrupt_checkpoints"] = float(self.corrupt_checkpoints)
+            out["durability_wal_truncations"] = float(self.wal_truncations)
+            out["durability_passivated_sessions"] = float(self.passivated_sessions)
+            out["stream_sessions_evicted"] = float(self.sessions_evicted)
+            for reason, count in self.eviction_counts().items():
+                out[f"stream_evicted_{reason}"] = float(count)
         for solver in self.solvers_seen():
             s = self.solver_latency_summary(solver)
             if s is None:

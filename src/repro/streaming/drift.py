@@ -195,3 +195,56 @@ class DriftDetector:
     def event_count(self) -> int:
         """Detector firings so far (both kinds)."""
         return len(self.events)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Durable detector state: config, EWMA references, run counters.
+
+        Everything is a plain JSON-able scalar (events become dicts), so the
+        detector rides inside the durable record header for free.
+        """
+        cfg = self.config
+        return {
+            "config": {
+                "residual_threshold": cfg.residual_threshold,
+                "patience": cfg.patience,
+                "ewma": cfg.ewma,
+                "min_reference": cfg.min_reference,
+                "cond_factor": cfg.cond_factor,
+                "probe_interval": cfg.probe_interval,
+            },
+            "reference_residual": self.reference_residual,
+            "reference_cond": self.reference_cond,
+            "suspicious_run": self._suspicious_run,
+            "batches_seen": self._batches_seen,
+            "events": [
+                {
+                    "kind": e.kind,
+                    "observed": e.observed,
+                    "reference": e.reference,
+                    "batch_index": e.batch_index,
+                }
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DriftDetector":
+        """Rebuild a detector mid-stream from :meth:`state_dict` output."""
+        detector = cls(DriftDetectorConfig(**state["config"]))
+        ref = state.get("reference_residual")
+        detector.reference_residual = None if ref is None else float(ref)
+        cond = state.get("reference_cond")
+        detector.reference_cond = None if cond is None else float(cond)
+        detector._suspicious_run = int(state["suspicious_run"])
+        detector._batches_seen = int(state["batches_seen"])
+        detector.events = [
+            DriftEvent(
+                kind=str(e["kind"]),
+                observed=float(e["observed"]),
+                reference=float(e["reference"]),
+                batch_index=int(e["batch_index"]),
+            )
+            for e in state.get("events", [])
+        ]
+        return detector

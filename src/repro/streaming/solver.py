@@ -420,6 +420,138 @@ class StreamingSolver:
         )
 
     # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Everything a restore needs: config, window state, detector, solution.
+
+        Returns ``(meta, arrays)`` in the durable record's split -- JSON-able
+        metadata plus named numpy arrays.  The engine's construction
+        parameters ride along so :meth:`from_state_dict` can rebuild an
+        identically-configured solver without out-of-band knowledge.
+        """
+        state_meta, arrays = self.state.state_dict()
+        meta = {
+            "config": {
+                "n": self.n,
+                "k": self.k,
+                "mode": self.mode,
+                "policy": self.policy,
+                "solve_kind": self.solve_kind,
+                "accuracy_target": self.accuracy_target,
+                "latency_budget": self.latency_budget,
+                "oversampling": self.oversampling,
+                "seed": self.seed,
+                "reset_on_drift": self.reset_on_drift,
+                "bucket_rows": int(getattr(self.state, "bucket_rows", 1024)),
+                "window_buckets": int(getattr(self.state, "window_buckets", 4)),
+                "decay": float(getattr(self.state, "decay", 0.999)),
+            },
+            "counters": {
+                "batches_ingested": self.batches_ingested,
+                "resolve_count": self.resolve_count,
+                "drift_resolves": self.drift_resolves,
+                "ingest_seconds": self.ingest_seconds,
+            },
+            "detector": None if self.detector is None else self.detector.state_dict(),
+            "state": state_meta,
+        }
+        sol = self._solution
+        if sol is None:
+            meta["solution"] = None
+        else:
+            meta["solution"] = {
+                "relative_residual": sol.relative_residual,
+                "planned_solver": sol.planned_solver,
+                "executed_solver": sol.executed_solver,
+                "attempted": list(sol.attempted),
+                "fallbacks": sol.fallbacks,
+                "cond_estimate": sol.cond_estimate,
+                "policy": sol.policy,
+                "trigger": sol.trigger,
+                "window_rows": sol.window_rows,
+                "rows_at_solve": sol.rows_at_solve,
+                "solved_version": sol.solved_version,
+                "simulated_seconds": sol.simulated_seconds,
+                "failed": sol.failed,
+                "failure_reason": sol.failure_reason,
+                "has_x": sol.x is not None,
+            }
+            if sol.x is not None:
+                arrays = dict(arrays)
+                arrays["solution_x"] = np.asarray(sol.x, dtype=np.float64)
+        return meta, arrays
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        meta: dict,
+        arrays: Dict[str, np.ndarray],
+        *,
+        executor: Optional[GPUExecutor] = None,
+    ) -> "StreamingSolver":
+        """Rebuild a mid-stream engine from :meth:`state_dict` output.
+
+        The restored engine is behaviourally identical to the snapshotted
+        one: the window sketch, global row counter, detector references and
+        cached solution all match, so replaying the same subsequent batches
+        produces the same answers.
+        """
+        cfg = meta["config"]
+        detector_state = meta.get("detector")
+        solver = cls(
+            int(cfg["n"]),
+            k=int(cfg["k"]),
+            mode=str(cfg["mode"]),
+            bucket_rows=int(cfg["bucket_rows"]),
+            window_buckets=int(cfg["window_buckets"]),
+            decay=float(cfg["decay"]),
+            policy=str(cfg["policy"]),
+            solve_kind=str(cfg["solve_kind"]),
+            accuracy_target=float(cfg["accuracy_target"]),
+            latency_budget=None if cfg["latency_budget"] is None else float(cfg["latency_budget"]),
+            oversampling=float(cfg["oversampling"]),
+            seed=int(cfg["seed"]),
+            detector=(
+                DriftDetector.from_state_dict(detector_state)
+                if detector_state is not None
+                else False
+            ),
+            reset_on_drift=bool(cfg["reset_on_drift"]),
+            executor=executor,
+        )
+        state_arrays = {name: arr for name, arr in arrays.items() if name != "solution_x"}
+        solver.state.load_state(meta["state"], state_arrays)
+        counters = meta["counters"]
+        solver.batches_ingested = int(counters["batches_ingested"])
+        solver.resolve_count = int(counters["resolve_count"])
+        solver.drift_resolves = int(counters["drift_resolves"])
+        solver.ingest_seconds = float(counters["ingest_seconds"])
+        sol_meta = meta.get("solution")
+        if sol_meta is not None:
+            x = arrays.get("solution_x")
+            if sol_meta["has_x"] and x is None:
+                raise ValueError("solution snapshot is missing its x payload")
+            solver._solution = StreamingSolution(
+                x=None if x is None else np.asarray(x, dtype=np.float64),
+                relative_residual=float(sol_meta["relative_residual"]),
+                planned_solver=str(sol_meta["planned_solver"]),
+                executed_solver=str(sol_meta["executed_solver"]),
+                attempted=tuple(str(s) for s in sol_meta["attempted"]),
+                fallbacks=int(sol_meta["fallbacks"]),
+                cond_estimate=float(sol_meta["cond_estimate"]),
+                policy=str(sol_meta["policy"]),
+                trigger=str(sol_meta["trigger"]),
+                window_rows=int(sol_meta["window_rows"]),
+                rows_at_solve=int(sol_meta["rows_at_solve"]),
+                solved_version=int(sol_meta["solved_version"]),
+                simulated_seconds=float(sol_meta["simulated_seconds"]),
+                failed=bool(sol_meta["failed"]),
+                failure_reason=str(sol_meta["failure_reason"]),
+            )
+        return solver
+
+    # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     @property

@@ -34,7 +34,7 @@ union of their rows.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -128,6 +128,59 @@ class _BaseState:
         """
         raise NotImplementedError
 
+    # -- durable state --------------------------------------------------
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """JSON-able metadata plus named arrays capturing the whole window.
+
+        The split mirrors the durable record format
+        (:func:`repro.durability.codec.encode_record`): scalars and
+        structure in ``meta``, bulk accumulators as named arrays.
+        """
+        raise NotImplementedError
+
+    def load_state(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore a freshly-constructed state from :meth:`state_dict` output."""
+        raise NotImplementedError
+
+    def _base_meta(self) -> dict:
+        return {
+            "mode": self.mode,
+            "n_cols": self.n_cols,
+            "k": self.k,
+            "seed": self.seed,
+            "version": self.version,
+            "next_index": self._next_index,
+            "rows_total": self.rows_total,
+        }
+
+    def _load_base(self, meta: dict) -> None:
+        for name, have in (("mode", self.mode), ("n_cols", self.n_cols), ("k", self.k), ("seed", self.seed)):
+            if meta.get(name) != have:
+                raise ValueError(
+                    f"window-state {name} mismatch: snapshot has {meta.get(name)!r}, "
+                    f"this state was built with {have!r}"
+                )
+        # Restoring the global row counter exactly is what makes recovery
+        # deterministic: replayed rows hash to the same identities they had
+        # in the crashed process.
+        self.version = int(meta["version"])
+        self._next_index = int(meta["next_index"])
+        self.rows_total = int(meta["rows_total"])
+
+    def _sketch_state(self, sketch: StreamingCountSketch) -> Tuple[dict, Optional[np.ndarray]]:
+        state = sketch.state_dict()
+        return (
+            {"rows_seen": state["rows_seen"], "n_cols": state["n_cols"], "numeric": state["numeric"]},
+            state["accumulator"],
+        )
+
+    def _restore_sketch(self, meta: dict, acc: Optional[np.ndarray]) -> StreamingCountSketch:
+        sketch = StreamingCountSketch(
+            STREAM_CAPACITY, self.k, executor=self.executor, seed=self.seed
+        )
+        sketch.load_state({**meta, "accumulator": acc})
+        return sketch
+
 
 class LandmarkState(_BaseState):
     """One accumulator from the last reset onwards."""
@@ -159,6 +212,20 @@ class LandmarkState(_BaseState):
     @property
     def operator(self) -> StreamingCountSketch:
         return self._sketch
+
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        sketch_meta, acc = self._sketch_state(self._sketch)
+        meta = self._base_meta()
+        meta["window_rows"] = self._window_rows
+        meta["sketch"] = sketch_meta
+        arrays = {} if acc is None else {"acc": acc}
+        return meta, arrays
+
+    def load_state(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        self._load_base(meta)
+        self._sketch.result().free()
+        self._sketch = self._restore_sketch(meta["sketch"], arrays.get("acc"))
+        self._window_rows = int(meta["window_rows"])
 
 
 class SlidingWindowState(_BaseState):
@@ -225,6 +292,37 @@ class SlidingWindowState(_BaseState):
     def operator(self) -> StreamingCountSketch:
         return self._ring[-1]
 
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        meta = self._base_meta()
+        meta["bucket_rows"] = self.bucket_rows
+        meta["window_buckets"] = self.window_buckets
+        buckets = []
+        arrays: Dict[str, np.ndarray] = {}
+        for i, bucket in enumerate(self._ring):
+            bucket_meta, acc = self._sketch_state(bucket)
+            buckets.append(bucket_meta)
+            if acc is not None:
+                arrays[f"bucket_{i}"] = acc
+        meta["buckets"] = buckets
+        return meta, arrays
+
+    def load_state(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        self._load_base(meta)
+        for name, have in (("bucket_rows", self.bucket_rows), ("window_buckets", self.window_buckets)):
+            if int(meta[name]) != have:
+                raise ValueError(
+                    f"sliding-window {name} mismatch: snapshot has {meta[name]}, "
+                    f"this state was built with {have}"
+                )
+        for bucket in self._ring:
+            bucket.result().free()
+        self._ring = [
+            self._restore_sketch(bucket_meta, arrays.get(f"bucket_{i}"))
+            for i, bucket_meta in enumerate(meta["buckets"])
+        ]
+        if not self._ring:
+            self._ring = [self._new_sketch()]
+
 
 class DecayState(_BaseState):
     """Exponentially decayed accumulator: scale by ``decay ** batch`` then fold."""
@@ -272,6 +370,26 @@ class DecayState(_BaseState):
     @property
     def operator(self) -> StreamingCountSketch:
         return self._sketch
+
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        sketch_meta, acc = self._sketch_state(self._sketch)
+        meta = self._base_meta()
+        meta["decay"] = self.decay
+        meta["effective_rows"] = self._effective_rows
+        meta["sketch"] = sketch_meta
+        arrays = {} if acc is None else {"acc": acc}
+        return meta, arrays
+
+    def load_state(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        self._load_base(meta)
+        if float(meta["decay"]) != self.decay:
+            raise ValueError(
+                f"decay mismatch: snapshot has {meta['decay']}, "
+                f"this state was built with {self.decay}"
+            )
+        self._sketch.result().free()
+        self._sketch = self._restore_sketch(meta["sketch"], arrays.get("acc"))
+        self._effective_rows = float(meta["effective_rows"])
 
 
 class FrequentDirectionsState(_BaseState):
@@ -333,6 +451,20 @@ class FrequentDirectionsState(_BaseState):
     def frequent_directions(self):
         """The live :class:`~repro.problems.lowrank.FrequentDirections` accumulator."""
         return self._fd
+
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        fd_state = self._fd.state_dict()
+        buffer = fd_state.pop("buffer")
+        meta = self._base_meta()
+        meta["window_rows"] = self._window_rows
+        meta["fd"] = fd_state
+        return meta, {"fd_buffer": buffer}
+
+    def load_state(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        self._load_base(meta)
+        self._fd = self._fd_cls(self.n_cols, self.k // 2, executor=self.executor)
+        self._fd.load_state({**meta["fd"], "buffer": arrays["fd_buffer"]})
+        self._window_rows = int(meta["window_rows"])
 
 
 def make_state(

@@ -42,9 +42,14 @@ _OBS_PREFIXES = (
 #: benchmarks/conftest.py so ``pytest -m slo`` runs the whole subset).
 _SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
 
+#: Module-name prefixes auto-marked ``durability`` (checkpoint/WAL codec,
+#: crash recovery, fault injection, session TTL/eviction; mirrors
+#: benchmarks/conftest.py so ``pytest -m durability`` runs the subset).
+_DURABILITY_PREFIXES = ("test_durability",)
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs``/``slo`` markers by module prefix."""
+    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs``/``slo``/``durability`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -60,6 +65,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.obs)
         if name.startswith(_SLO_PREFIXES):
             item.add_marker(pytest.mark.slo)
+        if name.startswith(_DURABILITY_PREFIXES):
+            item.add_marker(pytest.mark.durability)
 
 
 @pytest.fixture

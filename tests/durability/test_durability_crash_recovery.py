@@ -1,0 +1,197 @@
+"""Crash-recovery acceptance: kill mid-stream, restore, answer within bound.
+
+The durability tentpole's end-to-end contract, at the same problem scale as
+``benchmarks/test_streaming.py``:
+
+1. a durable sliding-window session killed at a *randomized batch boundary*
+   (so the crash usually lands between interval checkpoints, with a live
+   WAL tail) restores from its last checkpoint plus WAL replay, and the
+   recovered query's relative residual on the window's kept rows stays
+   within 1.2x of a from-scratch sketch-and-solve over those rows;
+2. recovery is in fact *exact*: the restored server answers bit-identically
+   to a twin server that never crashed (hashed row identity is a pure
+   function of the restored global index and operator seed);
+3. the replay ledger adds up -- batches replayed equal batches appended
+   since the last interval checkpoint, and land in telemetry;
+4. the concurrent runtime's ``checkpoint()`` drains in-flight work before
+   snapshotting, and the runtime keeps serving afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.countsketch import CountSketch
+from repro.durability import DurabilityConfig, MemoryCheckpointStore
+from repro.gpu.executor import GPUExecutor
+from repro.linalg.lstsq import relative_residual, sketch_and_solve
+from repro.serving import AsyncSketchServer, SketchServer
+
+N = 16
+BATCH = 256
+BUCKET_ROWS = 1024
+WINDOW_BUCKETS = 4
+CHECKPOINT_INTERVAL = 5  # coprime with the 4-batch bucket turnover
+
+pytestmark = pytest.mark.serving
+
+
+def _stream(seed: int, count: int):
+    rng = np.random.default_rng(seed)
+    x_true = np.linspace(-1.0, 1.0, N)
+    out = []
+    for _ in range(count):
+        rows = rng.standard_normal((BATCH, N))
+        out.append((rows, rows @ x_true + 0.05 * rng.standard_normal(BATCH)))
+    return out
+
+
+def _durable_server(store: MemoryCheckpointStore) -> SketchServer:
+    return SketchServer(
+        shards=1,
+        seed=3,
+        durability=DurabilityConfig(store=store, checkpoint_interval_batches=CHECKPOINT_INTERVAL),
+    )
+
+
+def _open_sliding(server: SketchServer) -> int:
+    return server.open_stream(
+        N,
+        mode="sliding",
+        bucket_rows=BUCKET_ROWS,
+        window_buckets=WINDOW_BUCKETS,
+        detector=False,
+    )
+
+
+@pytest.mark.parametrize("crash_seed", [0, 1, 2])
+def test_kill_midstream_restore_query_within_1p2x_bound(crash_seed):
+    # Randomize the kill point across parametrized runs: always past one
+    # full window (>= 16 batches) so the ring has turned over, otherwise
+    # anywhere -- bucket-aligned or not, checkpoint-aligned or not.
+    crash_at = int(np.random.default_rng(100 + crash_seed).integers(17, 25))
+    batches = _stream(seed=7, count=crash_at)
+
+    store = MemoryCheckpointStore()
+    server = _durable_server(store)
+    sid = _open_sliding(server)
+    for rows, targets in batches:
+        server.append_rows(sid, rows, targets)
+    del server  # crash: no save(), no close -- only the store survives
+
+    recovered = _durable_server(store)
+    report = recovered.restore()
+    assert report.ok and report.restored == {sid: crash_at % CHECKPOINT_INTERVAL}
+    assert recovered.telemetry.replayed_batches == crash_at % CHECKPOINT_INTERVAL
+
+    response = recovered.query_solution(sid)
+    assert response.x is not None
+
+    # Reference: from-scratch sketch-and-solve over exactly the rows the
+    # restored window retained (the window edge falls on a batch boundary
+    # because BATCH divides BUCKET_ROWS).
+    window_rows = recovered.streams.session(sid).solver.state.rows_in_window()
+    assert window_rows % BATCH == 0
+    kept = batches[-(window_rows // BATCH):]
+    a_win = np.vstack([rows for rows, _ in kept])
+    b_win = np.concatenate([targets for _, targets in kept])
+    streaming_resid = relative_residual(a_win, b_win, response.x)
+
+    executor = GPUExecutor(numeric=True, seed=0, track_memory=False)
+    sketch = CountSketch(
+        a_win.shape[0], min(4 * N * N, a_win.shape[0]), executor=executor, seed=0
+    )
+    scratch = sketch_and_solve(a_win, b_win, sketch, executor=executor)
+    ratio = streaming_resid / scratch.relative_residual
+    assert ratio <= 1.2, (
+        f"restored residual {ratio:.3f}x the from-scratch solve "
+        f"(crash at batch {crash_at})"
+    )
+
+
+def test_recovery_is_exact_vs_never_crashed_twin():
+    crash_at = 18
+    batches = _stream(seed=11, count=crash_at)
+
+    store = MemoryCheckpointStore()
+    crashed = _durable_server(store)
+    sid = _open_sliding(crashed)
+    twin = SketchServer(shards=1, seed=3)
+    twin_sid = _open_sliding(twin)
+    assert twin_sid == sid  # same id stream, same session seed
+
+    for rows, targets in batches:
+        crashed.append_rows(sid, rows, targets)
+        twin.append_rows(twin_sid, rows, targets)
+    del crashed
+
+    recovered = _durable_server(store)
+    assert recovered.restore().ok
+    np.testing.assert_array_equal(
+        recovered.query_solution(sid).x, twin.query_solution(twin_sid).x
+    )
+
+    # The recovered session keeps streaming: fold one more batch into both
+    # and they still agree exactly.
+    (rows, targets), = _stream(seed=12, count=1)
+    recovered.append_rows(sid, rows, targets)
+    twin.append_rows(twin_sid, rows, targets)
+    np.testing.assert_array_equal(
+        recovered.query_solution(sid).x, twin.query_solution(twin_sid).x
+    )
+
+
+def test_restore_is_idempotent_and_survives_a_second_crash():
+    """Restore re-checkpoints immediately, so crash-restore-crash-restore works."""
+    batches = _stream(seed=5, count=7)
+    store = MemoryCheckpointStore()
+    server = _durable_server(store)
+    sid = _open_sliding(server)
+    for rows, targets in batches:
+        server.append_rows(sid, rows, targets)
+    expected = server.query_solution(sid).x
+    del server
+
+    first = _durable_server(store)
+    assert first.restore().ok
+    del first  # second crash, immediately after recovery
+
+    second = _durable_server(store)
+    report = second.restore()
+    assert report.ok and report.restored == {sid: 0}  # tail was re-checkpointed
+    np.testing.assert_array_equal(second.query_solution(sid).x, expected)
+    # A third restore() call on the same process is a no-op, not a re-ingest.
+    assert second.restore().restored == {}
+
+
+def test_async_runtime_drains_before_checkpoint_and_keeps_serving():
+    store = MemoryCheckpointStore()
+    runtime = AsyncSketchServer(
+        shards=1,
+        workers=2,
+        queue_depth=64,
+        seed=3,
+        durability=DurabilityConfig(store=store, checkpoint_interval_batches=CHECKPOINT_INTERVAL),
+    )
+    try:
+        sid = runtime.open_stream(
+            N, mode="sliding", bucket_rows=BUCKET_ROWS,
+            window_buckets=WINDOW_BUCKETS, detector=False,
+        )
+        futures = [
+            runtime.append_rows(sid, rows, targets)
+            for rows, targets in _stream(seed=9, count=6)
+        ]
+        sizes = runtime.checkpoint()  # drain -> quiesce -> save -> resume
+        assert sid in sizes and sizes[sid] > 0
+        for future in futures:  # everything admitted before save() landed in it
+            assert future.done() and future.exception() is None
+        assert store.read_checkpoint(f"session-{sid}") is not None
+
+        # The runtime resumed: post-checkpoint work is still accepted.
+        (rows, targets), = _stream(seed=10, count=1)
+        runtime.append_rows(sid, rows, targets).result(timeout=30)
+        assert runtime.query_solution(sid).result(timeout=30).x is not None
+    finally:
+        runtime.stop()

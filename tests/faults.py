@@ -1,0 +1,70 @@
+"""Fault injectors for the durability test harness.
+
+Small, deterministic helpers that damage checkpoint / WAL bytes the way real
+storage does: a flipped bit (latent media corruption), a torn tail (crash
+mid-``write``), a truncated record.  The durability tests use them to assert
+the graceful-degradation contract: every injected fault ends in a *typed*
+:class:`~repro.durability.codec.DurabilityError` or a clean fallback --
+never a silently wrong answer.
+
+Lives next to ``conftest.py`` so every test package can ``import faults``
+(pytest puts the conftest directory on ``sys.path``).
+"""
+
+from __future__ import annotations
+
+from repro.durability import CheckpointStore
+
+
+def flip_byte(blob: bytes, index: int = -5) -> bytes:
+    """Return ``blob`` with one byte XOR-flipped.
+
+    The default index ``-5`` lands inside the payload just ahead of the
+    trailing CRC32 of a :mod:`repro.durability.codec` record, so the frame
+    still parses structurally but fails its checksum.
+    """
+    if not blob:
+        raise ValueError("cannot flip a byte of an empty blob")
+    mutated = bytearray(blob)
+    mutated[index] ^= 0xFF
+    return bytes(mutated)
+
+
+def torn_tail(blob: bytes, drop: int) -> bytes:
+    """Return ``blob`` with the final ``drop`` bytes missing (torn write)."""
+    if drop <= 0:
+        raise ValueError("drop must be positive")
+    return blob[:-drop] if drop < len(blob) else b""
+
+
+def corrupt_checkpoint(store: CheckpointStore, key: str, index: int = -5) -> None:
+    """Flip one byte of the stored checkpoint for ``key`` in place."""
+    blob = store.read_checkpoint(key)
+    if blob is None:
+        raise KeyError(f"no checkpoint stored for {key!r}")
+    store.write_checkpoint(key, flip_byte(blob, index))
+
+
+def truncate_checkpoint(store: CheckpointStore, key: str, keep: int) -> None:
+    """Replace the stored checkpoint for ``key`` with its first ``keep`` bytes."""
+    blob = store.read_checkpoint(key)
+    if blob is None:
+        raise KeyError(f"no checkpoint stored for {key!r}")
+    store.write_checkpoint(key, blob[:keep])
+
+
+def tear_wal_tail(store: CheckpointStore, key: str, drop: int) -> None:
+    """Tear the final ``drop`` bytes off the stored WAL for ``key``.
+
+    Models a crash partway through an ``append_wal`` ``write(2)``: the frame
+    length prefix promises more bytes than the file holds.
+    """
+    store.write_wal(key, torn_tail(store.read_wal(key), drop))
+
+
+def corrupt_wal_frame(store: CheckpointStore, key: str, index: int = -5) -> None:
+    """Flip one byte inside the stored WAL for ``key`` (latent corruption)."""
+    blob = store.read_wal(key)
+    if not blob:
+        raise KeyError(f"no WAL bytes stored for {key!r}")
+    store.write_wal(key, flip_byte(blob, index))

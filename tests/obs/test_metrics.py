@@ -213,6 +213,19 @@ def test_registry_total_and_families():
     assert kinds == {"shed_total": "counter", "active": "gauge", "latency": "histogram"}
 
 
+def test_registry_labelled_values_breakdown():
+    reg = MetricsRegistry()
+    reg.counter("evicted_total", reason="ttl").inc(3)
+    reg.counter("evicted_total", reason="capacity").inc(1)
+    reg.counter("evicted_total", reason="ttl", shard="1").inc(2)  # summed in
+    reg.counter("evicted_total")  # no labels: skipped
+    assert reg.labelled_values("evicted_total", "reason") == {
+        "ttl": 5.0, "capacity": 1.0,
+    }
+    assert reg.labelled_values("evicted_total", "shard") == {"1": 2.0}
+    assert reg.labelled_values("unknown", "reason") == {}
+
+
 def test_registry_reset_keeps_registrations():
     reg = MetricsRegistry()
     c = reg.counter("requests_total", lane="solve")
