@@ -51,6 +51,11 @@ _SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
 #: sync with tests/conftest.py).
 _DURABILITY_PREFIXES = ("test_durability",)
 
+#: Module-name prefixes that carry the ``frequency`` marker automatically
+#: (frequency-analytics vertical: heavy hitters, norms, hierarchical
+#: sketches -- kept in sync with tests/conftest.py).
+_FREQUENCY_PREFIXES = ("test_frequency",)
+
 
 def pytest_collection_modifyitems(items):
     """Mark everything under benchmarks/ with the ``benchmark`` marker.
@@ -81,6 +86,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.slo)
         if path.name.startswith(_DURABILITY_PREFIXES):
             item.add_marker(pytest.mark.durability)
+        if path.name.startswith(_FREQUENCY_PREFIXES):
+            item.add_marker(pytest.mark.frequency)
 
 
 def accuracy_scale() -> str:

@@ -75,25 +75,55 @@ def test_mixed_load_span_trees_are_complete_for_admitted_requests():
         runtime.stop()
 
 
+def _drive_runtime_burst(tracing: bool, trace_sample: int = 1):
+    """One 12-request burst through a single-worker runtime; sorted latencies."""
+    rng = np.random.default_rng(5)
+    runtime = AsyncSketchServer(
+        config=ServerConfig(
+            shards=2, seed=11, max_batch=4, tracing=tracing, trace_sample=trace_sample
+        ),
+        workers=1,
+        queue_depth=64,
+    )
+    try:
+        # Admit the whole burst before dispatching any of it (the
+        # perf-trajectory idiom): the load itself is then deterministic, so
+        # the only thing left that could move the simulated latencies is the
+        # observability configuration under test.
+        runtime.pause()
+        futures = []
+        for _ in range(12):
+            a = rng.standard_normal((256, 12))
+            futures.append(runtime.submit(a, rng.standard_normal(256)))
+        runtime.resume()
+        runtime.drain()
+        latencies = sorted(f.result().simulated_seconds for f in futures)
+    finally:
+        runtime.stop()
+    return latencies
+
+
 def test_runtime_tracing_leaves_simulated_latencies_unchanged():
     """Same single-worker load with tracing on/off: identical lane latency."""
+    np.testing.assert_allclose(_drive_runtime_burst(True), _drive_runtime_burst(False))
 
-    def drive(tracing: bool):
-        rng = np.random.default_rng(5)
-        runtime = AsyncSketchServer(
-            config=ServerConfig(shards=2, seed=11, max_batch=4, tracing=tracing),
-            workers=1,
-            queue_depth=64,
-        )
-        try:
-            futures = []
-            for _ in range(12):
-                a = rng.standard_normal((256, 12))
-                futures.append(runtime.submit(a, rng.standard_normal(256)))
-            runtime.drain()
-            latencies = sorted(f.result().simulated_seconds for f in futures)
-        finally:
-            runtime.stop()
-        return latencies
 
-    np.testing.assert_allclose(drive(True), drive(False))
+def test_runtime_latencies_invariant_across_tracing_and_sampling_configs():
+    """Admission stamps are epoch-based, so simulated latencies cannot depend
+    on how observability config shifts the wall-clock submitter/worker race.
+
+    Regression test for the tracing-perturbs-scheduling bug: the admission
+    timestamp used to be a live ``pool.min_load()`` read whose value depended
+    on worker dispatch progress at the wall-clock instant of admission;
+    tracing (span construction under the runtime lock) biased that race and
+    produced systematically different latency patterns.  Every observability
+    configuration -- tracing off, unsampled tracing, and 1-in-N head
+    sampling -- must now yield bit-identical sorted latencies, and repeat
+    runs of the same configuration must be deterministic.
+    """
+    baseline = _drive_runtime_burst(False)
+    for tracing, sample in ((False, 1), (True, 1), (True, 3)):
+        for _ in range(2):  # repeat: determinism within a config, too
+            np.testing.assert_array_equal(
+                _drive_runtime_burst(tracing, trace_sample=sample), baseline
+            )

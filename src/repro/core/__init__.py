@@ -19,7 +19,17 @@ All operators share the :class:`~repro.core.base.SketchOperator` interface:
 """
 
 from repro.core.base import SketchOperator, default_embedding_dim
-from repro.core.countsketch import CountSketch, StreamingCountSketch
+from repro.core.countsketch import (
+    DENSIFY_LIMIT,
+    CountSketch,
+    SketchMaterializationError,
+    StreamingCountSketch,
+)
+from repro.core.frequency import (
+    FrequencySketch,
+    HierarchicalFrequencySketch,
+    SlidingFrequencyWindow,
+)
 from repro.core.gaussian import GaussianSketch
 from repro.core.srht import SRHT, BlockSRHT
 from repro.core.multisketch import MultiSketch, count_gauss, count_srht
@@ -30,6 +40,11 @@ __all__ = [
     "default_embedding_dim",
     "CountSketch",
     "StreamingCountSketch",
+    "SketchMaterializationError",
+    "DENSIFY_LIMIT",
+    "FrequencySketch",
+    "HierarchicalFrequencySketch",
+    "SlidingFrequencyWindow",
     "GaussianSketch",
     "SRHT",
     "BlockSRHT",

@@ -43,6 +43,26 @@ from repro.core.sampling import hashed_row_map_and_signs, signs_to_values
 from repro.gpu.arrays import DeviceArray
 from repro.gpu.kernels import KernelClass, KernelRequest
 
+#: Largest input dimension ``d`` for which the hashed streaming sketch will
+#: materialise per-index state (``np.arange(d)``, explicit CSR, dense
+#: matrices).  The streaming window engines construct their sketches with
+#: ``d = STREAM_CAPACITY = 2^48`` -- an *address space* for row indices, not
+#: a real matrix height -- so any whole-domain operation on them would try a
+#: multi-terabyte allocation.  2^27 int64 indices is one GiB: past that the
+#: operation is a bug, not a request.
+DENSIFY_LIMIT = 1 << 27
+
+
+class SketchMaterializationError(RuntimeError):
+    """A whole-domain operation was asked of a sketch too large to densify.
+
+    Raised by :class:`StreamingCountSketch` when ``explicit_matrix()`` /
+    ``apply()`` / ``apply_vector()`` would enumerate every index of a domain
+    above :data:`DENSIFY_LIMIT` (the streaming windows' ``2^48`` capacity
+    sketches being the motivating case).  Streaming callers should use
+    :meth:`StreamingCountSketch.update` with explicit row indices instead.
+    """
+
 
 class CountSketch(SketchOperator):
     """CountSketch operator ``S in R^{k x d}`` with one ``+/-1`` per column.
@@ -265,8 +285,18 @@ class StreamingCountSketch(SketchOperator):
         """Recompute (target rows, signs) for the given input-row indices."""
         return hashed_row_map_and_signs(np.asarray(indices), self._k, self._hash_seed)
 
+    def _check_densifiable(self, operation: str) -> None:
+        """Refuse whole-domain operations on address-space-sized sketches."""
+        if self._d > DENSIFY_LIMIT:
+            raise SketchMaterializationError(
+                f"{operation} would enumerate all d={self._d} input indices "
+                f"(limit {DENSIFY_LIMIT}); a sketch this large is a streaming "
+                f"address space -- feed it batches through update() instead"
+            )
+
     def explicit_matrix(self) -> np.ndarray:
         """Dense ``k x d`` matrix equivalent of the hashed sketch."""
+        self._check_densifiable("explicit_matrix()")
         rows, signs = self.row_map_and_signs(np.arange(self._d))
         vals = signs_to_values(signs, self._dtype)
         mat = sp.csr_matrix((vals, (rows, np.arange(self._d))), shape=(self._k, self._d))
@@ -473,11 +503,13 @@ class StreamingCountSketch(SketchOperator):
     # ------------------------------------------------------------------
     def _apply_impl(self, a: DeviceArray) -> DeviceArray:
         """One-shot application: stream all rows in a single batch."""
+        self._check_densifiable("apply()")
         self.begin(a.shape[1])
         self.update(np.arange(self._d), a.data if a.is_numeric else None)
         return self.result()
 
     def _apply_vector_impl(self, b: DeviceArray) -> DeviceArray:
+        self._check_densifiable("apply_vector()")
         ex = self._ex
         out = ex.empty((self._k,), dtype=self._dtype, label="stream_vec_out")
         if ex.numeric and b.is_numeric:

@@ -50,12 +50,16 @@ from repro.linalg.iterative import (
     IterativeSolveInfo,
 )
 from repro.linalg.registry import (
+    ProblemClass,
     RegisteredSolver,
     SolveSpec,
     SolverCapabilities,
     available_solvers,
     canonical_solver_name,
+    get_problem_class,
     get_solver,
+    problem_classes,
+    register_problem_class,
     register_solver,
     resolve_embedding_dim,
     solve,
@@ -87,11 +91,15 @@ __all__ = [
     "sketch_preconditioned_lsqr",
     "sketch_precond_lsqr",
     "IterativeSolveInfo",
+    "ProblemClass",
     "RegisteredSolver",
     "SolveSpec",
     "SolverCapabilities",
     "available_solvers",
     "canonical_solver_name",
+    "get_problem_class",
+    "problem_classes",
+    "register_problem_class",
     "get_solver",
     "register_solver",
     "resolve_embedding_dim",

@@ -444,6 +444,73 @@ class RegisteredSolver:
         )
 
 
+@dataclass(frozen=True)
+class ProblemClass:
+    """One problem family the stack can serve, as routing-level data.
+
+    ``solver_backed`` problem classes answer requests through the solver
+    registry and planner (least squares, ridge); sketch-backed ones
+    (frequency analytics) answer through a query engine planned by their
+    ``planner`` hook instead of a :class:`SolveSpec`.  ``queries`` names
+    the query types the class exposes through the serving layer.
+    """
+
+    name: str
+    description: str
+    queries: Tuple[str, ...]
+    solver_backed: bool = True
+
+
+_PROBLEM_CLASSES: Dict[str, "ProblemClass"] = {}
+
+
+def register_problem_class(problem: ProblemClass) -> ProblemClass:
+    """Add (or replace) a problem class in the catalog; returns it."""
+    _PROBLEM_CLASSES[problem.name] = problem
+    return problem
+
+
+def get_problem_class(name: str) -> ProblemClass:
+    """Look up a problem class, triggering its registration import."""
+    ensure_problem_solvers(name)
+    try:
+        return _PROBLEM_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem class '{name}'; registered: {sorted(_PROBLEM_CLASSES)}"
+        ) from None
+
+
+def problem_classes() -> Dict[str, "ProblemClass"]:
+    """Name -> problem class catalog (registration order preserved)."""
+    return dict(_PROBLEM_CLASSES)
+
+
+register_problem_class(
+    ProblemClass(
+        name="least_squares",
+        description="min_x ||b - A x||_2; the paper's five solver families",
+        queries=("solve",),
+    )
+)
+register_problem_class(
+    ProblemClass(
+        name="ridge",
+        description="Tikhonov-regularized regression on the lambda-augmented system",
+        queries=("solve",),
+    )
+)
+register_problem_class(
+    ProblemClass(
+        name="frequency",
+        description="stream frequency analytics on the hashed CountSketch "
+        "(point / heavy-hitter / norm / range queries)",
+        queries=("point", "heavy_hitters", "norm", "range"),
+        solver_backed=False,
+    )
+)
+
+
 _REGISTRY: Dict[str, RegisteredSolver] = {}
 
 #: Memoised analytic dry-run costs (see :meth:`RegisteredSolver.estimate_seconds`).
@@ -509,6 +576,8 @@ def ensure_problem_solvers(problem: str) -> None:
     """
     if problem == "ridge":
         import repro.problems.ridge  # noqa: F401  (registers on import)
+    elif problem == "frequency":
+        import repro.problems.frequency  # noqa: F401  (registers on import)
 
 
 def get_solver(name: str) -> RegisteredSolver:

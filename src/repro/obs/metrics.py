@@ -351,11 +351,23 @@ class Histogram:
         return tuple(self._p2)
 
     def reset(self) -> None:
+        """Restart the histogram as if freshly constructed (whole stream).
+
+        Everything restarts together: the exact aggregates (``count``,
+        ``sum``, ``min``, ``max``), the P² whole-stream sketches, *and* the
+        sample ring.  The ring must be zeroed, not just logically emptied
+        via ``_count = 0``: ``observe_many``'s wrap-around layout and the
+        ``_values_locked`` views index the ring relative to ``_count``, and
+        leaving pre-reset samples in the buffer would let a later code path
+        that trusts ``capacity``-bounded reads resurface data from before
+        the reset.  A reset histogram is indistinguishable from a new one.
+        """
         with self._lock:
             self._count = 0
             self._sum = 0.0
             self._min = np.inf
             self._max = -np.inf
+            self._ring.fill(0.0)
             self._p2 = {q: P2Quantile(q / 100.0) for q in self._p2}
 
 

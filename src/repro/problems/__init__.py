@@ -10,6 +10,12 @@ as data; this package treats "which *problem*" the same way:
   :class:`~repro.linalg.registry.SolveSpec` with ``regularization > 0``
   routes to them through the ordinary planner, with stability floors
   evaluated at the lambda-shifted effective conditioning.
+* :mod:`repro.problems.frequency` -- the frequency-analytics problem class:
+  sizing (:func:`~repro.problems.frequency.plan_frequency_sketch` inverts
+  the eps-phi bounds of :mod:`repro.theory.frequency`) and construction of
+  the flat/hierarchical frequency sketches of :mod:`repro.core.frequency`,
+  served through the ``query_heavy_hitters`` / ``query_norm`` /
+  ``query_range`` session endpoints.
 * :mod:`repro.problems.lowrank` -- sketched low-rank approximation: the
   randomized range finder (Gaussian test matrix + power iteration) and the
   streaming :class:`~repro.problems.lowrank.FrequentDirections`
@@ -23,6 +29,12 @@ never need to import it explicitly (they trigger the registration on the
 first ridge spec they see).
 """
 
+from repro.problems.frequency import (
+    FREQUENCY_QUERIES,
+    FrequencyPlan,
+    build_frequency_sketch,
+    plan_frequency_sketch,
+)
 from repro.problems.lowrank import (
     LOWRANK_METHODS,
     FrequentDirections,
@@ -43,6 +55,10 @@ from repro.problems.ridge import (
 )
 
 __all__ = [
+    "FREQUENCY_QUERIES",
+    "FrequencyPlan",
+    "build_frequency_sketch",
+    "plan_frequency_sketch",
     "LOWRANK_METHODS",
     "FrequentDirections",
     "LowRankResult",

@@ -43,6 +43,13 @@ sketch operators and solvers into such a service:
   ``SketchServer.save()``/``restore()`` round-trip the whole session set
   through the store, and TTL / ``max_sessions`` eviction policies bound
   live-session memory (durable sessions passivate and resurrect on touch).
+* :mod:`repro.serving.frequency` -- frequency-analytics sessions
+  (``SketchServer.open_frequency_stream`` / ``append_items`` /
+  ``query_heavy_hitters`` / ``query_norm`` / ``query_range`` /
+  ``query_point``): a planned flat or hierarchical frequency sketch
+  (:mod:`repro.core.frequency`) per session, served bit-for-bit identical
+  to direct library calls, WAL-before-fold durable like solver sessions,
+  with ``frequency_*`` telemetry and the same async stream lane.
 
 Every batch dispatches through the solver registry
 (:mod:`repro.linalg.registry`): ``ServerConfig(policy=...)`` selects
@@ -88,6 +95,12 @@ from repro.serving.requests import (
     normalize_lane,
     normalize_policy,
     normalize_solver,
+)
+from repro.serving.frequency import (
+    FrequencyIngestReport,
+    FrequencyQueryResponse,
+    FrequencySession,
+    FrequencySessionManager,
 )
 from repro.serving.runtime import AsyncSketchServer, RuntimeConfig, RuntimeFuture
 from repro.serving.scheduler import ElasticShardPolicy, ScaleEvent, ShardScheduler
@@ -136,6 +149,10 @@ __all__ = [
     "ServerConfig",
     "SketchServer",
     "naive_solve_loop",
+    "FrequencyIngestReport",
+    "FrequencyQueryResponse",
+    "FrequencySession",
+    "FrequencySessionManager",
     "IngestReport",
     "RestoreReport",
     "StreamSession",

@@ -249,6 +249,12 @@ class AsyncSketchServer:
         self._in_flight = 0
         self._seq = 0
         self._completed_since_scale = 0
+        # Epoch baseline for admission timestamps: refreshed from the pool
+        # clocks only when the runtime is observed idle, so every request of
+        # a burst is stamped with the same simulated arrival instant no
+        # matter how the submitter and worker threads interleave (see
+        # _admit_locked).
+        self._admission_base = 0.0
         # EWMA of recent per-dispatch service estimates (calibrated when the
         # server's calibration mode is "active"): the service-time term of
         # the proactive elastic policy's predicted queue-drain time.
@@ -450,7 +456,20 @@ class AsyncSketchServer:
         return self.server.pool.min_load(among=self.scheduler.active_set())
 
     def _admit_locked(self, lane: str) -> float:
-        """Common admission gate; returns the admission timestamp."""
+        """Common admission gate; returns the admission timestamp.
+
+        The timestamp is an *epoch baseline*, not a live clock read: it is
+        refreshed from :meth:`_virtual_now_locked` only when the runtime is
+        idle (empty queue, nothing in flight) and reused for every request
+        admitted while work remains outstanding.  A live read would make the
+        stamp depend on how far the worker threads happened to have
+        progressed at the wall-clock instant of admission -- a
+        submitter-vs-worker race that let wall-clock-only effects (tracing
+        span construction, GC pauses, OS scheduling) perturb the *simulated*
+        queue-inclusive latencies.  With the epoch stamp, a burst's
+        latencies are a deterministic function of admission order, which is
+        what the "observability is zero simulated cost" contract needs.
+        """
         if self._stop:
             raise RuntimeError("runtime is stopped")
         depth = self._queue_depth_locked()
@@ -463,7 +482,9 @@ class AsyncSketchServer:
             )
         self.telemetry.record_admission(lane)
         self.telemetry.record_queue_depth(depth + 1)
-        return self._virtual_now_locked()
+        if depth == 0 and self._in_flight == 0:
+            self._admission_base = self._virtual_now_locked()
+        return self._admission_base
 
     def _start_root_locked(
         self, lane: str, admitted_at: float, request_id: int, **attrs
@@ -628,9 +649,59 @@ class AsyncSketchServer:
         """Admit one solution query for a session (``stream`` lane)."""
         return self._submit_stream("query", session_id, ())
 
+    # ------------------------------------------------------------------
+    # frequency sessions through the queue (same lane as streaming)
+    # ------------------------------------------------------------------
+    def open_frequency_stream(self, domain: int, **options) -> int:
+        """Open a frequency session (control plane: immediate, not queued)."""
+        with self._lock:
+            return self.server.open_frequency_stream(domain, **options)
+
+    def append_items(self, session_id: int, ids, weights=None) -> RuntimeFuture:
+        """Admit one ``(ids, weights)`` batch into the ``stream`` lane.
+
+        Frequency sessions share the streaming lane's per-session FIFO
+        discipline: one session's batches and queries dispatch in admission
+        order, different sessions interleave freely.  The future resolves to
+        a :class:`~repro.serving.frequency.FrequencyIngestReport`.
+        """
+        return self._submit_stream("freq_append", session_id, (ids, weights))
+
+    def query_heavy_hitters(
+        self, session_id: int, *, k: Optional[int] = None, phi: Optional[float] = None
+    ) -> RuntimeFuture:
+        """Admit one heavy-hitter query (``stream`` lane); resolves to the
+        session's :class:`~repro.serving.frequency.FrequencyQueryResponse`."""
+        return self._submit_stream("freq_hh", session_id, (k, phi))
+
+    def query_norm(self, session_id: int) -> RuntimeFuture:
+        """Admit one l2-norm query for a frequency session (``stream`` lane)."""
+        return self._submit_stream("freq_norm", session_id, ())
+
+    def query_range(self, session_id: int, lo: int, hi: int) -> RuntimeFuture:
+        """Admit one dyadic range query for a frequency session."""
+        return self._submit_stream("freq_range", session_id, (int(lo), int(hi)))
+
+    def query_point(self, session_id: int, ids) -> RuntimeFuture:
+        """Admit one point-frequency query for a frequency session."""
+        return self._submit_stream("freq_point", session_id, (ids,))
+
+    def close_frequency_stream(self, session_id: int) -> Dict[str, float]:
+        """Close a frequency session after its queued work drains."""
+        with self._work:
+            self._work.wait_for(
+                lambda: not self._stream_queues.get(session_id)
+                and session_id not in self._stream_busy
+            )
+            self._stream_queues.pop(session_id, None)
+            return self.server.close_frequency_stream(session_id)
+
     def _submit_stream(self, kind: str, session_id: int, payload: Tuple) -> RuntimeFuture:
         with self._work:
-            if session_id not in self.server.streams:
+            if (
+                session_id not in self.server.streams
+                and session_id not in self.server.frequencies
+            ):
                 raise KeyError(f"unknown or closed streaming session {session_id}")
             admitted_at = self._admit_locked("stream")
             future = RuntimeFuture("stream", session_id)
@@ -872,15 +943,38 @@ class AsyncSketchServer:
     def _dispatch_stream(self, item: _LaneItem) -> None:
         session_id = item.payload[0]
         try:
-            session = self.server.streams.session(session_id)
+            if item.kind.startswith("freq_"):
+                session = self.server.frequencies.session(session_id)
+            else:
+                session = self.server.streams.session(session_id)
             with self._shard_locks[session.shard]:
                 if item.kind == "append":
                     _, rows, targets = item.payload
                     result: object = self.server.append_rows(
                         session_id, rows, targets, root=item.root
                     )
-                else:
+                elif item.kind == "query":
                     result = self.server.query_solution(session_id, root=item.root)
+                elif item.kind == "freq_append":
+                    _, ids, weights = item.payload
+                    result = self.server.append_items(
+                        session_id, ids, weights, root=item.root
+                    )
+                elif item.kind == "freq_hh":
+                    _, k, phi = item.payload
+                    result = self.server.query_heavy_hitters(
+                        session_id, k=k, phi=phi, root=item.root
+                    )
+                elif item.kind == "freq_norm":
+                    result = self.server.query_norm(session_id, root=item.root)
+                elif item.kind == "freq_range":
+                    _, lo, hi = item.payload
+                    result = self.server.query_range(session_id, lo, hi, root=item.root)
+                elif item.kind == "freq_point":
+                    _, ids = item.payload
+                    result = self.server.query_point(session_id, ids, root=item.root)
+                else:  # pragma: no cover - submit() only produces the kinds above
+                    raise RuntimeError(f"unknown stream-lane kind {item.kind!r}")
             done_at = self.server.pool[session.shard].elapsed
             self.telemetry.record_lane_latency(
                 "stream", max(0.0, done_at - item.admitted_at)

@@ -66,6 +66,11 @@ from repro.durability.store import DirectoryCheckpointStore, DurabilityConfig
 from repro.obs.calibrate import CalibratedEstimator
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.serving.scheduler import ShardScheduler
+from repro.serving.frequency import (
+    FrequencyIngestReport,
+    FrequencyQueryResponse,
+    FrequencySessionManager,
+)
 from repro.serving.streaming import (
     IngestReport,
     RestoreReport,
@@ -282,6 +287,7 @@ class SketchServer:
         self.telemetry.set_active_shards(self.scheduler.active_shards)
         self._batcher = MicroBatcher(max_batch=config.max_batch)
         self.streams = StreamingSessionManager(self)
+        self.frequencies = FrequencySessionManager(self)
         self._next_id = 0
         self._batch_seq = 0
         # Conditioning probes are pure functions of the matrix; memoise them
@@ -864,16 +870,73 @@ class SketchServer:
         return self.streams.close(session_id)
 
     # ------------------------------------------------------------------
+    # frequency sessions (see repro.serving.frequency)
+    # ------------------------------------------------------------------
+    def open_frequency_stream(self, domain: int, **options) -> int:
+        """Open a frequency-analytics session over ``domain`` item ids.
+
+        Options (``phi``, ``delta``, ``branch``, ``need_ranges``,
+        ``max_width``, ``seed``) are forwarded to
+        :meth:`repro.serving.frequency.FrequencySessionManager.open`; the
+        sketch is sized by :func:`repro.problems.frequency.plan_frequency_sketch`
+        and pinned to a scheduler-chosen shard.
+        """
+        return self.frequencies.open(domain, **options)
+
+    def append_items(
+        self, session_id: int, ids, weights=None, *, root: Optional[Span] = None
+    ) -> FrequencyIngestReport:
+        """Fold one ``(ids, weights)`` batch into a frequency session."""
+        return self.frequencies.append(session_id, ids, weights, root=root)
+
+    def query_heavy_hitters(
+        self,
+        session_id: int,
+        *,
+        k: Optional[int] = None,
+        phi: Optional[float] = None,
+        root: Optional[Span] = None,
+    ) -> FrequencyQueryResponse:
+        """Serve a frequency session's ``phi``-heavy hitters (library-exact)."""
+        return self.frequencies.query_heavy_hitters(session_id, k=k, phi=phi, root=root)
+
+    def query_norm(
+        self, session_id: int, *, root: Optional[Span] = None
+    ) -> FrequencyQueryResponse:
+        """Serve a frequency session's l2-norm estimate."""
+        return self.frequencies.query_norm(session_id, root=root)
+
+    def query_range(
+        self, session_id: int, lo: int, hi: int, *, root: Optional[Span] = None
+    ) -> FrequencyQueryResponse:
+        """Serve the estimated weight of ids in ``[lo, hi)`` (dyadic descent)."""
+        return self.frequencies.query_range(session_id, lo, hi, root=root)
+
+    def query_point(
+        self, session_id: int, ids, *, root: Optional[Span] = None
+    ) -> FrequencyQueryResponse:
+        """Serve point-frequency estimates for explicit ids."""
+        return self.frequencies.query_point(session_id, ids, root=root)
+
+    def close_frequency_stream(self, session_id: int) -> Dict[str, float]:
+        """Close a frequency session and return its final statistics."""
+        return self.frequencies.close(session_id)
+
+    # ------------------------------------------------------------------
     # durability (see repro.durability / repro.serving.streaming)
     # ------------------------------------------------------------------
     def save(self) -> Dict[int, int]:
-        """Checkpoint every live streaming session to the durability store.
+        """Checkpoint every live session to the durability store.
 
         Requires ``config.durability``; returns ``{session_id: snapshot
-        bytes}``.  Each session's WAL is truncated after its snapshot, so a
+        bytes}`` across both streaming-solver and frequency sessions (ids
+        never collide -- both managers draw from the server's one id
+        stream).  Each session's WAL is truncated after its snapshot, so a
         ``save()`` is a clean recovery point with nothing to replay.
         """
-        return self.streams.save()
+        saved = self.streams.save()
+        saved.update(self.frequencies.save())
+        return saved
 
     def restore(self) -> RestoreReport:
         """Rebuild every durable session from checkpoint + WAL-tail replay.
@@ -881,10 +944,17 @@ class SketchServer:
         Safe after any crash: corrupt or foreign records land in the
         report's ``failed`` map with their typed error instead of raising,
         and the server keeps serving (a fresh session can be opened in
-        their place) -- never a silently wrong answer.  Restore a single
-        session with ``server.streams.restore(session_id)``.
+        their place) -- never a silently wrong answer.  Frequency sessions
+        are restored alongside solver sessions and land in the same
+        ``restored`` map.  Restore a single session with
+        ``server.streams.restore(session_id)`` /
+        ``server.frequencies.restore(session_id)``.
         """
-        return self.streams.restore_all()
+        report = self.streams.restore_all()
+        freq_report = self.frequencies.restore_all()
+        report.restored.update(freq_report.restored)
+        report.failed.update(freq_report.failed)
+        return report
 
     # ------------------------------------------------------------------
     # problem-class endpoints (see repro.problems)
@@ -1290,6 +1360,7 @@ class SketchServer:
         out["scale_ups"] = float(transitions["up"])
         out["scale_downs"] = float(transitions["down"])
         out["open_streams"] = float(len(self.streams))
+        out["open_frequency_streams"] = float(len(self.frequencies))
         out["traces_completed"] = float(self.tracer.traces_completed)
         for i, load in enumerate(self.pool.loads()):
             out[f"shard{i}_busy_seconds"] = load

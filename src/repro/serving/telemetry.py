@@ -130,6 +130,15 @@ class ServingTelemetry:
         self._c_stream_ingest_seconds = r.counter("stream_ingest_seconds_total")
         self._c_stream_resolve_seconds = r.counter("stream_resolve_seconds_total")
         self._stream_staleness = r.histogram("stream_staleness_rows", capacity=cap)
+        # Frequency-analytics series (see repro.serving.frequency).
+        self._c_freq_opened = r.counter("frequency_sessions_opened_total")
+        self._c_freq_closed = r.counter("frequency_sessions_closed_total")
+        self._c_freq_items = r.counter("frequency_items_total")
+        self._c_freq_batches = r.counter("frequency_batches_total")
+        self._c_freq_queries = r.counter("frequency_queries_total")
+        self._c_freq_query_seconds = r.counter("frequency_query_seconds_total")
+        self._c_freq_ingest_seconds = r.counter("frequency_ingest_seconds_total")
+        self._freq_queries_by_kind: Dict[str, Counter] = {}
         # Durability series (see repro.durability / repro.serving.streaming).
         self._c_checkpoints = r.counter("durability_checkpoints_total")
         self._c_checkpoint_bytes = r.counter("durability_checkpoint_bytes_total")
@@ -460,6 +469,77 @@ class ServingTelemetry:
             self._stream_staleness.observe(float(staleness_rows))
 
     # ------------------------------------------------------------------
+    # frequency-analytics sessions
+    # ------------------------------------------------------------------
+    @property
+    def frequency_sessions_opened(self) -> int:
+        return int(self._c_freq_opened.value)
+
+    @property
+    def frequency_sessions_closed(self) -> int:
+        return int(self._c_freq_closed.value)
+
+    @property
+    def frequency_items(self) -> int:
+        return int(self._c_freq_items.value)
+
+    @property
+    def frequency_batches(self) -> int:
+        return int(self._c_freq_batches.value)
+
+    @property
+    def frequency_queries(self) -> int:
+        return int(self._c_freq_queries.value)
+
+    @property
+    def frequency_query_seconds(self) -> float:
+        return float(self._c_freq_query_seconds.value)
+
+    @property
+    def frequency_ingest_seconds(self) -> float:
+        return float(self._c_freq_ingest_seconds.value)
+
+    def record_frequency_open(self) -> None:
+        """Record one opened frequency-analytics session."""
+        with self._lock:
+            self._c_freq_opened.inc()
+
+    def record_frequency_close(self) -> None:
+        """Record one closed frequency-analytics session."""
+        with self._lock:
+            self._c_freq_closed.inc()
+
+    def record_frequency_ingest(self, items: int, seconds: float) -> None:
+        """Record one ingested item batch (count and simulated fold time)."""
+        with self._lock:
+            self._c_freq_batches.inc()
+            self._c_freq_items.inc(int(items))
+            self._c_freq_ingest_seconds.inc(float(seconds))
+
+    def record_frequency_query(self, kind: str, seconds: float) -> None:
+        """Record one answered frequency query under its query type.
+
+        ``kind`` is one of the catalog's query types (``point`` /
+        ``heavy_hitters`` / ``norm`` / ``range``); each gets its own
+        labelled counter so the query mix is observable per type.
+        """
+        with self._lock:
+            self._c_freq_queries.inc()
+            self._c_freq_query_seconds.inc(float(seconds))
+            counter = self._freq_queries_by_kind.get(kind)
+            if counter is None:
+                counter = self.registry.counter(
+                    "frequency_queries_by_kind_total", kind=kind
+                )
+                self._freq_queries_by_kind[kind] = counter
+            counter.inc()
+
+    def frequency_query_counts(self) -> Dict[str, int]:
+        """Per-kind frequency query counters."""
+        with self._lock:
+            return {kind: int(c.value) for kind, c in self._freq_queries_by_kind.items()}
+
+    # ------------------------------------------------------------------
     # durability (checkpoint / WAL / restore / eviction)
     # ------------------------------------------------------------------
     def record_checkpoint(self, nbytes: int) -> None:
@@ -600,6 +680,16 @@ class ServingTelemetry:
             out["stream_drift_events"] = float(self.stream_drift_events)
             out["stream_ingest_rows_per_second"] = self.stream_ingest_rows_per_second()
             out["stream_mean_staleness_rows"] = self.stream_mean_staleness()
+        if self.frequency_sessions_opened or self.frequency_batches or self.frequency_queries:
+            out["frequency_sessions_opened"] = float(self.frequency_sessions_opened)
+            out["frequency_sessions_closed"] = float(self.frequency_sessions_closed)
+            out["frequency_items_ingested"] = float(self.frequency_items)
+            out["frequency_batches"] = float(self.frequency_batches)
+            out["frequency_queries"] = float(self.frequency_queries)
+            out["frequency_query_seconds"] = self.frequency_query_seconds
+            out["frequency_ingest_seconds"] = self.frequency_ingest_seconds
+            for kind, count in self.frequency_query_counts().items():
+                out[f"frequency_{kind}_queries"] = float(count)
         if self.checkpoints_written or self.wal_appends or self.restores or self.sessions_evicted:
             out["durability_checkpoints"] = float(self.checkpoints_written)
             out["durability_checkpoint_bytes"] = float(self.checkpoint_bytes)
@@ -639,3 +729,4 @@ class ServingTelemetry:
             self._lane_latencies.clear()
             self._sheds_by_reason.clear()
             self._sheds_by_lane.clear()
+            self._freq_queries_by_kind.clear()

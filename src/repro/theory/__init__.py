@@ -9,6 +9,9 @@ This package encodes the analytical content of the paper:
   concrete sketch realises on a given subspace.
 * :mod:`repro.theory.complexity` -- the arithmetic / memory-traffic / maximum
   distortion table (Table 1).
+* :mod:`repro.theory.frequency` -- eps-phi guarantees for the frequency
+  vertical: point-query error/failure bounds, heavy-hitter recoverability,
+  and hierarchical query work counts.
 """
 
 from repro.theory.embeddings import (
@@ -31,6 +34,16 @@ from repro.theory.complexity import (
     solver_complexity,
     streaming_complexity,
 )
+from repro.theory.frequency import (
+    depth_for_failure,
+    heavy_hitter_guarantee,
+    hierarchical_topk_work,
+    hierarchy_levels,
+    point_query_epsilon,
+    point_query_failure,
+    range_query_nodes,
+    width_for_epsilon,
+)
 
 __all__ = [
     "required_embedding_dim",
@@ -47,4 +60,12 @@ __all__ = [
     "sketch_complexity",
     "solver_complexity",
     "streaming_complexity",
+    "point_query_epsilon",
+    "point_query_failure",
+    "width_for_epsilon",
+    "depth_for_failure",
+    "heavy_hitter_guarantee",
+    "hierarchy_levels",
+    "range_query_nodes",
+    "hierarchical_topk_work",
 ]

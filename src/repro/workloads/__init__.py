@@ -8,7 +8,9 @@
   sides and the condition-number sweep of Figure 8.
 * :mod:`repro.workloads.streams` -- row streams for the online engine
   (:mod:`repro.streaming`): piecewise-stationary streams with abrupt change
-  points and continuously drifting streams.
+  points and continuously drifting streams; plus Zipfian *item* streams
+  (:func:`~repro.workloads.streams.zipf_stream`) with exact ground-truth
+  counts for the frequency-analytics vertical.
 * :mod:`repro.workloads.ridge` -- Tikhonov-regularized problems with a
   controlled lambda-to-spectrum scale (:mod:`repro.problems.ridge`'s
   workloads).
@@ -32,10 +34,13 @@ from repro.workloads.least_squares import (
     condition_sweep_problem,
 )
 from repro.workloads.streams import (
+    FrequencyStream,
+    ItemBatch,
     LeastSquaresStream,
     StreamBatch,
     drifting_stream,
     piecewise_stationary_stream,
+    zipf_stream,
 )
 from repro.workloads.ridge import RidgeProblem, make_ridge_problem
 from repro.workloads.lowrank import LowRankProblem, decaying_spectrum_matrix
@@ -51,10 +56,13 @@ __all__ = [
     "easy_problem",
     "hard_problem",
     "condition_sweep_problem",
+    "FrequencyStream",
+    "ItemBatch",
     "LeastSquaresStream",
     "StreamBatch",
     "drifting_stream",
     "piecewise_stationary_stream",
+    "zipf_stream",
     "RidgeProblem",
     "make_ridge_problem",
     "LowRankProblem",

@@ -16,14 +16,32 @@ whole problem at once; these produce *row streams* -- batches of
 Both return a :class:`LeastSquaresStream` whose batches carry the
 ground-truth coefficients in force when the batch was emitted, so tests and
 experiments can score an online estimate against the truth of *that moment*.
+
+For the frequency-analytics vertical, :func:`zipf_stream` generates *item*
+streams -- batches of integer ids drawn from a (truncated) Zipf law over an
+arbitrary domain, with the heavy ranks scattered across the id space so
+hierarchical (dyadic) sketches see realistic non-clustered hitters.  The
+returned :class:`FrequencyStream` knows its own exact counts, so tests can
+score sketch estimates against ground truth without a second pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Domains up to this size draw from the exact truncated-Zipf pmf;
+#: larger (address-space) domains use rejection from the unbounded law.
+_EXACT_ZIPF_DOMAIN = 1 << 20
+
+#: Rank-scattering multiplier (the splitmix64 golden-ratio constant).  Odd,
+#: so multiplication modulo any power-of-two domain is a bijection; for
+#: other domains the multiplier is nudged to the nearest residue coprime
+#: with the domain (small domains) or used as a wraparound hash (address
+#: spaces), where the collision probability is negligible.
+_SCATTER_GOLD = 0x9E3779B97F4A7C15
 
 
 @dataclass
@@ -220,4 +238,165 @@ def drifting_stream(
         kind="drifting",
         segment_truths=[x0, x1],
         change_points=[],
+    )
+
+
+# ---------------------------------------------------------------------------
+# frequency-analytics item streams
+# ---------------------------------------------------------------------------
+@dataclass
+class ItemBatch:
+    """One arriving batch of an item stream: ids and their update weights."""
+
+    ids: np.ndarray
+    #: ``None`` means unit weights (pure counting).
+    weights: Optional[np.ndarray]
+    start: int
+
+    @property
+    def size(self) -> int:
+        """Number of items in the batch."""
+        return self.ids.shape[0]
+
+
+@dataclass
+class FrequencyStream:
+    """A generated item stream plus its exact ground-truth counts.
+
+    ``batches`` is materialised like :class:`LeastSquaresStream`; the truth
+    helpers (:meth:`true_counts`, :meth:`true_l2`, :meth:`heavy_hitters`,
+    :meth:`range_weight`) compute exact answers from the emitted items, so
+    property tests can score a sketch without enumerating the domain.
+    """
+
+    batches: List[ItemBatch]
+    domain: int
+    batch_size: int
+    alpha: float
+    kind: str = "zipf"
+
+    def __iter__(self) -> Iterator[ItemBatch]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_items(self) -> int:
+        """Items across the whole stream."""
+        return sum(b.size for b in self.batches)
+
+    def all_ids(self) -> np.ndarray:
+        """Every emitted id, in arrival order."""
+        if not self.batches:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate([b.ids for b in self.batches])
+
+    def true_counts(self) -> Dict[int, float]:
+        """Exact aggregate weight per id (sparse -- only ids that occurred)."""
+        counts: Dict[int, float] = {}
+        for batch in self.batches:
+            w = batch.weights if batch.weights is not None else np.ones(batch.size)
+            ids, inverse = np.unique(batch.ids, return_inverse=True)
+            sums = np.zeros(ids.size)
+            np.add.at(sums, inverse, w)
+            for i, s in zip(ids.tolist(), sums.tolist()):
+                counts[i] = counts.get(i, 0.0) + s
+        return counts
+
+    def true_l2(self) -> float:
+        """Exact l2 norm of the frequency vector."""
+        counts = np.fromiter(self.true_counts().values(), dtype=np.float64)
+        return float(np.sqrt(np.sum(counts**2))) if counts.size else 0.0
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[int, float]]:
+        """Exact ``phi``-heavy hitters: ids with ``f_i >= phi ||f||_2``."""
+        counts = self.true_counts()
+        threshold = phi * self.true_l2()
+        hits = [(i, c) for i, c in counts.items() if c >= threshold]
+        hits.sort(key=lambda pair: (-pair[1], pair[0]))
+        return hits
+
+    def range_weight(self, lo: int, hi: int) -> float:
+        """Exact total weight of ids in the half-open range ``[lo, hi)``."""
+        return float(
+            sum(c for i, c in self.true_counts().items() if lo <= i < hi)
+        )
+
+
+def _zipf_ranks(
+    rng: np.random.Generator, domain: int, alpha: float, size: int
+) -> np.ndarray:
+    """``size`` ranks in ``[1, domain]`` following a truncated Zipf law."""
+    if domain <= _EXACT_ZIPF_DOMAIN:
+        ranks = np.arange(1, domain + 1, dtype=np.float64)
+        pmf = ranks**-alpha
+        pmf /= pmf.sum()
+        return rng.choice(domain, size=size, p=pmf).astype(np.int64) + 1
+    # Address-space domains: rejection from the unbounded law.  The tail
+    # mass above 2^48 is astronomically small for alpha > 1, so the redraw
+    # loop terminates immediately in practice; the uniform fill is a
+    # belt-and-braces bound on the iteration count.
+    out = rng.zipf(alpha, size=size).astype(np.int64)
+    for _ in range(8):
+        bad = out > domain
+        if not bad.any():
+            return out
+        out[bad] = rng.zipf(alpha, size=int(bad.sum())).astype(np.int64)
+    out[out > domain] = rng.integers(1, domain + 1, size=int((out > domain).sum()))
+    return out
+
+
+def _scatter_ranks(ranks: np.ndarray, domain: int) -> np.ndarray:
+    """Spread Zipf ranks across the id space with a multiplicative hash."""
+    if domain < (1 << 31):
+        # Exact bijection: multiplier coprime with the domain, products
+        # bounded by 2^62 so plain int64 arithmetic is overflow-free.
+        m = _SCATTER_GOLD % domain
+        while m < 2 or np.gcd(m, domain) != 1:
+            m = (m + 1) % domain
+        return (ranks * np.int64(m)) % np.int64(domain)
+    # Address-space domains: wraparound uint64 multiply then reduce.  Not a
+    # bijection for non-power-of-two domains, but at <= millions of distinct
+    # ranks in a >= 2^31 space, collisions are statistically irrelevant.
+    scattered = ranks.astype(np.uint64) * np.uint64(_SCATTER_GOLD)
+    return (scattered % np.uint64(domain)).astype(np.int64)
+
+
+def zipf_stream(
+    domain: int,
+    *,
+    total_items: int = 16384,
+    batch_size: int = 1024,
+    alpha: float = 1.2,
+    scatter: bool = True,
+    seed: Optional[int] = 0,
+) -> FrequencyStream:
+    """Item stream whose ids follow a Zipf(``alpha``) law over ``domain``.
+
+    Rank ``r`` (1 = heaviest) maps to id ``(r * m) mod domain`` with ``m``
+    derived from :data:`_SCATTER_GOLD` when ``scatter`` is on, so the heavy
+    items land all over the id space instead of clustering at 0 -- the
+    regime dyadic descent must actually navigate.  ``scatter=False`` keeps
+    ``id = rank - 1`` (heaviest items first), convenient for eyeballing.
+
+    All weights are 1 (pure counting); the exact truth helpers on the
+    returned :class:`FrequencyStream` are the test oracle.
+    """
+    if domain <= 0 or total_items <= 0 or batch_size <= 0:
+        raise ValueError("domain, total_items and batch_size must be positive")
+    if alpha <= 1.0:
+        raise ValueError("zipf exponent alpha must exceed 1")
+    rng = np.random.default_rng(seed)
+    ranks = _zipf_ranks(rng, domain, alpha, total_items)
+    if scatter:
+        ids = _scatter_ranks(ranks, domain)
+    else:
+        ids = ranks - 1
+    batches = [
+        ItemBatch(ids=ids[start : start + batch_size], weights=None, start=start)
+        for start in range(0, total_items, batch_size)
+    ]
+    return FrequencyStream(
+        batches=batches, domain=int(domain), batch_size=int(batch_size), alpha=float(alpha)
     )

@@ -47,9 +47,15 @@ _SLO_PREFIXES = ("test_slo", "test_calibrat", "test_compare_bench")
 #: benchmarks/conftest.py so ``pytest -m durability`` runs the subset).
 _DURABILITY_PREFIXES = ("test_durability",)
 
+#: Module-name prefixes auto-marked ``frequency`` (frequency-analytics
+#: vertical: core sketches, eps-phi property tests, serving sessions,
+#: acceptance benchmark; mirrors benchmarks/conftest.py so
+#: ``pytest -m frequency`` runs the subset).
+_FREQUENCY_PREFIXES = ("test_frequency",)
+
 
 def pytest_collection_modifyitems(items):
-    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs``/``slo``/``durability`` markers by module prefix."""
+    """Auto-apply the ``planner``/``streaming``/``runtime``/``obs``/``slo``/``durability``/``frequency`` markers by module prefix."""
     for item in items:
         try:
             name = pathlib.Path(str(item.fspath)).name
@@ -67,6 +73,8 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.slo)
         if name.startswith(_DURABILITY_PREFIXES):
             item.add_marker(pytest.mark.durability)
+        if name.startswith(_FREQUENCY_PREFIXES):
+            item.add_marker(pytest.mark.frequency)
 
 
 @pytest.fixture

@@ -1,0 +1,212 @@
+"""Seeded property-based tests for the frequency-analytics error bounds.
+
+Hypothesis drives the stream seeds (``derandomize=True`` like
+``test_sketch_properties.py``, so the suite is deterministic run to run);
+the exact ground truth comes from :class:`repro.workloads.streams.FrequencyStream`,
+never from a second sketch.  Four contracts:
+
+1. **Point-query bound**: ``|est - f_i| <= eps ||f||_2`` with
+   ``eps = sqrt(3 / width)`` fails for at most a ``delta = exp(-depth / 6)``
+   fraction of queried ids (the Chebyshev-per-row / Chernoff-median bound of
+   :mod:`repro.theory.frequency`).
+2. **Heavy-hitter eps-phi guarantee**: with ``width >= 12 / phi^2`` (i.e.
+   ``eps <= phi / 2``), every true ``phi``-heavy item is reported and no
+   reported item is lighter than ``(phi - eps) ||f||_2``.
+3. **Hierarchical range queries** agree with brute-force truth within the
+   canonical cover's accumulated per-node error.
+4. **Merge and restore transparency**: the identities are *bitwise* --
+   a merged pair of half-stream sketches equals the single-pass sketch, and
+   a ``state_dict``/``load_state`` round trip changes no answer -- so every
+   bound above holds verbatim for merged and restored sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import FrequencySketch, HierarchicalFrequencySketch
+from repro.theory.frequency import (
+    point_query_epsilon,
+    point_query_failure,
+    range_query_nodes,
+    width_for_epsilon,
+)
+from repro.workloads.streams import zipf_stream
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+DOMAIN = 1 << 14
+
+
+def _feed(sketch, stream) -> None:
+    for batch in stream:
+        sketch.update(batch.ids, batch.weights)
+
+
+# ---------------------------------------------------------------------------
+# 1. point estimates respect eps * ||f||_2 at the configured failure rate
+# ---------------------------------------------------------------------------
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=SEEDS)
+def test_point_estimates_respect_epsilon_bound(seed):
+    width, depth = 256, 7
+    eps = point_query_epsilon(width)       # sqrt(3/256) ~ 0.108
+    delta = point_query_failure(depth)     # exp(-7/6) ~ 0.31
+    stream = zipf_stream(DOMAIN, total_items=20_000, alpha=1.2, seed=seed)
+    sketch = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    _feed(sketch, stream)
+
+    counts = stream.true_counts()
+    l2 = stream.true_l2()
+    # Query every id that occurred plus an equal number of absent ids
+    # (true frequency 0): the bound covers both.
+    present = np.fromiter(counts.keys(), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    absent = rng.integers(0, DOMAIN, size=present.size)
+    absent = absent[np.fromiter((int(i) not in counts for i in absent), dtype=bool)]
+    ids = np.concatenate([present, absent])
+    truth = np.array([counts.get(int(i), 0.0) for i in ids])
+
+    est = sketch.point_query(ids)
+    failures = np.abs(est - truth) > eps * l2
+    assert failures.mean() <= delta, (
+        f"{failures.sum()}/{ids.size} point queries broke the eps*l2 bound "
+        f"(allowed fraction {delta:.3f})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. heavy-hitter recovery achieves the eps-phi guarantee on Zipfian streams
+# ---------------------------------------------------------------------------
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=SEEDS)
+def test_heavy_hitters_eps_phi_guarantee(seed):
+    phi = 0.1
+    width = width_for_epsilon(phi / 2.0)   # 12 / phi^2 = 1200
+    eps = point_query_epsilon(width)
+    stream = zipf_stream(DOMAIN, total_items=20_000, alpha=1.3, seed=seed)
+    sketch = FrequencySketch(DOMAIN, width, depth=9, seed=seed + 1)
+    _feed(sketch, stream)
+
+    l2 = stream.true_l2()
+    true_heavy = {i for i, _ in stream.heavy_hitters(phi)}
+    reported = dict(sketch.heavy_hitters(phi))
+
+    # Completeness: every true phi-heavy item is recovered (est >= phi*l2_est
+    # holds because |est - f| <= eps*l2 and f >= phi*l2 with eps <= phi/2).
+    missed = true_heavy - set(reported)
+    assert not missed, f"true heavy hitters missed: {sorted(missed)}"
+    # Soundness: nothing lighter than (phi - eps) * ||f||_2 is reported.
+    counts = stream.true_counts()
+    floor = (phi - eps) * l2
+    too_light = {
+        i for i in reported if counts.get(int(i), 0.0) < floor * (1.0 - 1e-12)
+    }
+    assert not too_light, f"reported items below (phi-eps)*l2: {sorted(too_light)}"
+
+
+# ---------------------------------------------------------------------------
+# 3. hierarchical range queries vs. brute force on small universes
+# ---------------------------------------------------------------------------
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=SEEDS, lo_frac=st.floats(0.0, 0.8), span_frac=st.floats(0.05, 0.5))
+def test_hierarchical_range_matches_brute_force(seed, lo_frac, span_frac):
+    domain, branch = 4096, 4
+    width, depth = 2048, 9
+    eps = point_query_epsilon(width)
+    stream = zipf_stream(domain, total_items=8_000, alpha=1.3, seed=seed)
+    sketch = HierarchicalFrequencySketch(
+        domain, width, depth, branch=branch, seed=seed + 1
+    )
+    _feed(sketch, stream)
+
+    lo = int(lo_frac * domain)
+    hi = min(domain, lo + max(1, int(span_frac * domain)))
+    truth = stream.range_weight(lo, hi)
+    est = sketch.range_query(lo, hi)
+
+    # Each node of the canonical cover errs by at most eps * ||f_level||_2
+    # (w.h.p.); every level's norm is bounded by the total stream weight
+    # ||f||_1, so the cover's accumulated error is bounded by
+    # nodes * eps * ||f||_1.
+    nodes = range_query_nodes(domain, branch)
+    total_weight = float(stream.total_items)
+    assert abs(est - truth) <= nodes * eps * total_weight, (
+        f"range [{lo}, {hi}): estimate {est} vs truth {truth} "
+        f"(allowed {nodes * eps * total_weight:.1f})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. merge and restore are bitwise-transparent, so the bounds transfer
+# ---------------------------------------------------------------------------
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=SEEDS)
+def test_merged_sketch_is_bitwise_single_pass(seed):
+    width, depth = 512, 5
+    stream = zipf_stream(DOMAIN, total_items=10_000, alpha=1.2, seed=seed)
+    whole = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    left = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    right = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    batches = list(stream)
+    half = len(batches) // 2
+    for b in batches:
+        whole.update(b.ids, b.weights)
+    for b in batches[:half]:
+        left.update(b.ids, b.weights)
+    for b in batches[half:]:
+        right.update(b.ids, b.weights)
+    left.merge_from(right)
+    np.testing.assert_array_equal(left.table(), whole.table())
+    assert left.items_seen == whole.items_seen
+    # Identical tables => identical answers; spot-check the query surface.
+    ids = stream.all_ids()[:64]
+    np.testing.assert_array_equal(left.point_query(ids), whole.point_query(ids))
+    assert left.l2_estimate() == whole.l2_estimate()
+    assert left.heavy_hitters(0.1) == whole.heavy_hitters(0.1)
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=SEEDS)
+def test_restored_sketch_answers_bitwise_identically(seed):
+    width, depth = 512, 5
+    stream = zipf_stream(DOMAIN, total_items=10_000, alpha=1.2, seed=seed)
+    original = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    _feed(original, stream)
+    clone = FrequencySketch(DOMAIN, width, depth, seed=seed + 1)
+    clone.load_state(original.state_dict())
+    ids = stream.all_ids()[:64]
+    np.testing.assert_array_equal(clone.point_query(ids), original.point_query(ids))
+    assert clone.l2_estimate() == original.l2_estimate()
+    assert clone.heavy_hitters(0.1) == original.heavy_hitters(0.1)
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(seed=SEEDS)
+def test_hierarchical_restore_round_trip(seed):
+    domain, branch = 4096, 4
+    stream = zipf_stream(domain, total_items=6_000, alpha=1.3, seed=seed)
+    original = HierarchicalFrequencySketch(
+        domain, 1024, 5, branch=branch, seed=seed + 1
+    )
+    _feed(original, stream)
+    clone = HierarchicalFrequencySketch(
+        domain, 1024, 5, branch=branch, seed=seed + 1
+    )
+    clone.load_state(original.state_dict())
+    assert clone.range_query(7, 1023) == original.range_query(7, 1023)
+    assert clone.top_k(10, 0.1) == original.top_k(10, 0.1)
+    assert clone.l2_estimate() == original.l2_estimate()
+
+
+def test_mismatched_merge_is_refused():
+    a = FrequencySketch(DOMAIN, 256, 5, seed=1)
+    b = FrequencySketch(DOMAIN, 256, 5, seed=2)     # different hash seed
+    c = FrequencySketch(DOMAIN, 128, 5, seed=1)     # different width
+    with pytest.raises(ValueError):
+        a.merge_from(b)
+    with pytest.raises(ValueError):
+        a.merge_from(c)

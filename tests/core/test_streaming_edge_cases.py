@@ -218,3 +218,49 @@ class TestStreamingErrors:
         sketch.result()
         with pytest.raises(RuntimeError):
             sketch.result()
+
+
+class TestDensificationGuard:
+    """Address-space sketches must refuse whole-domain materialisation.
+
+    Window sketches are built with ``STREAM_CAPACITY = 2^48`` input rows;
+    any code path that enumerates ``np.arange(d)`` on one of them would
+    attempt a petabyte-scale allocation.  The guard converts that into a
+    typed :class:`SketchMaterializationError` while leaving the streaming
+    contract -- explicit-index updates -- fully functional.
+    """
+
+    HUGE = 1 << 48  # STREAM_CAPACITY: the serving windows' address space
+
+    def test_whole_domain_operations_raise_typed_error(self, executor):
+        from repro.core.countsketch import SketchMaterializationError
+
+        sketch = StreamingCountSketch(self.HUGE, K, executor=executor, seed=0)
+        with pytest.raises(SketchMaterializationError):
+            sketch.explicit_matrix()
+        # apply()/apply_vector() need a d-row input, which is impossible to
+        # construct at 2^48 rows: the shape check fires first.  The
+        # materialisation guard inside them is the backstop for a
+        # hypothetical full-size device array.
+        with pytest.raises(ValueError):
+            sketch.apply(np.zeros((4, N)))
+        with pytest.raises(ValueError):
+            sketch.apply_vector(np.zeros(4))
+
+    def test_explicit_index_streaming_still_works(self, executor, rng):
+        sketch = StreamingCountSketch(self.HUGE, K, executor=executor, seed=0)
+        sketch.begin(N)
+        idx = np.array([0, 1, (1 << 47) + 3, self.HUGE - 1], dtype=np.int64)
+        rows = rng.standard_normal((idx.size, N))
+        sketch.update(idx, rows)
+        assert sketch.rows_seen == idx.size
+        out = sketch.result().to_host()
+        assert out.shape == (K, N)
+        assert np.linalg.norm(out) > 0.0
+
+    def test_enumerable_domains_are_unaffected(self, executor, rng):
+        from repro.core.countsketch import DENSIFY_LIMIT
+
+        assert D <= DENSIFY_LIMIT
+        sketch = StreamingCountSketch(D, K, executor=executor, seed=0)
+        assert sketch.explicit_matrix().shape == (K, D)

@@ -169,6 +169,28 @@ def test_histogram_reset():
     assert hist.mean == 0.0
 
 
+def test_histogram_reset_clears_ring():
+    """reset() restarts the whole stream: no pre-reset sample may survive.
+
+    Fills the ring with large values, resets, then observes a small batch --
+    every view (values, percentiles, min/max, recent window) must reflect
+    only post-reset data, exactly like a freshly constructed histogram.
+    """
+    hist = Histogram(capacity=16)
+    hist.observe_many(np.full(100, 1e9))
+    hist.reset()
+    assert np.all(hist.values() == np.zeros(0))
+    fresh = np.arange(1.0, 6.0)
+    hist.observe_many(fresh)
+    np.testing.assert_array_equal(hist.values(), fresh)
+    assert hist.max == pytest.approx(5.0)
+    assert hist.min == pytest.approx(1.0)
+    assert hist.percentile(100.0) == pytest.approx(5.0)
+    assert hist.recent_percentile(100.0, 16) == pytest.approx(5.0)
+    # The buffer itself holds no stale pre-reset samples past the cursor.
+    assert np.all(hist._ring[fresh.size:] == 0.0)
+
+
 def test_histogram_rejects_bad_capacity():
     with pytest.raises(ValueError):
         Histogram(capacity=0)
